@@ -1,0 +1,142 @@
+"""E12 -- design-choice ablations.
+
+Each switch in :class:`~repro.core.config.HierarchicalConfig` corresponds
+to a decision the paper argues for; turning one off quantifies it:
+
+* ``conditional_tiles``: section 2 -- including conditionals improves spill
+  placement and shrinks graphs (vs loops-only tiling).
+* ``preferencing``: section 3 -- explicit preferencing instead of
+  coalescing (off: more transfer moves).
+* ``store_avoidance``: section 3 -- skip the store half of a Reload pair
+  for unmodified variables.
+* ``demotion``: section 4 -- flip a child's register allocation to memory
+  when the parent keeps the variable in memory and the transfer costs
+  outweigh local benefit.
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.ir.instructions import Opcode
+from repro.machine.target import Machine
+from repro.pipeline import compile_function
+from repro.workloads.figure1 import figure1_workload
+from repro.workloads.kernels import all_kernel_workloads
+
+MACHINE = Machine.simple(4)
+
+CONFIGS = {
+    "default": HierarchicalConfig(),
+    "no-conditional-tiles": HierarchicalConfig(conditional_tiles=False),
+    "no-preferencing": HierarchicalConfig(preferencing=False),
+    "no-store-avoidance": HierarchicalConfig(store_avoidance=False),
+    "no-demotion": HierarchicalConfig(demotion=False),
+}
+
+
+def _workloads():
+    return all_kernel_workloads(8) + [figure1_workload(10)]
+
+
+def test_ablation_matrix(benchmark):
+    names = list(CONFIGS)
+    widths = [16] + [20] * len(names)
+    rows = [fmt_row(["workload"] + names, widths)]
+    # [spill refs, moves, surviving dynamic copies]
+    totals = {name: [0, 0, 0] for name in names}
+    for workload in _workloads():
+        cells = [workload.label()]
+        for name, config in CONFIGS.items():
+            result = compile_function(
+                workload, HierarchicalAllocator(config), MACHINE
+            )
+            copies = result.allocated_run.opcode_counts[Opcode.COPY]
+            totals[name][0] += result.spill_refs
+            totals[name][1] += result.moves
+            totals[name][2] += copies
+            cells.append(f"{result.spill_refs}+{result.moves}m+{copies}c")
+        rows.append(fmt_row(cells, widths))
+    rows.append("")
+    rows.append(fmt_row(
+        ["TOTAL"]
+        + [f"{totals[n][0]}+{totals[n][1]}m+{totals[n][2]}c" for n in names],
+        widths,
+    ))
+    report("E12_ablations", rows)
+
+    # Store avoidance strictly saves stores.
+    assert totals["default"][0] <= totals["no-store-avoidance"][0]
+    # Preferencing collapses copy chains onto one register: without it,
+    # more dynamic copies/moves survive.
+    default_copyish = totals["default"][1] + totals["default"][2]
+    nopref_copyish = (
+        totals["no-preferencing"][1] + totals["no-preferencing"][2]
+    )
+    assert default_copyish < nopref_copyish
+
+    benchmark(lambda: compile_function(
+        figure1_workload(10),
+        HierarchicalAllocator(CONFIGS["no-preferencing"]),
+        MACHINE,
+    ))
+
+
+def test_conditional_tiles_value(benchmark):
+    """Loops-only tiling loses the cold-conditional placements of
+    section 2 on conditional-heavy workloads."""
+    widths = [16, 14, 14]
+    rows = [fmt_row(["workload", "full hierarchy", "loops only"], widths)]
+    full_total = loops_total = 0
+    for workload in _workloads():
+        full = compile_function(workload, HierarchicalAllocator(), MACHINE)
+        loops = compile_function(
+            workload,
+            HierarchicalAllocator(HierarchicalConfig(conditional_tiles=False)),
+            MACHINE,
+        )
+        full_total += full.spill_refs + full.moves
+        loops_total += loops.spill_refs + loops.moves
+        rows.append(fmt_row(
+            [workload.label(), full.spill_refs + full.moves,
+             loops.spill_refs + loops.moves],
+            widths,
+        ))
+    rows.append("")
+    rows.append(fmt_row(["TOTAL", full_total, loops_total], widths))
+    report("E12_conditional_tiles", rows)
+
+    benchmark(lambda: None)
+
+
+def test_spill_heuristics(benchmark):
+    """Section 4: 'Chaitin spills the variable with the lowest spill cost
+    to conflict count ratio ... Our algorithm could easily use either
+    method but is implemented using Chaitin's heuristic with our cost
+    metric.'  Comparing the ratio against pure-cost and pure-degree
+    rankings confirms the choice."""
+    heuristics = ("cost_over_degree", "cost", "degree")
+    widths = [18, 14]
+    rows = [fmt_row(["heuristic", "dyn spill refs"], widths)]
+    totals = {}
+    for heuristic in heuristics:
+        config = HierarchicalConfig(spill_heuristic=heuristic)
+        total = 0
+        for workload in _workloads():
+            result = compile_function(
+                workload, HierarchicalAllocator(config), MACHINE
+            )
+            total += result.spill_refs
+        totals[heuristic] = total
+        rows.append(fmt_row([heuristic, total], widths))
+    report("E12_spill_heuristics", rows)
+
+    # The paper's choice should be the best (or tied).
+    assert totals["cost_over_degree"] <= min(totals.values()) + 1e-9
+
+    benchmark(lambda: compile_function(
+        figure1_workload(10),
+        HierarchicalAllocator(HierarchicalConfig(spill_heuristic="degree")),
+        MACHINE,
+    ))

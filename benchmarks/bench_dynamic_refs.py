@@ -1,0 +1,96 @@
+"""E4 -- dynamic memory references across kernels and register counts.
+
+The paper's objective is "to minimize the number of dynamic memory
+references".  This bench sweeps R over the kernel suite and reports the
+dynamic spill traffic per allocator.  Expected shape: hierarchical <=
+Chaitin nearly everywhere, with the largest gaps at small R on loop-heavy
+workloads, and all graph-coloring allocators converging to zero at large R.
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.allocators import BriggsAllocator, ChaitinAllocator, LocalAllocator
+from repro.core import HierarchicalAllocator
+from repro.machine.target import Machine
+from repro.pipeline import compile_function
+from repro.workloads.kernels import all_kernel_workloads
+
+REGISTERS = (2, 4, 6, 8, 12)
+ALLOCS = [HierarchicalAllocator, ChaitinAllocator, BriggsAllocator, LocalAllocator]
+
+
+def _sweep():
+    table = {}
+    for workload in all_kernel_workloads(10):
+        for registers in REGISTERS:
+            machine = Machine.simple(registers)
+            for allocator_cls in ALLOCS:
+                result = compile_function(workload, allocator_cls(), machine)
+                table[(workload.label(), registers, allocator_cls.name)] = (
+                    result.spill_refs + result.moves
+                )
+    return table
+
+
+def test_dynamic_refs_sweep(benchmark):
+    table = _sweep()
+    widths = [14, 4] + [12] * len(ALLOCS)
+    rows = [fmt_row(
+        ["workload", "R"] + [a.name for a in ALLOCS], widths
+    )]
+    workloads = sorted({k[0] for k in table})
+    for name in workloads:
+        for registers in REGISTERS:
+            rows.append(fmt_row(
+                [name, registers]
+                + [table[(name, registers, a.name)] for a in ALLOCS],
+                widths,
+            ))
+    report("E4_dynamic_refs", rows)
+
+    # Shape assertions.
+    wins = ties = losses = 0
+    for name in workloads:
+        for registers in REGISTERS:
+            hier = table[(name, registers, "hierarchical")]
+            chaitin = table[(name, registers, "chaitin")]
+            if hier < chaitin:
+                wins += 1
+            elif hier == chaitin:
+                ties += 1
+            else:
+                losses += 1
+    # Hierarchical wins or ties the overwhelming majority of cells.
+    assert wins > losses, f"wins={wins} ties={ties} losses={losses}"
+
+    # Everyone converges at large R.
+    for name in workloads:
+        hier = table[(name, REGISTERS[-1], "hierarchical")]
+        assert hier <= table[(name, REGISTERS[0], "hierarchical")]
+
+    # Time one representative compile.
+    workload = all_kernel_workloads(10)[0]
+    benchmark(lambda: compile_function(
+        workload, HierarchicalAllocator(), Machine.simple(4)
+    ))
+
+
+def test_total_overhead_summary(benchmark):
+    """Aggregate spill traffic over the whole suite per allocator."""
+    table = _sweep()
+    rows = [fmt_row(["allocator", "total dyn overhead"], [14, 18])]
+    totals = {}
+    for allocator_cls in ALLOCS:
+        total = sum(
+            v for (w, r, a), v in table.items() if a == allocator_cls.name
+        )
+        totals[allocator_cls.name] = total
+        rows.append(fmt_row([allocator_cls.name, total], [14, 18]))
+    report("E4_totals", rows)
+
+    assert totals["hierarchical"] < totals["chaitin"]
+    assert totals["chaitin"] <= totals["local"]
+
+    benchmark(lambda: None)

@@ -1,0 +1,91 @@
+"""E1 -- the paper's Figure 1.
+
+Regenerates the worked example: on the register-starved machine, Chaitin
+"will spill either g1 or g2 for the entire program resulting in the poor
+execution of one of the loops", while the hierarchical allocator spills g2
+around the first loop and g1 around the second, placing all spill code in
+the once-executed blocks.
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.allocators import BriggsAllocator, ChaitinAllocator
+from repro.core import HierarchicalAllocator
+from repro.ir.instructions import Opcode
+from repro.machine.target import Machine
+from repro.pipeline import compile_function
+from repro.workloads.figure1 import FIGURE1_REGISTERS, figure1_workload
+
+MACHINE = Machine.simple(FIGURE1_REGISTERS)
+TRIPS = 10
+
+
+def _compile(allocator):
+    return compile_function(figure1_workload(TRIPS), allocator, MACHINE)
+
+
+def _loop_spill_ops(result):
+    return sum(
+        1
+        for label in ("B2", "B3")
+        for i in result.fn.blocks[label].instrs
+        if i.op in (Opcode.SPILL_LD, Opcode.SPILL_ST)
+    )
+
+
+def test_figure1_table(benchmark):
+    rows = [fmt_row(
+        ["allocator", "dyn spill refs", "in-loop spill instrs", "spill blocks"],
+        [12, 14, 20, 30],
+    )]
+    results = {}
+    for allocator_cls in (HierarchicalAllocator, ChaitinAllocator, BriggsAllocator):
+        result = _compile(allocator_cls())
+        results[allocator_cls.name] = result
+        rows.append(fmt_row(
+            [
+                allocator_cls.name,
+                result.spill_refs,
+                _loop_spill_ops(result),
+                ",".join(sorted(result.stats.spill_block_labels)),
+            ],
+            [12, 14, 20, 30],
+        ))
+    report("E1_figure1", rows)
+
+    hier = results["hierarchical"]
+    chaitin = results["chaitin"]
+    # Paper shape: hierarchical wins, and keeps the loops clean.
+    assert hier.spill_refs < chaitin.spill_refs
+    assert _loop_spill_ops(hier) == 0
+    assert _loop_spill_ops(chaitin) > 0
+
+    benchmark(lambda: _compile(HierarchicalAllocator()))
+
+
+def test_figure1_scaling_with_trip_count(benchmark):
+    """Hierarchical spill traffic is O(1) in the trip count (spill code on
+    the loop boundaries); Chaitin's grows linearly (spill code inside)."""
+    rows = [fmt_row(["n", "hierarchical", "chaitin"], [6, 12, 12])]
+    history = {}
+    for trips in (5, 10, 20, 40):
+        hier = compile_function(
+            figure1_workload(trips), HierarchicalAllocator(), MACHINE
+        )
+        chaitin = compile_function(
+            figure1_workload(trips), ChaitinAllocator(), MACHINE
+        )
+        history[trips] = (hier.spill_refs, chaitin.spill_refs)
+        rows.append(fmt_row(
+            [trips, hier.spill_refs, chaitin.spill_refs], [6, 12, 12]
+        ))
+    report("E1_figure1_scaling", rows)
+
+    assert history[40][0] == history[5][0], "hierarchical should be O(1)"
+    assert history[40][1] > history[5][1], "chaitin should grow with trips"
+
+    benchmark(lambda: compile_function(
+        figure1_workload(10), ChaitinAllocator(), MACHINE
+    ))

@@ -1,0 +1,97 @@
+"""E6 -- per-tile interference graphs are smaller than the whole-program
+graph.
+
+"With this technique it is not necessary to construct the full conflict
+graph at any one time."  We compare the largest single graph the
+hierarchical allocator ever builds against the whole-program graph Chaitin
+builds, on progressively larger random structured programs.
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.allocators import ChaitinAllocator
+from repro.core import HierarchicalAllocator
+from repro.machine.target import Machine
+from repro.pipeline import compile_function
+from repro.workloads.generators import random_workload
+from repro.workloads.kernels import all_kernel_workloads
+
+MACHINE = Machine.simple(4)
+
+
+def _sizes(workload):
+    hier = HierarchicalAllocator()
+    h = compile_function(workload, hier, MACHINE)
+    c = compile_function(workload, ChaitinAllocator(), MACHINE)
+    return h.stats, c.stats
+
+
+def test_graph_sizes_kernels(benchmark):
+    widths = [14, 12, 12, 12, 12]
+    rows = [fmt_row(
+        ["workload", "hier max |V|", "hier max |E|", "flat |V|", "flat |E|"],
+        widths,
+    )]
+    ratios = []
+    for workload in all_kernel_workloads(8):
+        hs, cs = _sizes(workload)
+        rows.append(fmt_row(
+            [workload.label(), hs.max_graph_nodes, hs.max_graph_edges,
+             cs.max_graph_nodes, cs.max_graph_edges],
+            widths,
+        ))
+        if cs.max_graph_edges:
+            ratios.append(hs.max_graph_edges / cs.max_graph_edges)
+    report("E6_graph_size_kernels", rows)
+    # Edge counts are the expensive part of a conflict graph; tiles should
+    # usually shrink them.
+    assert sum(ratios) / len(ratios) < 1.2
+
+    benchmark(lambda: _sizes(all_kernel_workloads(8)[2]))
+
+
+def test_graph_footprint_bounded(benchmark):
+    """The paper's actual claim is about footprint: "it is not necessary to
+    construct the full conflict graph at any one time."  On a program of k
+    sequential loops, the whole-program graph grows linearly with k while
+    the largest tile graph stays constant."""
+    from repro.core import HierarchicalConfig
+    from repro.pipeline import Workload, compile_function as compile_fn
+    from repro.workloads.kernels import sequential_loops
+
+    config = HierarchicalConfig(max_tile_width=4)
+    widths = [8, 8, 14, 14, 10]
+    rows = [fmt_row(
+        ["loops", "blocks", "hier max |V|", "flat |V|", "ratio"], widths
+    )]
+    measured = {}
+    for count in (2, 4, 8, 16, 32):
+        fn = sequential_loops(count)
+        workload = Workload(
+            fn, {"n": 3}, {"A": [1, 2, 3, 4]}, name=f"seq{count}"
+        )
+        hs = compile_fn(
+            workload, HierarchicalAllocator(config), MACHINE
+        ).stats
+        cs = compile_fn(workload, ChaitinAllocator(), MACHINE).stats
+        measured[count] = (hs.max_graph_nodes, cs.max_graph_nodes)
+        rows.append(fmt_row(
+            [count, len(fn.blocks), hs.max_graph_nodes, cs.max_graph_nodes,
+             hs.max_graph_nodes / cs.max_graph_nodes],
+            widths,
+        ))
+    report("E6_graph_size_scaling", rows)
+
+    # The flat graph grows with the loop count...
+    assert measured[32][1] > 4 * measured[2][1]
+    # ...while the largest tile graph plateaus (hierarchical chunking).
+    assert measured[32][0] <= 2 * measured[2][0]
+    # And at scale the footprint gap is wide.
+    assert measured[32][0] < measured[32][1] / 4
+
+    workload = random_workload(1, max_blocks=60, max_vars=24, max_depth=4)
+    benchmark(lambda: compile_function(
+        workload, HierarchicalAllocator(), MACHINE
+    ))

@@ -1,0 +1,85 @@
+"""E13 -- inline expansion (paper section 6).
+
+"Inline expansion can have a detrimental effect on traditional register
+allocators since a natural spill point (the call site) has been removed.
+Since our method retains natural spill points ... the cost of coloring
+after inline expansion should be proportional to the combined cost of
+coloring each function separately."
+
+We inline k copies of a small conditional callee into a hot loop and watch
+the *largest single interference graph* each allocator must color: the
+whole-program graph grows with k, the largest tile graph stays near the
+size of one inlined body.
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.allocators import ChaitinAllocator
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.ir.inline import inline_all
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compile_function
+
+from repro.workloads.callsites import make_callee, make_caller
+
+MACHINE = Machine.simple(4)
+
+
+def _inlined_workload(calls: int) -> Workload:
+    inlined = inline_all(make_caller(calls), make_callee())
+    return Workload(
+        inlined, {"n": 6}, {"A": [1, 9, 3, 8, 2, 7]}, name=f"inl{calls}"
+    )
+
+
+def test_inline_graph_growth(benchmark):
+    widths = [8, 8, 14, 14, 12]
+    rows = [fmt_row(
+        ["calls", "blocks", "hier max |V|", "flat |V|", "hier refs"],
+        widths,
+    )]
+    # Tile-size control (the paper's Appendix A size paragraph) keeps the
+    # loop tile bounded when many inlined bodies chain inside it.
+    config = HierarchicalConfig(max_tile_width=4)
+    measured = {}
+    for calls in (1, 2, 4, 8):
+        workload = _inlined_workload(calls)
+        hier = compile_function(workload, HierarchicalAllocator(config), MACHINE)
+        flat = compile_function(workload, ChaitinAllocator(), MACHINE)
+        measured[calls] = (
+            hier.stats.max_graph_nodes,
+            flat.stats.max_graph_nodes,
+        )
+        rows.append(fmt_row(
+            [calls, len(workload.fn.blocks), hier.stats.max_graph_nodes,
+             flat.stats.max_graph_nodes, hier.spill_refs],
+            widths,
+        ))
+    report("E13_inline", rows)
+
+    # The flat graph grows with the number of inlined bodies...
+    assert measured[8][1] > 1.5 * measured[1][1]
+    # ...the largest tile graph grows much more slowly.
+    hier_growth = measured[8][0] / measured[1][0]
+    flat_growth = measured[8][1] / measured[1][1]
+    assert hier_growth < flat_growth
+
+    benchmark(lambda: compile_function(
+        _inlined_workload(4), HierarchicalAllocator(), MACHINE
+    ))
+
+
+def test_inline_correctness_at_pressure(benchmark):
+    """Inlined programs allocate correctly at every register count."""
+    for registers in (2, 4, 6):
+        workload = _inlined_workload(3)
+        result = compile_function(
+            workload, HierarchicalAllocator(), Machine.simple(registers)
+        )
+        assert result.allocated_run.returned == result.reference_run.returned
+    report("E13_inline_correctness", [
+        "inlined programs verified at R in {2, 4, 6}",
+    ])
+    benchmark(lambda: _inlined_workload(3))

@@ -1,0 +1,80 @@
+"""E14 -- memory-hierarchy extension (paper section 6).
+
+"Allocation entails placing the variable at the highest level where it can
+be allocated."  With a small scratch memory priced below main memory, the
+hottest spilled variables are promoted; the weighted overhead cost drops
+monotonically with scratch size and the hottest slots are chosen first.
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.core import HierarchicalAllocator
+from repro.core.scratch import hierarchy_cost, promote_to_scratch
+from repro.machine.simulator import simulate
+from repro.machine.target import Machine
+from repro.pipeline import compile_function
+from repro.workloads.kernels import all_kernel_workloads
+
+MACHINE = Machine.simple(4)
+SIZES = (0, 1, 2, 4, 8)
+
+
+def _promoted_run(result, workload, cells):
+    promoted, chosen = promote_to_scratch(result.fn, cells)
+    args = {
+        target: workload.args[source]
+        for target, source in zip(promoted.params, workload.fn.params)
+    }
+    run = simulate(promoted, args=args, arrays=workload.arrays)
+    assert run.returned == result.allocated_run.returned
+    return run, chosen
+
+
+def test_scratch_promotion(benchmark):
+    widths = [14] + [10] * len(SIZES)
+    rows = [fmt_row(
+        ["workload"] + [f"S={s}" for s in SIZES], widths
+    )]
+    totals = {s: 0.0 for s in SIZES}
+    for workload in all_kernel_workloads(8):
+        result = compile_function(workload, HierarchicalAllocator(), MACHINE)
+        cells = [workload.label()]
+        for size in SIZES:
+            run, _ = _promoted_run(result, workload, size)
+            cost = hierarchy_cost(run)
+            totals[size] += cost
+            cells.append(round(cost, 1))
+        rows.append(fmt_row(cells, widths))
+    rows.append("")
+    rows.append(fmt_row(
+        ["TOTAL"] + [round(totals[s], 1) for s in SIZES], widths
+    ))
+    report("E14_memory_hierarchy", rows)
+
+    # Cost decreases monotonically with scratch size.
+    for small, large in zip(SIZES, SIZES[1:]):
+        assert totals[large] <= totals[small] + 1e-9
+
+    workload = all_kernel_workloads(8)[2]
+    result = compile_function(workload, HierarchicalAllocator(), MACHINE)
+    benchmark(lambda: promote_to_scratch(result.fn, 4))
+
+
+def test_hottest_slots_chosen_first(benchmark):
+    """Promotion order follows expected traffic (highest level for the
+    most valuable variables)."""
+    from repro.core.scratch import weighted_slot_traffic
+
+    workload = all_kernel_workloads(8)[2]  # matmul
+    result = compile_function(workload, HierarchicalAllocator(), MACHINE)
+    traffic = weighted_slot_traffic(result.fn)
+    _, chosen = promote_to_scratch(result.fn, 3)
+    ranked = sorted(
+        (k for k in traffic if k.startswith("slot:")),
+        key=lambda k: -traffic[k],
+    )
+    assert chosen == ranked[:3]
+    report("E14_ordering", [f"promotion order: {chosen}"])
+    benchmark(lambda: weighted_slot_traffic(result.fn))

@@ -1,0 +1,82 @@
+"""E8 -- parallel allocation of sibling subtrees (paper section 6).
+
+"Sibling subtrees can be processed concurrently in both the bottom-up and
+top-down passes.  The amount of parallelism depends on the shape of the
+tile tree ... there is adequate breadth in the tree to expect benefit."
+
+We report the available breadth (tiles per level -- the units that can be
+colored concurrently), verify the parallel driver produces the sequential
+result, and measure wall-clock for both drivers.  (CPython threads share
+the GIL, so wall-clock parity rather than speedup is the expected local
+outcome; breadth is the paper's actual claim.)
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.machine.target import Machine
+from repro.pipeline import compile_function
+from repro.workloads.generators import random_workload
+from repro.workloads.kernels import all_kernel_workloads
+
+MACHINE = Machine.simple(4)
+
+
+def test_tree_breadth(benchmark):
+    widths = [16, 7, 7, 10, 14]
+    rows = [fmt_row(
+        ["workload", "tiles", "height", "max width", "parallel frac"],
+        widths,
+    )]
+    for workload in all_kernel_workloads(8) + [
+        random_workload(s, max_blocks=48, max_depth=4) for s in range(4)
+    ]:
+        allocator = HierarchicalAllocator()
+        compile_function(workload, allocator, MACHINE)
+        stats = allocator.last_context
+        tree = stats.tree
+        profile = tree.breadth_profile()
+        tiles = len(tree)
+        max_width = max(profile.values())
+        # Fraction of tiles that have at least one sibling at their level:
+        # the work units that benefit from concurrency.
+        parallel = sum(v for v in profile.values() if v > 1) / tiles
+        rows.append(fmt_row(
+            [workload.label(), tiles, tree.height(), max_width,
+             parallel],
+            widths,
+        ))
+    report("E8_breadth", rows)
+
+    benchmark(lambda: None)
+
+
+def test_parallel_equals_sequential(benchmark):
+    workload = random_workload(7, max_blocks=48, max_depth=4)
+    seq = compile_function(workload, HierarchicalAllocator(), MACHINE)
+    par = compile_function(
+        workload,
+        HierarchicalAllocator(HierarchicalConfig(parallel=True)),
+        MACHINE,
+    )
+    assert seq.spill_refs == par.spill_refs
+    assert seq.allocated_run.returned == par.allocated_run.returned
+    report("E8_parallel_equivalence", [
+        f"sequential spill refs: {seq.spill_refs}",
+        f"parallel   spill refs: {par.spill_refs}",
+    ])
+
+    benchmark(lambda: compile_function(
+        workload,
+        HierarchicalAllocator(HierarchicalConfig(parallel=True)),
+        MACHINE,
+    ))
+
+
+def test_sequential_timing(benchmark):
+    workload = random_workload(7, max_blocks=48, max_depth=4)
+    benchmark(lambda: compile_function(
+        workload, HierarchicalAllocator(), MACHINE
+    ))

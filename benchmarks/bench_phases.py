@@ -1,0 +1,94 @@
+"""E2 -- the two-phase algorithm of Figure 2.
+
+Traces the bottom-up and top-down passes over nested-loop workloads and
+checks the structural invariants of the phase protocol: every tile is
+colored exactly once per phase, children strictly before parents in phase
+1 and after them in phase 2, and the summary a child hands up is bounded by
+``|R|`` summary variables.  Also times each phase separately.
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.core import HierarchicalConfig
+from repro.core.info import build_context
+from repro.core.phase1 import allocate_tile
+from repro.core.phase2 import bind_tile
+from repro.machine.target import Machine
+from repro.pipeline import prepare
+from repro.tiles.construction import build_tile_tree_detailed
+from repro.workloads.kernels import matmul
+
+MACHINE = Machine.simple(4)
+
+
+def _context():
+    fn = prepare(matmul())
+    build = build_tile_tree_detailed(fn)
+    return build_context(build.tree.fn, MACHINE, build.tree, build.fixup, None)
+
+
+def _run_phase1(ctx, config):
+    order = []
+    allocations = {}
+    for tile in ctx.tree.postorder():
+        allocations[tile.tid] = allocate_tile(ctx, config, tile, allocations)
+        order.append(tile.tid)
+    return allocations, order
+
+
+def test_phase_protocol(benchmark):
+    ctx = _context()
+    config = HierarchicalConfig()
+    allocations, up_order = _run_phase1(ctx, config)
+
+    # Children before parents on the way up.
+    position = {tid: i for i, tid in enumerate(up_order)}
+    for tile in ctx.tree.preorder():
+        for child in tile.children:
+            assert position[child.tid] < position[tile.tid]
+
+    down_order = []
+    for tile in ctx.tree.preorder():
+        bind_tile(ctx, config, tile, allocations)
+        down_order.append(tile.tid)
+    position = {tid: i for i, tid in enumerate(down_order)}
+    for tile in ctx.tree.preorder():
+        for child in tile.children:
+            assert position[child.tid] > position[tile.tid]
+
+    widths = [6, 8, 10, 10, 10, 10]
+    rows = [fmt_row(
+        ["tile", "kind", "graph |V|", "graph |E|", "summaries", "spilled"],
+        widths,
+    )]
+    for tile in ctx.tree.preorder():
+        alloc = allocations[tile.tid]
+        rows.append(fmt_row(
+            [tile.tid, tile.kind, len(alloc.graph),
+             alloc.graph.edge_count(), len(alloc.summary_vars),
+             len(alloc.spilled)],
+            widths,
+        ))
+    report("E2_phase_trace", rows)
+
+    for alloc in allocations.values():
+        assert len(alloc.summary_vars) <= MACHINE.num_registers
+
+    benchmark(lambda: _run_phase1(_context(), config))
+
+
+def test_phase2_timing(benchmark):
+    ctx = _context()
+    config = HierarchicalConfig()
+    allocations, _ = _run_phase1(ctx, config)
+
+    def run_down():
+        import copy
+
+        local = {tid: a for tid, a in allocations.items()}
+        for tile in ctx.tree.preorder():
+            bind_tile(ctx, config, tile, local)
+
+    benchmark(run_down)

@@ -1,0 +1,86 @@
+"""E15 -- allocation-time scaling (Appendix A complexity remarks).
+
+"Execution time [of fix-up] is O(||E|| * h(T)) ... It is expected that
+actual times will not approach this bound in practice.  Execution time of
+finding intervals is O(||E|| + ||N||) and the execution time of finding
+tiles within intervals is dominated by the time to compute the dominator
+relation."
+
+We time tile-tree construction and full allocation on growing programs and
+check growth stays near-linear (doubling the program should far less than
+quadruple the time).
+"""
+
+import time
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.allocators import ChaitinAllocator
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.machine.target import Machine
+from repro.pipeline import Workload, prepare
+from repro.tiles.construction import build_tile_tree_detailed
+from repro.workloads.kernels import sequential_loops
+
+MACHINE = Machine.simple(4)
+
+
+def _time(callable_, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_construction_scaling(benchmark):
+    widths = [8, 8, 12]
+    rows = [fmt_row(["loops", "blocks", "build (ms)"], widths)]
+    times = {}
+    for count in (8, 16, 32, 64):
+        fn = sequential_loops(count)
+        times[count] = _time(lambda fn=fn: build_tile_tree_detailed(fn.clone()))
+        rows.append(fmt_row(
+            [count, len(fn.blocks), round(times[count] * 1e3, 2)], widths
+        ))
+    report("E15_construction_time", rows)
+
+    # Near-linear: 8x the program should cost well under 8^2 = 64x time.
+    assert times[64] < 64 * max(times[8], 1e-4)
+
+    benchmark(lambda: build_tile_tree_detailed(sequential_loops(32)))
+
+
+def test_allocation_scaling(benchmark):
+    config = HierarchicalConfig(max_tile_width=4)
+    widths = [8, 8, 14, 12]
+    rows = [fmt_row(["loops", "blocks", "hier (ms)", "flat (ms)"], widths)]
+    hier_times = {}
+    for count in (8, 16, 32):
+        fn = sequential_loops(count)
+        prepared = prepare(fn.clone())
+
+        def run_hier(prepared=prepared):
+            HierarchicalAllocator(config).allocate(prepared.clone(), MACHINE)
+
+        def run_flat(prepared=prepared):
+            ChaitinAllocator().allocate(prepared.clone(), MACHINE)
+
+        hier_times[count] = _time(run_hier, repeats=2)
+        flat = _time(run_flat, repeats=2)
+        rows.append(fmt_row(
+            [count, len(fn.blocks), round(hier_times[count] * 1e3, 1),
+             round(flat * 1e3, 1)],
+            widths,
+        ))
+    report("E15_allocation_time", rows)
+
+    assert hier_times[32] < 16 * max(hier_times[8], 1e-4)
+
+    prepared = prepare(sequential_loops(16))
+    benchmark(lambda: HierarchicalAllocator(config).allocate(
+        prepared.clone(), MACHINE
+    ))

@@ -1,0 +1,76 @@
+"""E5 -- spill code is placed in less frequently executed blocks.
+
+For each allocator we compute the execution-count-weighted placement of
+spill instructions: the mean dynamic frequency of the blocks that contain
+spill code.  Paper shape: the hierarchical allocator's spill code sits in
+colder blocks than Chaitin's ("spilling occurs in less frequently executed
+portions of the program").
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.allocators import BriggsAllocator, ChaitinAllocator
+from repro.core import HierarchicalAllocator
+from repro.ir.instructions import Opcode
+from repro.machine.target import Machine
+from repro.pipeline import compile_function
+from repro.workloads.figure1 import figure1_workload
+from repro.workloads.kernels import all_kernel_workloads
+
+ALLOCS = [HierarchicalAllocator, ChaitinAllocator, BriggsAllocator]
+
+
+def _placement_stats(result):
+    """(static spill instrs, dynamic spill executions, mean block frequency
+    over spill sites)."""
+    counts = result.allocated_run.profile.block_counts
+    static = 0
+    weighted = 0.0
+    for label, block in result.fn.blocks.items():
+        spills = sum(
+            1 for i in block.instrs if i.op in (Opcode.SPILL_LD, Opcode.SPILL_ST)
+        )
+        if spills:
+            static += spills
+            weighted += spills * counts.get(label, 0)
+    mean_freq = weighted / static if static else 0.0
+    return static, int(weighted), mean_freq
+
+
+def test_spill_placement(benchmark):
+    workloads = all_kernel_workloads(10) + [figure1_workload(10)]
+    machine = Machine.simple(4)
+    widths = [14, 14, 10, 12, 12]
+    rows = [fmt_row(
+        ["workload", "allocator", "static", "dynamic", "mean freq"], widths
+    )]
+    mean_by_alloc = {a.name: [] for a in ALLOCS}
+    for workload in workloads:
+        for allocator_cls in ALLOCS:
+            result = compile_function(workload, allocator_cls(), machine)
+            static, dynamic, mean_freq = _placement_stats(result)
+            if static:
+                mean_by_alloc[allocator_cls.name].append(mean_freq)
+            rows.append(fmt_row(
+                [workload.label(), allocator_cls.name, static, dynamic,
+                 mean_freq],
+                widths,
+            ))
+    summary = {
+        name: (sum(vals) / len(vals) if vals else 0.0)
+        for name, vals in mean_by_alloc.items()
+    }
+    rows.append("")
+    rows.append(fmt_row(["OVERALL", "", "", "", ""], widths))
+    for name, value in summary.items():
+        rows.append(fmt_row(["", name, "", "", value], widths))
+    report("E5_spill_placement", rows)
+
+    # Paper shape: hierarchical spill sites are colder on average.
+    assert summary["hierarchical"] < summary["chaitin"]
+
+    benchmark(lambda: compile_function(
+        figure1_workload(10), HierarchicalAllocator(), machine
+    ))

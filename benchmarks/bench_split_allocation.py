@@ -1,0 +1,97 @@
+"""E9 -- heterogeneous per-region allocation.
+
+"The method allows a variable to be assigned to one register over a portion
+of the program, memory in a second portion, and a different register in yet
+a third portion."  We count, per workload, the variables whose location
+differs across tiles, split into register/memory splits and register/
+register renamings, and exhibit the section-2 motivating scenarios.
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.core import MEM, HierarchicalAllocator
+from repro.machine.target import Machine
+from repro.pipeline import compile_function
+from repro.workloads.figure1 import figure1_workload
+from repro.workloads.kernels import all_kernel_workloads
+
+MACHINE = Machine.simple(4)
+
+
+def _location_profile(allocator):
+    """var -> set of locations across tiles (registers and/or MEM)."""
+    locations = {}
+    for alloc in allocator.last_allocations.values():
+        for var, loc in alloc.phys.items():
+            if var.startswith(("ts:", "tmp:")):
+                continue
+            locations.setdefault(var, set()).add(loc)
+    return locations
+
+
+def test_split_allocation_census(benchmark):
+    widths = [16, 8, 12, 12, 12]
+    rows = [fmt_row(
+        ["workload", "vars", "reg+mem", "multi-reg", "uniform"], widths
+    )]
+    total_split = 0
+    for workload in all_kernel_workloads(8) + [figure1_workload(10)]:
+        allocator = HierarchicalAllocator()
+        compile_function(workload, allocator, MACHINE)
+        locations = _location_profile(allocator)
+        reg_mem = multi_reg = uniform = 0
+        for var, locs in locations.items():
+            regs = {l for l in locs if l != MEM}
+            if MEM in locs and regs:
+                reg_mem += 1
+            elif len(regs) > 1:
+                multi_reg += 1
+            else:
+                uniform += 1
+        total_split += reg_mem + multi_reg
+        rows.append(fmt_row(
+            [workload.label(), len(locations), reg_mem, multi_reg, uniform],
+            widths,
+        ))
+    report("E9_split_census", rows)
+
+    assert total_split > 0, "expected heterogeneous allocations somewhere"
+
+    benchmark(lambda: compile_function(
+        figure1_workload(10), HierarchicalAllocator(), MACHINE
+    ))
+
+
+def test_figure1_variables_split(benchmark):
+    """In Figure 1 specifically: g2 must be in memory around the first loop
+    but in a register inside the second (and symmetrically for g1)."""
+    allocator = HierarchicalAllocator()
+    compile_function(figure1_workload(10), allocator, MACHINE)
+    ctx = allocator.last_context
+    allocations = allocator.last_allocations
+
+    loop1 = next(
+        t for t in ctx.tree.preorder()
+        if t.kind == "loop" and t.header == "B2"
+    )
+    loop2 = next(
+        t for t in ctx.tree.preorder()
+        if t.kind == "loop" and t.header == "B3"
+    )
+    rows = []
+    for var in ("g1", "g2"):
+        in1 = allocations[loop1.tid].phys.get(var, "(absent)")
+        in2 = allocations[loop2.tid].phys.get(var, "(absent)")
+        rows.append(f"{var}: loop1={in1}  loop2={in2}")
+    report("E9_figure1_locations", rows)
+
+    # g2 holds a register in loop 2 (it is used there).
+    g2_loop2 = allocations[loop2.tid].phys.get("g2")
+    assert g2_loop2 not in (None, MEM)
+    # g1 holds a register in loop 1.
+    g1_loop1 = allocations[loop1.tid].phys.get("g1")
+    assert g1_loop1 not in (None, MEM)
+
+    benchmark(lambda: None)

@@ -1,0 +1,95 @@
+"""E3 -- tile-tree construction and the Figure 3 fix-up.
+
+Counts edge violations before fix-up and blocks inserted by each of the
+three fix-up passes across random structured programs, and validates every
+resulting tree against the section-2 legality conditions.  Also times
+construction itself (the paper bounds it by O(|E| * h(T))).
+"""
+
+import pytest
+
+from conftest import fmt_row, report
+
+from repro.tiles.construction import TileTreeOptions, build_tile_tree_detailed
+from repro.tiles.validate import validate_tile_tree
+from repro.workloads.generators import random_program
+from repro.workloads.kernels import all_kernel_workloads
+
+SEEDS = range(20)
+
+
+def test_fixup_statistics(benchmark):
+    widths = [8, 8, 8, 8, 8, 8, 8]
+    rows = [fmt_row(
+        ["seed", "blocks", "tiles", "height", "sibling", "exit", "entry"],
+        widths,
+    )]
+    totals = [0, 0, 0]
+    for seed in SEEDS:
+        fn = random_program(seed, max_blocks=40, max_depth=4, break_prob=0.35)
+        before = len(fn.blocks)
+        build = build_tile_tree_detailed(fn)
+        validate_tile_tree(build.tree)
+        stats = build.fixup
+        totals[0] += stats.sibling_blocks
+        totals[1] += stats.exit_blocks
+        totals[2] += stats.entry_blocks
+        rows.append(fmt_row(
+            [seed, before, len(build.tree), build.tree.height(),
+             stats.sibling_blocks, stats.exit_blocks, stats.entry_blocks],
+            widths,
+        ))
+    rows.append("")
+    rows.append(
+        f"total inserted: sibling={totals[0]} exit={totals[1]} "
+        f"entry={totals[2]}"
+    )
+    report("E3_fixup", rows)
+
+    # Break-ful programs must need fix-up somewhere in this sample.
+    assert sum(totals) > 0
+
+    benchmark(lambda: build_tile_tree_detailed(
+        random_program(3, max_blocks=40, max_depth=4, break_prob=0.35)
+    ))
+
+
+def test_kernel_tree_shapes(benchmark):
+    widths = [14, 7, 7, 8, 8]
+    rows = [fmt_row(
+        ["workload", "tiles", "height", "loops", "conds"], widths
+    )]
+    for workload in all_kernel_workloads(6):
+        build = build_tile_tree_detailed(workload.fn.clone())
+        validate_tile_tree(build.tree)
+        kinds = [t.kind for t in build.tree.preorder()]
+        rows.append(fmt_row(
+            [workload.label(), len(build.tree), build.tree.height(),
+             kinds.count("loop"), kinds.count("cond")],
+            widths,
+        ))
+    report("E3_kernel_trees", rows)
+
+    benchmark(lambda: build_tile_tree_detailed(
+        all_kernel_workloads(6)[2].fn.clone()
+    ))
+
+
+def test_loops_only_vs_full_hierarchy(benchmark):
+    """Including conditionals increases tile count (finer structure) --
+    the prerequisite for the paper's section-2 argument."""
+    full = cond = 0
+    for workload in all_kernel_workloads(6):
+        full += len(build_tile_tree_detailed(workload.fn.clone()).tree)
+        cond += len(
+            build_tile_tree_detailed(
+                workload.fn.clone(), TileTreeOptions(conditional_tiles=False)
+            ).tree
+        )
+    report("E3_hierarchy_depth", [
+        f"tiles with conditionals: {full}",
+        f"tiles loops-only:        {cond}",
+    ])
+    assert full >= cond
+
+    benchmark(lambda: None)

@@ -1,0 +1,51 @@
+"""Allocate the numeric-kernel suite with every allocator.
+
+A miniature of bench E4: dynamic spill traffic per kernel, per allocator,
+per register count.  Run with::
+
+    python examples/loop_kernels.py [registers ...]
+"""
+
+import sys
+
+from repro.allocators import (
+    BriggsAllocator,
+    ChaitinAllocator,
+    LocalAllocator,
+    NaiveMemoryAllocator,
+)
+from repro.core import HierarchicalAllocator
+from repro.machine.target import Machine
+from repro.pipeline import compile_function
+from repro.workloads.kernels import all_kernel_workloads
+
+ALLOCATORS = [
+    HierarchicalAllocator,
+    ChaitinAllocator,
+    BriggsAllocator,
+    LocalAllocator,
+    NaiveMemoryAllocator,
+]
+
+
+def main(register_counts):
+    names = [cls.name for cls in ALLOCATORS]
+    header = f"{'workload':14} {'R':>3}  " + "  ".join(
+        f"{n:>12}" for n in names
+    )
+    for registers in register_counts:
+        machine = Machine.simple(registers)
+        print(header)
+        for workload in all_kernel_workloads(10):
+            cells = []
+            for allocator_cls in ALLOCATORS:
+                result = compile_function(workload, allocator_cls(), machine)
+                overhead = result.spill_refs + result.moves
+                cells.append(f"{overhead:>12}")
+            print(f"{workload.label():14} {registers:>3}  " + "  ".join(cells))
+        print()
+
+
+if __name__ == "__main__":
+    counts = [int(a) for a in sys.argv[1:]] or [4, 8]
+    main(counts)

@@ -1,0 +1,95 @@
+"""Profile-guided allocation and shrink wrapping.
+
+Demonstrates the paper's section-6 claims end to end:
+
+1. the simulator doubles as a profiler;
+2. measured frequencies slot straight into the spill metrics
+   ("profiling information can be trivially incorporated");
+3. on a quick-return function with callee-save registers, the profile
+   reveals the cold slow path and the allocator shrink-wraps: the fast
+   path executes *zero* callee-save saves/restores.
+
+Run with::
+
+    python examples/profile_guided.py
+"""
+
+from repro.allocators import ChaitinAllocator
+from repro.analysis.frequency import frequencies_from_profile
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.machine.calls import with_callee_save
+from repro.machine.simulator import simulate
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compile_function
+from repro.workloads.kernels import hot_cold, quick_return
+
+
+def skewed_hot_cold():
+    n = 30
+    data = [i * 7 + 1 for i in range(n)]  # hot path except...
+    data[n // 2] = 7                      # ...exactly one cold hit
+    return Workload(
+        hot_cold(), {"n": n},
+        {"A": data, "B": list(range(n)), "C": list(range(n))},
+        name="hot_cold",
+    )
+
+
+def demo_hot_cold():
+    print("=== hot/cold loop: static estimate vs measured profile ===")
+    workload = skewed_hot_cold()
+    machine = Machine.simple(4)
+
+    static = compile_function(workload, HierarchicalAllocator(), machine)
+
+    profile = simulate(
+        workload.fn, args=workload.args, arrays=workload.arrays
+    ).profile
+    freq = frequencies_from_profile(workload.fn, profile)
+    guided = compile_function(
+        workload,
+        HierarchicalAllocator(HierarchicalConfig(frequencies=freq)),
+        machine,
+    )
+    print(f"  static estimate:  {static.spill_refs} dynamic spill refs")
+    print(f"  profile guided:   {guided.spill_refs} dynamic spill refs")
+    print()
+
+
+def demo_shrink_wrapping():
+    print("=== quick-return + callee-save registers (shrink wrapping) ===")
+    machine = Machine.with_linkage(6, num_callee_save=2, num_args=2)
+    fn = with_callee_save(quick_return(), machine)
+
+    # Train on a 90% fast / 10% slow call mix.
+    profile = None
+    for n in [0] * 9 + [5]:
+        run = simulate(
+            fn, args={"n": n, "R4": 1, "R5": 2}, arrays={"A": [1, 2, 3, 4, 5]}
+        )
+        profile = run.profile if profile is None else profile.merge(run.profile)
+    freq = frequencies_from_profile(fn, profile)
+
+    hier = HierarchicalAllocator(HierarchicalConfig(frequencies=freq))
+    chaitin = ChaitinAllocator()
+    for n, label in ((0, "fast path"), (5, "slow path")):
+        workload = Workload(
+            fn, {"n": n, "R4": 1, "R5": 2},
+            {"A": [1, 2, 3, 4, 5]}, name=label,
+        )
+        h = compile_function(workload, hier, machine)
+        c = compile_function(workload, chaitin, machine)
+        print(f"  {label}: hierarchical {h.spill_refs} spill refs, "
+              f"chaitin (always-save) {c.spill_refs}")
+    print()
+    print("  The hierarchical allocator only saves the callee-save")
+    print("  registers on entry to the region that actually uses them.")
+
+
+def main():
+    demo_hot_cold()
+    demo_shrink_wrapping()
+
+
+if __name__ == "__main__":
+    main()

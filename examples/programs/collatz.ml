@@ -1,0 +1,10 @@
+# Collatz step counter in MiniLang.
+# Try: python -m repro allocate examples/programs/collatz.ml --registers 3 --arg x=27
+func collatz(x) {
+    var steps = 0;
+    while (x != 1) {
+        if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+        steps = steps + 1;
+    }
+    return steps;
+}

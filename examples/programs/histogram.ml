@@ -1,0 +1,17 @@
+# Bucket histogram in MiniLang.
+# Try: python -m repro run examples/programs/histogram.ml --arg n=6 --array A=3,11,4,3,9,3
+func histogram(n) {
+    var i = 0;
+    while (i < n) {
+        var bucket = A[i] % 8;
+        B[bucket] = B[bucket] + 1;
+        i = i + 1;
+    }
+    var best = 0;
+    var k = 0;
+    while (k < 8) {
+        if (B[k] > best) { best = B[k]; }
+        k = k + 1;
+    }
+    return best;
+}

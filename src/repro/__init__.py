@@ -1,0 +1,46 @@
+"""Register Allocation via Hierarchical Graph Coloring.
+
+A reproduction of Callahan & Koblenz (PLDI 1991): the tile-tree register
+allocator, the substrate it needs (toy IR, simulator, analyses, coloring),
+and the baselines it is measured against.
+
+Top-level convenience re-exports::
+
+    from repro import (
+        FunctionBuilder, Machine, Workload, compile_function,
+        HierarchicalAllocator, HierarchicalConfig,
+        ChaitinAllocator, BriggsAllocator,
+    )
+"""
+
+from repro.allocators import (
+    BriggsAllocator,
+    ChaitinAllocator,
+    LocalAllocator,
+    NaiveMemoryAllocator,
+)
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.ir import FunctionBuilder, format_function, parse_function
+from repro.machine.simulator import simulate
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compare_allocators, compile_function
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FunctionBuilder",
+    "Machine",
+    "Workload",
+    "compile_function",
+    "compare_allocators",
+    "simulate",
+    "format_function",
+    "parse_function",
+    "HierarchicalAllocator",
+    "HierarchicalConfig",
+    "ChaitinAllocator",
+    "BriggsAllocator",
+    "LocalAllocator",
+    "NaiveMemoryAllocator",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Register allocators: the hierarchical contribution lives in
+:mod:`repro.core`; this package holds the common interface and the
+comparison baselines the paper discusses (Chaitin, Chaitin-Briggs, plus an
+all-memory straw man and a single-block local allocator)."""
+
+from repro.allocators.base import AllocationOutcome, Allocator, AllocStats
+from repro.allocators.chaitin import ChaitinAllocator, BriggsAllocator
+from repro.allocators.naive import NaiveMemoryAllocator
+from repro.allocators.local_alloc import LocalAllocator
+
+__all__ = [
+    "AllocationOutcome",
+    "Allocator",
+    "AllocStats",
+    "ChaitinAllocator",
+    "BriggsAllocator",
+    "NaiveMemoryAllocator",
+    "LocalAllocator",
+]

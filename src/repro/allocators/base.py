@@ -1,0 +1,94 @@
+"""Common allocator interface and result types."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.ir.function import Function
+from repro.machine.target import Machine
+
+
+@dataclass
+class AllocStats:
+    """What an allocation run did (static facts, not dynamic counts).
+
+    Attributes:
+        spilled_vars: variables that live in memory somewhere in the
+            output (for the hierarchical allocator: in at least one tile).
+        iterations: coloring rounds (Chaitin iterates on spill temps; the
+            hierarchical allocator reports 1 plus any recolor rounds).
+        max_graph_nodes / max_graph_edges: size of the largest single
+            interference graph ever built (the paper's claim E6: tiles keep
+            this small).
+        total_graph_nodes: summed size of all graphs built.
+        static_spill_loads / static_spill_stores / static_moves: inserted
+            instruction counts.
+        spill_block_labels: blocks containing spill code, for the
+            placement experiment E5.
+        extra: allocator-specific diagnostics.
+    """
+
+    spilled_vars: Set[str] = field(default_factory=set)
+    iterations: int = 0
+    max_graph_nodes: int = 0
+    max_graph_edges: int = 0
+    total_graph_nodes: int = 0
+    static_spill_loads: int = 0
+    static_spill_stores: int = 0
+    static_moves: int = 0
+    spill_block_labels: Set[str] = field(default_factory=set)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def observe_graph(self, nodes: int, edges: int) -> None:
+        self.max_graph_nodes = max(self.max_graph_nodes, nodes)
+        self.max_graph_edges = max(self.max_graph_edges, edges)
+        self.total_graph_nodes += nodes
+
+
+@dataclass
+class AllocationOutcome:
+    """A rewritten physical-register function plus bookkeeping."""
+
+    fn: Function
+    machine: Machine
+    stats: AllocStats
+
+    @property
+    def allocated_fn(self) -> Function:
+        return self.fn
+
+
+class Allocator(abc.ABC):
+    """Interface shared by all allocators.
+
+    ``allocate`` consumes a *virtual-register* function (ideally already
+    renamed into webs -- the pipeline does this) and produces a function
+    whose every operand is a physical register, with spill code inserted.
+    """
+
+    name: str = "allocator"
+
+    @abc.abstractmethod
+    def allocate(self, fn: Function, machine: Machine) -> AllocationOutcome:
+        """Allocate registers for *fn* on *machine*."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def record_spill_blocks(fn: Function, stats: AllocStats) -> None:
+    """Fill static spill counts and spill-block set from the final IR."""
+    from repro.ir.instructions import Opcode
+
+    for block in fn.blocks.values():
+        for instr in block.instrs:
+            if instr.op is Opcode.SPILL_LD:
+                stats.static_spill_loads += 1
+                stats.spill_block_labels.add(block.label)
+            elif instr.op is Opcode.SPILL_ST:
+                stats.static_spill_stores += 1
+                stats.spill_block_labels.add(block.label)
+            elif instr.op is Opcode.MOVE:
+                stats.static_moves += 1

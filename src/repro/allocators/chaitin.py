@@ -1,0 +1,146 @@
+"""Flat graph-coloring allocators: Chaitin (PLDI'82) and Chaitin-Briggs
+(PLDI'89).
+
+These are the baselines the paper positions itself against.  One whole-
+program interference graph is built; spill costs are weighted reference
+counts over the entire program ("the program flow structure is not
+represented in the interference graph and local reference patterns are not
+visible"); a spilled variable stays in memory *everywhere* -- every use
+reloads, every definition stores back.
+
+The two variants share all machinery and differ only in spill timing:
+
+* **Chaitin**: pessimistic -- a node picked as spill candidate during
+  simplify is spilled immediately;
+* **Briggs**: optimistic -- every node is pushed and spilling happens only
+  if no color is available at select time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.allocators.base import (
+    AllocationOutcome,
+    Allocator,
+    AllocStats,
+    record_spill_blocks,
+)
+from repro.analysis.frequency import FrequencyInfo, estimate_frequencies
+from repro.analysis.liveness import compute_liveness
+from repro.graph.coloring import color_graph
+from repro.graph.interference import build_interference
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.machine.rewrite import apply_assignment, rewrite_spilled
+from repro.machine.target import Machine
+
+#: Safety bound on spill iterations; real programs converge in 2-4 rounds.
+MAX_ITERATIONS = 32
+
+
+class ChaitinAllocator(Allocator):
+    """Whole-program graph coloring with spill-everywhere semantics."""
+
+    name = "chaitin"
+    optimistic = False
+
+    def __init__(
+        self,
+        frequencies: Optional[FrequencyInfo] = None,
+        reuse_within_block: bool = True,
+    ) -> None:
+        """Args:
+            frequencies: block frequencies for spill costs; defaults to the
+                static estimator (same source the hierarchical allocator
+                uses, keeping comparisons fair).
+            reuse_within_block: apply the classic local cleanup that reuses
+                a reloaded value within one basic block (both Chaitin and
+                Bernstein describe this; disabling it is an ablation).
+        """
+        self._frequencies = frequencies
+        self._reuse_within_block = reuse_within_block
+
+    def allocate(self, fn: Function, machine: Machine) -> AllocationOutcome:
+        stats = AllocStats()
+        freq = self._frequencies or estimate_frequencies(fn)
+        current = fn
+        never_spill: Set[str] = set()
+        spilled_vars: Set[str] = set()
+
+        for iteration in range(1, MAX_ITERATIONS + 1):
+            stats.iterations = iteration
+            liveness = compute_liveness(current)
+            graph = build_interference(current, liveness)
+            # Parameters are defined by the call, not by an instruction, so
+            # the def-point construction misses their mutual conflicts:
+            # everything live into the start block coexists at entry.
+            graph.add_clique(liveness.live_in[current.start_label])
+            stats.observe_graph(len(graph), graph.edge_count())
+
+            priorities = _weighted_ref_counts(current, freq)
+            pref_pairs = _copy_pairs(current)
+            from repro.ir.instructions import is_phys
+
+            precolored = {v: v for v in graph.nodes() if is_phys(v)}
+            result = color_graph(
+                graph,
+                k=machine.num_registers,
+                color_order=machine.registers,
+                priorities=priorities,
+                precolored=precolored,
+                pref_pairs=pref_pairs,
+                never_spill=never_spill,
+                pessimistic=not self.optimistic,
+            )
+            if not result.spilled:
+                allocated = apply_assignment(current, result.assignment)
+                record_spill_blocks(allocated, stats)
+                stats.spilled_vars = spilled_vars
+                stats.extra["colors_used"] = len(result.used_colors)
+                return AllocationOutcome(allocated, machine, stats)
+
+            spilled_vars |= result.spilled
+            # Within-block reuse only on the first round: re-caching a
+            # spilled reload temp would recreate the same multi-instruction
+            # range and need not converge.
+            current, temps = rewrite_spilled(
+                current, result.spilled,
+                reuse_within_block=self._reuse_within_block and iteration == 1,
+            )
+            # Operand temporaries must not spill again; their live ranges
+            # are single instructions so they are always colorable when the
+            # machine has enough registers for one instruction's operands.
+            never_spill |= temps
+
+        raise RuntimeError(
+            f"{self.name}: no fixed point after {MAX_ITERATIONS} iterations"
+        )
+
+
+class BriggsAllocator(ChaitinAllocator):
+    """Chaitin with Briggs' optimistic coloring."""
+
+    name = "briggs"
+    optimistic = True
+
+
+def _weighted_ref_counts(fn: Function, freq: FrequencyInfo) -> Dict[str, float]:
+    """Spill cost: sum over blocks of Prob(b) * Refs_b(v), whole program."""
+    costs: Dict[str, float] = {}
+    for label, block in fn.blocks.items():
+        weight = freq.prob_block(label)
+        for instr in block.instrs:
+            for var in instr.defs + instr.uses:
+                costs[var] = costs.get(var, 0.0) + weight
+    return costs
+
+
+def _copy_pairs(fn: Function):
+    """Preference pairs from simple assignments (copy instructions)."""
+    pairs = []
+    for block in fn.blocks.values():
+        for instr in block.instrs:
+            if instr.op in (Opcode.COPY, Opcode.MOVE) and instr.defs and instr.uses:
+                pairs.append((instr.defs[0], instr.uses[0]))
+    return pairs

@@ -1,0 +1,29 @@
+"""Program analyses feeding the allocators.
+
+* :mod:`repro.analysis.dominators` -- dominator / post-dominator trees
+* :mod:`repro.analysis.liveness` -- live variable analysis
+* :mod:`repro.analysis.loops` -- loop nesting forest (intervals)
+* :mod:`repro.analysis.renaming` -- live-range renaming into webs
+* :mod:`repro.analysis.frequency` -- block/edge execution probabilities
+"""
+
+from repro.analysis.dominators import DomTree, compute_dominators, compute_postdominators
+from repro.analysis.liveness import Liveness, compute_liveness
+from repro.analysis.loops import Loop, LoopForest, build_loop_forest
+from repro.analysis.renaming import rename_webs
+from repro.analysis.frequency import FrequencyInfo, estimate_frequencies, frequencies_from_profile
+
+__all__ = [
+    "DomTree",
+    "compute_dominators",
+    "compute_postdominators",
+    "Liveness",
+    "compute_liveness",
+    "Loop",
+    "LoopForest",
+    "build_loop_forest",
+    "rename_webs",
+    "FrequencyInfo",
+    "estimate_frequencies",
+    "frequencies_from_profile",
+]

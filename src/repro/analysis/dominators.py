@@ -1,0 +1,158 @@
+"""Dominator and post-dominator trees.
+
+Implements the Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm") over arbitrary successor maps so the same code serves
+both the whole CFG and the per-interval graphs used by tile construction
+(paper Appendix A computes dominators of coalesced interval graphs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set
+
+Node = Hashable
+
+
+class DomTree:
+    """An (immediate-)dominator tree over a node set.
+
+    ``idom[root] == root`` by convention.  Unreachable nodes are absent.
+    """
+
+    def __init__(self, root: Node, idom: Dict[Node, Node], rpo: Sequence[Node]):
+        self.root = root
+        self.idom = idom
+        self.rpo_order: List[Node] = list(rpo)
+        self._rpo_index = {n: i for i, n in enumerate(self.rpo_order)}
+        self._children: Dict[Node, List[Node]] = {n: [] for n in idom}
+        for node, parent in idom.items():
+            if node != root:
+                self._children[parent].append(node)
+        self._depth: Dict[Node, int] = {}
+        # Euler-tour interval labels make dominates() O(1): a dominates b
+        # iff a's [tin, tout) interval contains b's tin.
+        self._tin: Dict[Node, int] = {}
+        self._tout: Dict[Node, int] = {}
+        self._compute_depths_and_intervals()
+
+    def _compute_depths_and_intervals(self) -> None:
+        self._depth[self.root] = 0
+        clock = 0
+        stack: List[tuple] = [(self.root, False)]
+        while stack:
+            node, leaving = stack.pop()
+            if leaving:
+                self._tout[node] = clock
+                continue
+            self._tin[node] = clock
+            clock += 1
+            stack.append((node, True))
+            for child in self._children[node]:
+                self._depth[child] = self._depth[node] + 1
+                stack.append((child, False))
+
+    def children(self, node: Node) -> List[Node]:
+        return list(self._children.get(node, ()))
+
+    def depth(self, node: Node) -> int:
+        return self._depth[node]
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.idom
+
+    def dominates(self, a: Node, b: Node) -> bool:
+        """True if *a* dominates *b* (reflexive); O(1) via tour intervals."""
+        return self._tin[a] <= self._tin[b] < self._tout[a]
+
+    def strictly_dominates(self, a: Node, b: Node) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def walk_up(self, node: Node) -> Iterable[Node]:
+        """Yield node, idom(node), ... up to and including the root."""
+        while True:
+            yield node
+            parent = self.idom[node]
+            if parent == node:
+                return
+            node = parent
+
+
+def _generic_rpo(root: Node, succs: Mapping[Node, Sequence[Node]]) -> List[Node]:
+    seen: Set[Node] = {root}
+    order: List[Node] = []
+    stack = [(root, iter(succs.get(root, ())))]
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, iter(succs.get(nxt, ()))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def compute_idoms(
+    root: Node, succs: Mapping[Node, Sequence[Node]]
+) -> DomTree:
+    """Dominator tree of the graph given by *succs*, rooted at *root*.
+
+    Nodes unreachable from *root* are ignored.
+    """
+    rpo = _generic_rpo(root, succs)
+    index = {n: i for i, n in enumerate(rpo)}
+    preds: Dict[Node, List[Node]] = {n: [] for n in rpo}
+    for node in rpo:
+        for nxt in succs.get(node, ()):
+            if nxt in index:
+                preds[nxt].append(node)
+
+    idom: Dict[Node, Optional[Node]] = {n: None for n in rpo}
+    idom[root] = root
+
+    def intersect(a: Node, b: Node) -> Node:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == root:
+                continue
+            candidates = [p for p in preds[node] if idom[p] is not None]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    final = {n: d for n, d in idom.items() if d is not None}
+    return DomTree(root, final, rpo)
+
+
+def compute_dominators(fn) -> DomTree:
+    """Dominator tree of a :class:`~repro.ir.function.Function`."""
+    succs = {label: list(block.succ_labels) for label, block in fn.blocks.items()}
+    return compute_idoms(fn.start_label, succs)
+
+
+def compute_postdominators(fn) -> DomTree:
+    """Post-dominator tree (dominators of the reversed CFG from stop)."""
+    preds: Dict[Node, List[Node]] = {label: [] for label in fn.blocks}
+    for label, block in fn.blocks.items():
+        for succ in block.succ_labels:
+            preds[succ].append(label)
+    return compute_idoms(fn.stop_label, preds)

@@ -1,0 +1,127 @@
+"""Live-variable analysis.
+
+Classic backward iterative dataflow over the CFG.  Besides block-level
+``live_in``/``live_out`` sets the module exposes per-instruction live sets
+(needed by interference construction) and per-edge liveness (needed to place
+spill code on tile entry/exit edges, where the paper's ``Live_e(v)`` term is
+evaluated).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+
+
+class Liveness:
+    """Result of live-variable analysis on one function."""
+
+    def __init__(
+        self,
+        fn: Function,
+        live_in: Dict[str, FrozenSet[str]],
+        live_out: Dict[str, FrozenSet[str]],
+    ) -> None:
+        self._fn = fn
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_on_edge(self, src: str, dst: str) -> FrozenSet[str]:
+        """Variables live along control edge ``src -> dst``.
+
+        Without phi nodes this is exactly ``live_in(dst)``; the paper's
+        ``Live_e(v)`` predicate is membership in this set.
+        """
+        return self.live_in[dst]
+
+    def instr_live_out(self, label: str) -> List[FrozenSet[str]]:
+        """For each instruction in block *label*, the set of variables live
+        immediately *after* it (the set interference construction needs at
+        each definition point)."""
+        block = self._fn.blocks[label]
+        live: Set[str] = set(self.live_out[label])
+        out: List[FrozenSet[str]] = [frozenset()] * len(block.instrs)
+        for i in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[i]
+            out[i] = frozenset(live)
+            live.difference_update(instr.defs)
+            live.update(instr.uses)
+        return out
+
+    def instr_live_in(self, label: str) -> List[FrozenSet[str]]:
+        """Variables live immediately *before* each instruction."""
+        block = self._fn.blocks[label]
+        live: Set[str] = set(self.live_out[label])
+        result: List[FrozenSet[str]] = [frozenset()] * len(block.instrs)
+        for i in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[i]
+            live.difference_update(instr.defs)
+            live.update(instr.uses)
+            result[i] = frozenset(live)
+        return result
+
+    def live_through_blocks(self, labels) -> FrozenSet[str]:
+        """Variables live into or out of any block in *labels*."""
+        out: Set[str] = set()
+        for label in labels:
+            out.update(self.live_in[label])
+            out.update(self.live_out[label])
+        return frozenset(out)
+
+
+def block_use_def(block) -> Tuple[Set[str], Set[str]]:
+    """(upward-exposed uses, defs) of a block."""
+    uses: Set[str] = set()
+    defs: Set[str] = set()
+    for instr in block.instrs:
+        for u in instr.uses:
+            if u not in defs:
+                uses.add(u)
+        defs.update(instr.defs)
+    return uses, defs
+
+
+def compute_liveness(fn: Function) -> Liveness:
+    """Iterative backward live-variable analysis."""
+    use_map: Dict[str, Set[str]] = {}
+    def_map: Dict[str, Set[str]] = {}
+    for label, block in fn.blocks.items():
+        uses, defs = block_use_def(block)
+        use_map[label] = uses
+        def_map[label] = defs
+
+    live_in: Dict[str, Set[str]] = {label: set() for label in fn.blocks}
+    live_out: Dict[str, Set[str]] = {label: set() for label in fn.blocks}
+
+    # Process in reverse RPO for fast convergence; include unreachable
+    # blocks afterwards so partially-built functions still analyze.
+    order = fn.rpo()
+    order_set = set(order)
+    order += [label for label in fn.blocks if label not in order_set]
+    worklist = list(reversed(order))
+    in_worklist = set(worklist)
+    preds = fn.predecessors_map()
+
+    while worklist:
+        label = worklist.pop()
+        in_worklist.discard(label)
+        block = fn.blocks[label]
+        new_out: Set[str] = set()
+        for succ in block.succ_labels:
+            new_out.update(live_in[succ])
+        new_in = use_map[label] | (new_out - def_map[label])
+        if new_out != live_out[label] or new_in != live_in[label]:
+            live_out[label] = new_out
+            live_in[label] = new_in
+            for pred in preds[label]:
+                if pred not in in_worklist:
+                    worklist.append(pred)
+                    in_worklist.add(pred)
+
+    return Liveness(
+        fn,
+        {label: frozenset(s) for label, s in live_in.items()},
+        {label: frozenset(s) for label, s in live_out.items()},
+    )

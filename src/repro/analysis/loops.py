@@ -1,0 +1,218 @@
+"""Loop nesting forest (the paper's interval structure).
+
+Appendix A builds tiles starting "with a tile graph corresponding to the
+control flow graph" and identifies "the loop structure based on intervals in
+the flow graph".  We compute an equivalent nesting forest with an SCC-based
+recursion (Bourdoncle-style) that handles irreducible regions the way the
+paper prescribes: all blocks of an irreducible loop reached by forward edges
+are "combined in the tile tree and treated as a single summary loop top".
+
+Each non-trivial strongly connected region becomes a :class:`Loop`; nesting
+is discovered by deleting the edges entering the loop's header(s) and
+recursing on the remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+
+Node = Hashable
+
+
+class Loop:
+    """A (possibly irreducible) loop.
+
+    Attributes:
+        header: the loop-top block.  For irreducible loops this is the
+            summary entry chosen among the multiple entries (first in RPO);
+            ``entries`` lists them all.
+        blocks: all blocks belonging to the loop, including inner loops.
+        entries: blocks inside the loop targeted by edges from outside.
+        parent: enclosing loop or ``None`` for top-level loops.
+        children: directly nested loops.
+        depth: nesting depth, 1 for top-level loops.
+        irreducible: True when the region has multiple entries.
+    """
+
+    def __init__(
+        self,
+        header: Node,
+        blocks: FrozenSet[Node],
+        entries: Tuple[Node, ...],
+        irreducible: bool,
+    ) -> None:
+        self.header = header
+        self.blocks = blocks
+        self.entries = entries
+        self.irreducible = irreducible
+        self.parent: Optional["Loop"] = None
+        self.children: List["Loop"] = []
+        self.depth = 1
+
+    def own_blocks(self) -> Set[Node]:
+        """Blocks in this loop but not in any child loop."""
+        out = set(self.blocks)
+        for child in self.children:
+            out -= child.blocks
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "irreducible " if self.irreducible else ""
+        return f"<{kind}Loop header={self.header} depth={self.depth} |blocks|={len(self.blocks)}>"
+
+
+class LoopForest:
+    """All loops of a function, with nesting resolved."""
+
+    def __init__(self, loops: List[Loop], fn_blocks: Sequence[Node]) -> None:
+        self.loops = loops
+        self.top_level = [l for l in loops if l.parent is None]
+        self._depth: Dict[Node, int] = {b: 0 for b in fn_blocks}
+        self._innermost: Dict[Node, Optional[Loop]] = {b: None for b in fn_blocks}
+        for loop in loops:
+            for block in loop.blocks:
+                if loop.depth > self._depth.get(block, 0):
+                    self._depth[block] = loop.depth
+                    self._innermost[block] = loop
+
+    def loop_depth(self, block: Node) -> int:
+        """Nesting depth of *block* (0 if in no loop)."""
+        return self._depth.get(block, 0)
+
+    def innermost_loop(self, block: Node) -> Optional[Loop]:
+        return self._innermost.get(block)
+
+    def headers(self) -> Set[Node]:
+        return {l.header for l in self.loops}
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def __iter__(self):
+        return iter(self.loops)
+
+
+def _tarjan_sccs(
+    nodes: Sequence[Node], succs: Mapping[Node, Sequence[Node]]
+) -> List[List[Node]]:
+    """Strongly connected components (iterative Tarjan), in reverse
+    topological order of the condensation."""
+    index: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    result: List[List[Node]] = []
+    counter = [0]
+    node_set = set(nodes)
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[Node, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work.pop()
+            if child_idx == 0:
+                index[node] = counter[0]
+                lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = [s for s in succs.get(node, ()) if s in node_set]
+            for i in range(child_idx, len(children)):
+                child = children[i]
+                if child not in index:
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                scc: List[Node] = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    scc.append(top)
+                    if top == node:
+                        break
+                result.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return result
+
+
+def _find_loops(
+    nodes: Sequence[Node],
+    succs: Mapping[Node, Sequence[Node]],
+    preds: Mapping[Node, Sequence[Node]],
+    rpo_index: Mapping[Node, int],
+    parent: Optional[Loop],
+    out: List[Loop],
+) -> None:
+    node_set = set(nodes)
+    for scc in _tarjan_sccs(nodes, succs):
+        scc_set = set(scc)
+        if len(scc) == 1:
+            node = scc[0]
+            if node not in succs.get(node, ()):
+                # Not a self-loop: trivial SCC, not a loop.
+                continue
+        # Entries: targets of edges from outside the SCC (or the subgraph
+        # root, which has no preds inside this node set).
+        entries = sorted(
+            {
+                n
+                for n in scc_set
+                if any(p not in scc_set for p in preds.get(n, ()))
+                or not list(preds.get(n, ()))
+            },
+            key=lambda n: rpo_index.get(n, 1 << 30),
+        )
+        if not entries:
+            entries = sorted(scc_set, key=lambda n: rpo_index.get(n, 1 << 30))[:1]
+        irreducible = len(entries) > 1
+        loop = Loop(entries[0], frozenset(scc_set), tuple(entries), irreducible)
+        loop.parent = parent
+        if parent is not None:
+            parent.children.append(loop)
+            loop.depth = parent.depth + 1
+        out.append(loop)
+
+        # Recurse into the loop body with edges entering the header(s)
+        # removed, exposing inner loops.
+        entry_set = set(entries)
+        inner_nodes = [n for n in nodes if n in scc_set]
+        inner_succs = {
+            n: [s for s in succs.get(n, ()) if s in scc_set and s not in entry_set]
+            for n in inner_nodes
+        }
+        inner_preds: Dict[Node, List[Node]] = {n: [] for n in inner_nodes}
+        for n, ss in inner_succs.items():
+            for s in ss:
+                inner_preds[s].append(n)
+        _find_loops(inner_nodes, inner_succs, inner_preds, rpo_index, loop, out)
+
+
+def build_loop_forest(fn) -> LoopForest:
+    """Loop nesting forest of a :class:`~repro.ir.function.Function`."""
+    rpo = fn.rpo()
+    rpo_index = {label: i for i, label in enumerate(rpo)}
+    labels = list(fn.blocks)
+    succs = {label: list(fn.blocks[label].succ_labels) for label in labels}
+    preds = fn.predecessors_map()
+    loops: List[Loop] = []
+    _find_loops(labels, succs, preds, rpo_index, None, loops)
+    return LoopForest(loops, labels)
+
+
+def back_edges(fn, dom_tree) -> List[Tuple[Node, Node]]:
+    """Edges ``u -> v`` where *v* dominates *u* (reducible back edges)."""
+    out = []
+    for u, v in fn.edges():
+        if u in dom_tree.idom and v in dom_tree.idom and dom_tree.dominates(v, u):
+            out.append((u, v))
+    return out

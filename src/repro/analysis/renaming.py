@@ -1,0 +1,191 @@
+"""Live-range renaming: split variables into *webs*.
+
+The paper assumes "each program variable has been fully renamed [9]" so a
+variable with distinct live ranges receives distinct registers per range
+(footnote 2).  We implement the classic web construction: a web is a maximal
+set of definitions and uses connected through def-use chains.  Each web of a
+variable with more than one web is renamed ``v%k``.
+
+Webs are computed from reaching definitions with a union-find over
+definition sites; every use unions all definitions reaching it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.ir.function import Function
+
+# A definition site: (block label, instruction uid, def slot index).
+# Parameters are modelled as definitions at a synthetic entry site.
+DefSite = Tuple[str, int, int]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+
+    def find(self, x: Hashable) -> Hashable:
+        parent = self._parent.setdefault(x, x)
+        if parent == x:
+            return x
+        root = self.find(parent)
+        self._parent[x] = root
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def _reaching_definitions(fn: Function):
+    """Block-level reaching definitions.
+
+    Returns ``(reach_in, def_sites)`` where ``reach_in[label]`` maps each
+    variable to the set of :data:`DefSite` reaching the block entry, and
+    ``def_sites`` is every definition site keyed by variable.
+    """
+    # gen[label]: var -> last def site in block (downward-exposed defs).
+    gen: Dict[str, Dict[str, DefSite]] = {}
+    all_defs: Dict[str, Set[DefSite]] = {}
+    for label, block in fn.blocks.items():
+        local: Dict[str, DefSite] = {}
+        for instr in block.instrs:
+            for slot, var in enumerate(instr.defs):
+                site: DefSite = (label, instr.uid, slot)
+                local[var] = site
+                all_defs.setdefault(var, set()).add(site)
+        gen[label] = local
+
+    param_sites: Dict[str, DefSite] = {}
+    for i, param in enumerate(fn.params):
+        site = (fn.start_label, -1, i)
+        param_sites[param] = site
+        all_defs.setdefault(param, set()).add(site)
+
+    reach_in: Dict[str, Dict[str, Set[DefSite]]] = {
+        label: {} for label in fn.blocks
+    }
+    reach_in[fn.start_label] = {p: {s} for p, s in param_sites.items()}
+
+    preds = fn.predecessors_map()
+    order = fn.rpo()
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == fn.start_label:
+                in_map = reach_in[label]
+            else:
+                in_map: Dict[str, Set[DefSite]] = {}
+                for pred in preds[label]:
+                    pred_out = _block_out(reach_in[pred], gen[pred])
+                    for var, sites in pred_out.items():
+                        in_map.setdefault(var, set()).update(sites)
+                if in_map != reach_in[label]:
+                    reach_in[label] = in_map
+                    changed = True
+    return reach_in, all_defs
+
+
+def _block_out(
+    in_map: Dict[str, Set[DefSite]], gen_map: Dict[str, DefSite]
+) -> Dict[str, Set[DefSite]]:
+    out = dict(in_map)
+    for var, site in gen_map.items():
+        out[var] = {site}
+    return out
+
+
+def rename_webs(fn: Function) -> Tuple[Function, Dict[str, str]]:
+    """Return a copy of *fn* with every web given a distinct name.
+
+    Also returns the mapping ``new_name -> original_name`` so results can
+    be reported against source variables.  Functions already in web form
+    round-trip unchanged (modulo the fresh copy).
+    """
+    reach_in, all_defs = _reaching_definitions(fn)
+    uf = _UnionFind()
+
+    # Union defs that reach a common use.
+    for label, block in fn.blocks.items():
+        current: Dict[str, Set[DefSite]] = {
+            var: set(sites) for var, sites in reach_in[label].items()
+        }
+        for instr in block.instrs:
+            for var in instr.uses:
+                sites = current.get(var)
+                if sites:
+                    first = None
+                    for site in sites:
+                        if first is None:
+                            first = site
+                        else:
+                            uf.union(first, site)
+            for slot, var in enumerate(instr.defs):
+                current[var] = {(label, instr.uid, slot)}
+
+    # Defs of the same variable never reaching a common use but also uses
+    # of a variable live at stop (return side effects) stay separate webs.
+    # Assign web names.
+    web_name: Dict[DefSite, str] = {}
+    reverse: Dict[str, str] = {}
+    for var, sites in all_defs.items():
+        roots: Dict[Hashable, List[DefSite]] = {}
+        for site in sites:
+            roots.setdefault(uf.find(site), []).append(site)
+        if len(roots) == 1:
+            for site in sites:
+                web_name[site] = var
+            reverse[var] = var
+            continue
+        # Deterministic ordering of webs by first site.  The web containing
+        # a parameter's entry definition keeps the original name so callers
+        # can still pass arguments by source name.
+        ordered = sorted(roots.values(), key=lambda group: sorted(group))
+        k = 0
+        for group in ordered:
+            if any(uid == -1 for (_, uid, _) in group):
+                name = var
+            else:
+                name = f"{var}%{k}"
+                k += 1
+            for site in group:
+                web_name[site] = name
+            reverse[name] = var
+
+    # Parameters keep their original name (the entry web).
+    out = fn.clone()
+    for label, block in out.blocks.items():
+        current: Dict[str, Set[DefSite]] = {
+            var: set(sites) for var, sites in reach_in[label].items()
+        }
+        new_instrs = []
+        for instr in block.instrs:
+            use_names = []
+            for var in instr.uses:
+                sites = current.get(var)
+                if sites:
+                    use_names.append(web_name[next(iter(sites))])
+                else:
+                    use_names.append(var)  # never-defined: keep as-is
+            def_names = []
+            for slot, var in enumerate(instr.defs):
+                site = (label, instr.uid, slot)
+                def_names.append(web_name.get(site, var))
+                current[var] = {site}
+            renamed = instr.clone()
+            renamed.uses = tuple(use_names)
+            renamed.defs = tuple(def_names)
+            new_instrs.append(renamed)
+        block.instrs = new_instrs
+
+    # Parameter renaming: if a parameter's entry web got renamed, keep the
+    # param list pointing at the new name of its entry web.
+    new_params = []
+    for i, param in enumerate(fn.params):
+        site = (fn.start_label, -1, i)
+        new_params.append(web_name.get(site, param))
+    out.params = new_params
+    return out, reverse

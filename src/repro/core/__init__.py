@@ -1,0 +1,24 @@
+"""The paper's contribution: hierarchical graph-coloring register allocation.
+
+Public surface:
+
+* :class:`~repro.core.allocator.HierarchicalAllocator` -- the allocator.
+* :class:`~repro.core.config.HierarchicalConfig` -- behaviour knobs and
+  ablation switches.
+* :class:`~repro.core.summary.TileAllocation` -- per-tile allocation state,
+  exposed for inspection in examples and benches.
+"""
+
+from repro.core.allocator import HierarchicalAllocator
+from repro.core.config import HierarchicalConfig
+from repro.core.scratch import hierarchy_cost, promote_to_scratch
+from repro.core.summary import TileAllocation, MEM
+
+__all__ = [
+    "HierarchicalAllocator",
+    "HierarchicalConfig",
+    "TileAllocation",
+    "MEM",
+    "promote_to_scratch",
+    "hierarchy_cost",
+]

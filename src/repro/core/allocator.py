@@ -1,0 +1,158 @@
+"""The hierarchical register allocator (facade).
+
+Ties together tile-tree construction, the bottom-up coloring phase, the
+top-down binding phase, and spill-code insertion, producing the same
+:class:`~repro.allocators.base.AllocationOutcome` interface as the baseline
+allocators.  Sibling subtrees are independent in both phases and can be
+processed concurrently (section 6: "sibling subtrees can be processed
+concurrently in both the bottom-up and top-down passes").
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.allocators.base import (
+    AllocationOutcome,
+    Allocator,
+    AllocStats,
+    record_spill_blocks,
+)
+from repro.core.config import HierarchicalConfig
+from repro.core.info import FunctionContext, build_context
+from repro.core.phase1 import allocate_tile, run_phase1
+from repro.core.phase2 import bind_tile, run_phase2
+from repro.core.spill_code import rewrite_program
+from repro.core.summary import MEM, TileAllocation
+from repro.ir.function import Function
+from repro.machine.rewrite import check_physical
+from repro.machine.target import Machine
+from repro.tiles.construction import TileTreeOptions, build_tile_tree_detailed
+from repro.tiles.validate import validate_tile_tree
+
+
+class HierarchicalAllocator(Allocator):
+    """Callahan-Koblenz hierarchical graph-coloring allocation."""
+
+    name = "hierarchical"
+
+    def __init__(self, config: Optional[HierarchicalConfig] = None) -> None:
+        self.config = config or HierarchicalConfig()
+        #: populated by :meth:`allocate` for introspection by examples,
+        #: tests and benches.
+        self.last_context: Optional[FunctionContext] = None
+        self.last_allocations: Optional[Dict[int, TileAllocation]] = None
+
+    def allocate(self, fn: Function, machine: Machine) -> AllocationOutcome:
+        config = self.config
+        work = fn.clone()
+        build = build_tile_tree_detailed(
+            work,
+            TileTreeOptions(
+                conditional_tiles=config.conditional_tiles,
+                max_tile_width=config.max_tile_width,
+            ),
+        )
+        validate_tile_tree(build.tree)
+        ctx = build_context(
+            work, machine, build.tree, build.fixup, config.frequencies
+        )
+
+        if config.parallel:
+            allocations = _run_phase1_parallel(ctx, config)
+            _run_phase2_parallel(ctx, config, allocations)
+        else:
+            allocations = run_phase1(ctx, config)
+            run_phase2(ctx, config, allocations)
+
+        out = rewrite_program(ctx, config, allocations)
+        check_physical(out, machine.num_registers)
+
+        stats = self._gather_stats(ctx, allocations, build)
+        record_spill_blocks(out, stats)
+        self.last_context = ctx
+        self.last_allocations = allocations
+        return AllocationOutcome(out, machine, stats)
+
+    def _gather_stats(
+        self,
+        ctx: FunctionContext,
+        allocations: Dict[int, TileAllocation],
+        build,
+    ) -> AllocStats:
+        stats = AllocStats()
+        stats.iterations = 1
+        recolor = 0
+        for alloc in allocations.values():
+            nodes = len(alloc.graph)
+            edges = alloc.graph.edge_count()
+            stats.observe_graph(nodes, edges)
+            recolor += max(alloc.recolor_rounds - 1, 0)
+            for var in alloc.spilled:
+                if not var.startswith(("ts:", "tmp:")):
+                    stats.spilled_vars.add(var)
+        tree = ctx.tree
+        stats.extra.update(
+            {
+                "tile_count": len(tree),
+                "tree_height": tree.height(),
+                "breadth_profile": tree.breadth_profile(),
+                "fixup_blocks": build.fixup.total,
+                "recolor_rounds": recolor,
+                "allocations": allocations,
+                "context": ctx,
+            }
+        )
+        return stats
+
+
+def _tiles_by_depth(ctx: FunctionContext) -> Dict[int, List]:
+    levels: Dict[int, List] = {}
+    for tile in ctx.tree.preorder():
+        levels.setdefault(tile.depth(), []).append(tile)
+    return levels
+
+
+def _run_phase1_parallel(
+    ctx: FunctionContext, config: HierarchicalConfig
+) -> Dict[int, TileAllocation]:
+    """Phase 1 with sibling tiles colored concurrently, deepest level first.
+
+    All tiles at one depth are mutually independent (they are never
+    ancestors of one another), and every child lies strictly deeper than
+    its parent, so level-by-level scheduling respects the postorder
+    dependency.  Results are identical to the sequential pass.
+    """
+    allocations: Dict[int, TileAllocation] = {}
+    levels = _tiles_by_depth(ctx)
+    with ThreadPoolExecutor() as pool:
+        for depth in sorted(levels, reverse=True):
+            tiles = levels[depth]
+            results = list(
+                pool.map(
+                    lambda tile: allocate_tile(ctx, config, tile, allocations),
+                    tiles,
+                )
+            )
+            for tile, alloc in zip(tiles, results):
+                allocations[tile.tid] = alloc
+    return allocations
+
+
+def _run_phase2_parallel(
+    ctx: FunctionContext,
+    config: HierarchicalConfig,
+    allocations: Dict[int, TileAllocation],
+) -> None:
+    """Phase 2 with sibling tiles bound concurrently, shallowest first."""
+    levels = _tiles_by_depth(ctx)
+    with ThreadPoolExecutor() as pool:
+        for depth in sorted(levels):
+            tiles = levels[depth]
+            list(
+                pool.map(
+                    lambda tile: bind_tile(ctx, config, tile, allocations),
+                    tiles,
+                )
+            )

@@ -1,0 +1,69 @@
+"""Configuration and ablation switches for the hierarchical allocator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.frequency import FrequencyInfo
+
+
+@dataclass(frozen=True)
+class HierarchicalConfig:
+    """Knobs for :class:`~repro.core.allocator.HierarchicalAllocator`.
+
+    Every switch defaults to the paper's described behaviour; turning one
+    off reproduces the design-choice ablations of bench E12.
+
+    Attributes:
+        conditional_tiles: build tiles for conditional (SESE) regions, not
+            just loops (section 2's "we include both loops and conditionals
+            in our hierarchy").
+        preferencing: propagate and honor register preferences (section 3,
+            "Preferencing").
+        store_avoidance: skip the store half of a Reload pair when the
+            variable has no definition in the subtile ("the spill is
+            unnecessary because v was never modified in the loop").
+        demotion: in phase 2, change a child's register allocation to
+            memory when the parent holds the variable in memory and
+            ``weight_t(v) <= transfer_t(v)`` (section 4, "Placement of
+            Spill Code").
+        spill_temp_strategy: how operand temporaries for spilled variables
+            get registers -- ``"recolor"`` adds them as infinite-spill-cost
+            locals and recolors the tile (the paper's method); ``"reserve"``
+            sets registers aside up front (the "simple solution [13]" the
+            paper contrasts with; costs allocatable registers).
+        frequencies: block/edge frequencies; ``None`` uses the static
+            estimator.  Pass simulator-profile-derived frequencies for
+            profile-guided allocation.
+        parallel: color independent sibling subtrees with a thread pool
+            (section 6's parallelism claim).  Results are identical to the
+            sequential order; this only changes scheduling.
+        max_tile_width: bound on conditional-tile width forwarded to tile
+            construction.
+        loop_tiles_only: alias ablation -- force ``conditional_tiles=False``
+            at tile construction (kept separate so benches can name it).
+    """
+
+    conditional_tiles: bool = True
+    preferencing: bool = True
+    store_avoidance: bool = True
+    demotion: bool = True
+    spill_temp_strategy: str = "recolor"
+    frequencies: Optional[FrequencyInfo] = None
+    parallel: bool = False
+    max_tile_width: Optional[int] = None
+    #: spill-candidate ranking: "cost_over_degree" (Chaitin's ratio, the
+    #: paper's implementation choice), "cost", or "degree" (section 4:
+    #: "our algorithm could easily use either method").
+    spill_heuristic: str = "cost_over_degree"
+
+    def __post_init__(self) -> None:
+        if self.spill_temp_strategy not in ("recolor", "reserve"):
+            raise ValueError(
+                f"unknown spill_temp_strategy {self.spill_temp_strategy!r}"
+            )
+        if self.spill_heuristic not in ("cost_over_degree", "cost", "degree"):
+            raise ValueError(
+                f"unknown spill_heuristic {self.spill_heuristic!r}"
+            )

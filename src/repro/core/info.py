@@ -1,0 +1,137 @@
+"""Shared per-function context for both allocation phases.
+
+Bundles the function, its tile tree, liveness, frequencies and reference
+maps so the phases don't recompute or thread a dozen arguments around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.frequency import FrequencyInfo, estimate_frequencies
+from repro.analysis.liveness import Liveness, compute_liveness
+from repro.ir.function import Function
+from repro.machine.target import Machine
+from repro.tiles.fixup import FixupStats
+from repro.tiles.tile import Tile, TileTree
+
+
+@dataclass
+class FunctionContext:
+    """Everything phase 1 / phase 2 need to know about one function."""
+
+    fn: Function
+    machine: Machine
+    tree: TileTree
+    liveness: Liveness
+    freq: FrequencyInfo
+    fixup: FixupStats
+    #: var -> labels of blocks referencing it (defs or uses)
+    ref_blocks: Dict[str, Set[str]] = field(default_factory=dict)
+    #: var -> labels of blocks defining it
+    def_blocks: Dict[str, Set[str]] = field(default_factory=dict)
+    #: label of inserted fix-up block -> the original edge it subdivides
+    orig_edge: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, block in self.fn.blocks.items():
+            for instr in block.instrs:
+                for var in instr.uses:
+                    self.ref_blocks.setdefault(var, set()).add(label)
+                for var in instr.defs:
+                    self.ref_blocks.setdefault(var, set()).add(label)
+                    self.def_blocks.setdefault(var, set()).add(label)
+                for var in instr.clobbers:
+                    self.ref_blocks.setdefault(var, set()).add(label)
+                    self.def_blocks.setdefault(var, set()).add(label)
+
+    # ------------------------------------------------------------------
+    # per-tile variable classification (paper section 3)
+    # ------------------------------------------------------------------
+    def referenced_in_blocks(self, labels) -> Set[str]:
+        out: Set[str] = set()
+        for label in labels:
+            out |= self.fn.blocks[label].variables()
+        return out
+
+    def referenced_in_subtree(self, tile: Tile, var: str) -> bool:
+        blocks = self.ref_blocks.get(var)
+        if not blocks:
+            return False
+        return bool(blocks & tile.all_blocks)
+
+    def refs_only_inside(self, tile: Tile, var: str) -> bool:
+        blocks = self.ref_blocks.get(var, set())
+        return bool(blocks) and blocks <= tile.all_blocks
+
+    def defined_in_subtree(self, tile: Tile, var: str) -> bool:
+        blocks = self.def_blocks.get(var)
+        if not blocks:
+            return False
+        return bool(blocks & tile.all_blocks)
+
+    def live_on_boundary(self, tile: Tile, var: str) -> bool:
+        for src, dst in self.tree.boundary_edges(tile):
+            if var in self.liveness.live_on_edge(src, dst):
+                return True
+        return False
+
+    def boundary_live_sets(self, tile: Tile) -> List[FrozenSet[str]]:
+        return [
+            self.liveness.live_on_edge(src, dst)
+            for src, dst in self.tree.boundary_edges(tile)
+        ]
+
+    def is_local(self, tile: Tile, var: str) -> bool:
+        """Paper: local iff all references are inside *tile* and the
+        variable is not live along any of its entry or exit edges."""
+        return self.refs_only_inside(tile, var) and not self.live_on_boundary(
+            tile, var
+        )
+
+    # ------------------------------------------------------------------
+    # frequencies, resilient to fix-up blocks absent from a profile
+    # ------------------------------------------------------------------
+    def block_freq(self, label: str) -> float:
+        freq = self.freq.block_freq.get(label)
+        if freq is not None:
+            return freq
+        # A fix-up block subdivides one original edge and executes exactly
+        # as often as that edge was traversed.
+        edge = self.orig_edge.get(label)
+        if edge is not None:
+            return self.freq.edge_freq.get(edge, 0.0)
+        return 0.0
+
+    def edge_freq(self, src: str, dst: str) -> float:
+        freq = self.freq.edge_freq.get((src, dst))
+        if freq is not None:
+            return freq
+        for label in (src, dst):
+            edge = self.orig_edge.get(label)
+            if edge is not None:
+                return self.freq.edge_freq.get(edge, 0.0)
+        return 0.0
+
+
+def build_context(
+    fn: Function,
+    machine: Machine,
+    tree: TileTree,
+    fixup: FixupStats,
+    frequencies: Optional[FrequencyInfo],
+) -> FunctionContext:
+    """Assemble a :class:`FunctionContext` (liveness and frequency included)."""
+    liveness = compute_liveness(fn)
+    freq = frequencies or estimate_frequencies(fn)
+    ctx = FunctionContext(
+        fn=fn,
+        machine=machine,
+        tree=tree,
+        liveness=liveness,
+        freq=freq,
+        fixup=fixup,
+        orig_edge=dict(fixup.orig_edge),
+    )
+    return ctx

@@ -1,0 +1,106 @@
+"""Spill metrics (paper section 4).
+
+Assuming unit cost to load or store a variable::
+
+    Local_weight_t(v) = sum_b Prob(b) * Refs_b(v)          (b in blocks(t))
+    Transfer_t(v)     = sum_e Prob(e) * Live_e(v)          (e boundary of t)
+    Weight_t(v)       = sum_s (Reg_s(v) - Mem_s(v)) + Local_weight_t(v)
+    Reg_t(v)          = Reg?_t(v) * min(Transfer_t(v), Weight_t(v))
+    Mem_t(v)          = Mem?_t(v) * Transfer_t(v)
+
+``Weight`` drives which variable spills; ``Reg``/``Mem`` are the penalties a
+parent pays for overriding this tile's decision, and feed the parent's own
+``Weight``.  A variable with ``Transfer + Weight < 0`` is "not worth a
+register" in this tile regardless of the parent's choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set
+
+from repro.core.info import FunctionContext
+from repro.core.summary import TileAllocation, TileMetrics
+from repro.tiles.tile import Tile
+
+
+def compute_pre_metrics(
+    ctx: FunctionContext,
+    tile: Tile,
+    visible: Iterable[str],
+    children: Mapping[int, TileAllocation],
+    child_tiles: List[Tile],
+) -> TileMetrics:
+    """Metrics available *before* coloring the tile: ``Local_weight``,
+    ``Transfer`` and ``Weight`` for every visible real variable, plus
+    weights for the children's summary variables."""
+    metrics = TileMetrics()
+    own = tile.own_blocks()
+    boundary = ctx.tree.boundary_edges(tile)
+
+    for var in visible:
+        local_weight = 0.0
+        for label in ctx.ref_blocks.get(var, ()):  # only referencing blocks
+            if label in own:
+                local_weight += ctx.block_freq(label) * ctx.fn.blocks[
+                    label
+                ].ref_count(var)
+        transfer = 0.0
+        for src, dst in boundary:
+            if var in ctx.liveness.live_on_edge(src, dst):
+                transfer += ctx.edge_freq(src, dst)
+        weight = local_weight
+        for child in child_tiles:
+            alloc = children[child.tid]
+            weight += alloc.metrics.reg.get(var, 0.0) - alloc.metrics.mem.get(
+                var, 0.0
+            )
+        metrics.local_weight[var] = local_weight
+        metrics.transfer[var] = transfer
+        metrics.weight[var] = weight
+
+    # Summary variables: zero Local_weight; value from the subtile plus the
+    # boundary transfer cost of the child ("approximates the penalty of
+    # spilling and reloading conflicting variables that are live and in
+    # registers at the child tile's boundaries").
+    for child in child_tiles:
+        alloc = children[child.tid]
+        child_transfer = sum(
+            ctx.edge_freq(src, dst)
+            for src, dst in ctx.tree.boundary_edges(child)
+        )
+        per_summary_value: Dict[str, float] = {}
+        for var, summary in alloc.ts_map.items():
+            value = alloc.metrics.local_weight.get(var, 0.0)
+            per_summary_value[summary] = per_summary_value.get(summary, 0.0) + value
+        for summary in alloc.summary_vars.values():
+            value = per_summary_value.get(summary, 0.0)
+            metrics.local_weight[summary] = 0.0
+            metrics.transfer[summary] = child_transfer
+            metrics.weight[summary] = min(value, child_transfer) + child_transfer
+    return metrics
+
+
+def finalize_metrics(
+    metrics: TileMetrics,
+    assignment: Mapping[str, str],
+    spilled: Set[str],
+    real_vars: Iterable[str],
+) -> None:
+    """Fill ``Reg_t`` / ``Mem_t`` once the tile's own allocation is known."""
+    for var in real_vars:
+        transfer = metrics.transfer.get(var, 0.0)
+        weight = metrics.weight.get(var, 0.0)
+        if var in assignment and var not in spilled:
+            metrics.reg[var] = min(transfer, weight)
+            metrics.mem[var] = 0.0
+        else:
+            metrics.reg[var] = 0.0
+            metrics.mem[var] = transfer
+
+
+def not_worth_a_register(metrics: TileMetrics, var: str) -> bool:
+    """The section-4 rule: ``transfer_t(v) + weight_t(v) < 0`` marks *v* as
+    not receiving a register for this tile regardless of the parent."""
+    return (
+        metrics.transfer.get(var, 0.0) + metrics.weight.get(var, 0.0) < 0.0
+    )

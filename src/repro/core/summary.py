@@ -1,0 +1,138 @@
+"""Per-tile allocation state and the tile summary (paper section 3).
+
+After phase 1 processes a tile, local variables coalesced per register are
+represented upward by *tile summary variables* (at most ``|R|`` of them),
+together with the conflict summary: ``e_t(g)`` (local conflicts of each
+register-resident global, expressed against summary variables),
+global-global conflicts, and the summary-summary bit relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.graph.interference import InterferenceGraph
+
+#: Sentinel location: the variable lives in its memory slot.
+MEM = "<mem>"
+
+
+def summary_var_name(tile_id: int, color: str) -> str:
+    """Name of the tile summary variable for register *color* of a tile."""
+    return f"ts:{tile_id}:{color}"
+
+
+def is_summary_var(name: str) -> bool:
+    return name.startswith("ts:")
+
+
+def temp_node_name(instr_uid: int, var: str, kind: str) -> str:
+    """Name of an operand-temporary node (kind: 'u' use / 'd' def)."""
+    return f"tmp:{instr_uid}:{var}:{kind}"
+
+
+def is_temp_node(name: str) -> bool:
+    return name.startswith("tmp:")
+
+
+def parse_temp_node(name: str) -> Tuple[int, str, str]:
+    """Inverse of :func:`temp_node_name`; variable names may contain
+    colons (e.g. callee-save pseudos), so parse from both ends."""
+    _, uid, rest = name.split(":", 2)
+    var, _, kind = rest.rpartition(":")
+    return int(uid), var, kind
+
+
+@dataclass
+class TileMetrics:
+    """Section 4 quantities for the variables visible in one tile."""
+
+    local_weight: Dict[str, float] = field(default_factory=dict)
+    transfer: Dict[str, float] = field(default_factory=dict)
+    weight: Dict[str, float] = field(default_factory=dict)
+    reg: Dict[str, float] = field(default_factory=dict)
+    mem: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TileAllocation:
+    """Everything phase 1 decided about one tile, extended by phase 2.
+
+    Phase-1 fields:
+
+    * ``graph``: the tile interference graph (real variables visible in the
+      tile, operand-temporary nodes, children's summary variables).
+    * ``assignment``: node -> pseudo/physical color.
+    * ``spilled``: nodes allocated to memory in this tile.
+    * ``locals_`` / ``globals_``: visibility classification.
+    * ``ts_map``: local variable -> its tile summary variable.
+    * ``summary_vars``: color -> summary variable (for colors holding at
+      least one local).
+    * ``global_regs``: globals of this tile that hold a register here.
+    * conflict summary sets and propagated preferences for the parent.
+    * ``metrics``: the section-4 numbers.
+
+    Phase-2 fields:
+
+    * ``phys``: node -> physical register (or :data:`MEM`), the final
+      binding for this tile's level.
+    """
+
+    tile_id: int
+    graph: InterferenceGraph = field(default_factory=InterferenceGraph)
+    assignment: Dict[str, str] = field(default_factory=dict)
+    spilled: Set[str] = field(default_factory=set)
+    locals_: Set[str] = field(default_factory=set)
+    globals_: Set[str] = field(default_factory=set)
+    boundary_globals: Set[str] = field(default_factory=set)
+    ts_map: Dict[str, str] = field(default_factory=dict)
+    summary_vars: Dict[str, str] = field(default_factory=dict)
+    global_regs: Dict[str, str] = field(default_factory=dict)
+
+    conflict_global_summary: Set[Tuple[str, str]] = field(default_factory=set)
+    conflict_global_global: Set[Tuple[str, str]] = field(default_factory=set)
+    conflict_summary_summary: Set[Tuple[str, str]] = field(default_factory=set)
+
+    #: globals bound to a *physical* register here (linkage), propagated as
+    #: local preferences in the parent (Preferencing special case 1).
+    phys_prefs_up: Dict[str, str] = field(default_factory=dict)
+    #: global pairs successfully sharing a pseudo register here,
+    #: re-preferenced in the parent (special case 2).
+    pref_pairs_up: List[Tuple[str, str]] = field(default_factory=list)
+    #: (global, summary var) preferences (special case 3).
+    summary_prefs_up: List[Tuple[str, str]] = field(default_factory=list)
+
+    #: preference inputs used in phase 1, reused when phase 2 recolors.
+    pref_pairs_all: List[Tuple[str, str]] = field(default_factory=list)
+    local_prefs_all: Dict[str, str] = field(default_factory=dict)
+
+    metrics: TileMetrics = field(default_factory=TileMetrics)
+    #: variables marked "not worth a register" (transfer + weight < 0).
+    forced_memory: Set[str] = field(default_factory=set)
+    #: temp nodes introduced for references to spilled variables.
+    temp_nodes: Set[str] = field(default_factory=set)
+    #: registers reserved for spill temps under the "reserve" strategy.
+    reserved_regs: List[str] = field(default_factory=list)
+    recolor_rounds: int = 0
+
+    # ---- phase 2 ----
+    phys: Dict[str, str] = field(default_factory=dict)
+    #: summary var -> physical register (or MEM) chosen by the parent.
+    summary_phys: Dict[str, str] = field(default_factory=dict)
+
+    def location(self, var: str) -> Optional[str]:
+        """Final location of *var* at this tile's level (phase 2)."""
+        return self.phys.get(var)
+
+    def colors_in_use(self) -> Set[str]:
+        return set(self.assignment.values())
+
+    def describe(self) -> str:
+        """Human-readable dump used by examples."""
+        lines = [f"tile #{self.tile_id}:"]
+        for var in sorted(self.assignment):
+            lines.append(f"  {var} -> {self.assignment[var]}")
+        for var in sorted(self.spilled):
+            lines.append(f"  {var} -> MEMORY")
+        return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Shared tile-coloring loop with operand-temporary handling.
+
+Both phases color a tile's interference graph; whenever a variable with
+references in the tile's own blocks ends up in memory, those references need
+scratch registers.  Following section 6 of the paper, the temporaries are
+added to the graph as local variables with *infinite spill cost* and the
+tile is recolored -- "our method avoids the need to iterate [the whole
+allocation]" because the iteration stays inside one small tile graph and the
+temporaries' one-instruction live ranges keep them trivially colorable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.info import FunctionContext
+from repro.core.summary import (
+    is_summary_var,
+    is_temp_node,
+    parse_temp_node,
+    temp_node_name,
+)
+from repro.graph.coloring import ColoringResult, NoColorForRequiredNode, color_graph
+from repro.graph.interference import InterferenceGraph
+from repro.tiles.tile import Tile
+
+#: Recolor rounds per tile before giving up (each round only adds temps for
+#: newly spilled variables, so a handful suffices).
+MAX_RECOLOR_ROUNDS = 25
+
+
+@dataclass
+class TileColoringSpec:
+    """Inputs to one tile-coloring run (phase independent)."""
+
+    k: int
+    color_order: List[str]
+    priorities: Dict[str, float] = field(default_factory=dict)
+    precolored: Dict[str, str] = field(default_factory=dict)
+    local_prefs: Dict[str, str] = field(default_factory=dict)
+    pref_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    boundary: Set[str] = field(default_factory=set)
+    #: nodes never allowed to spill (besides temps, which are implied).
+    never_spill: Set[str] = field(default_factory=set)
+    #: nodes excluded from coloring (already decided to live in memory).
+    pre_spilled: Set[str] = field(default_factory=set)
+    #: create operand temporaries for spilled references ("recolor"
+    #: strategy); with False the caller reserved registers instead.
+    make_temps: bool = True
+    #: spill-candidate ranking (see graph.coloring.color_graph).
+    spill_heuristic: str = "cost_over_degree"
+
+
+@dataclass
+class TileColoringOutcome:
+    assignment: Dict[str, str]
+    spilled: Set[str]
+    temp_nodes: Set[str]
+    rounds: int
+    used_colors: List[str]
+
+
+def color_tile(
+    ctx: FunctionContext,
+    tile: Tile,
+    graph: InterferenceGraph,
+    spec: TileColoringSpec,
+) -> TileColoringOutcome:
+    """Color *graph*, adding operand temporaries until a fixed point.
+
+    ``graph`` is mutated: temp nodes and their conflicts are added so later
+    phases see them.  Nodes in ``spec.pre_spilled`` never participate; their
+    references get temporaries immediately.
+    """
+    own_labels = sorted(tile.own_blocks())
+    all_spilled: Set[str] = set(spec.pre_spilled)
+    temp_nodes: Set[str] = {n for n in graph.nodes() if is_temp_node(n)}
+    vars_with_temps: Set[str] = {  # real vars whose references have temps
+        parse_temp_node(name)[1] for name in temp_nodes
+    }
+
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > MAX_RECOLOR_ROUNDS:
+            raise RuntimeError(
+                f"tile #{tile.tid}: no coloring fixed point after "
+                f"{MAX_RECOLOR_ROUNDS} rounds"
+            )
+        if spec.make_temps:
+            new_vars = {
+                v
+                for v in all_spilled
+                if v not in vars_with_temps and not is_summary_var(v)
+            }
+            added = _add_temp_nodes(
+                ctx, own_labels, graph, new_vars, all_spilled
+            )
+            temp_nodes |= added
+            vars_with_temps |= new_vars
+
+        work = graph.subgraph(
+            set(graph.nodes()) - all_spilled
+        )
+        try:
+            result = color_graph(
+                work,
+                k=spec.k,
+                color_order=spec.color_order,
+                priorities={
+                    **spec.priorities,
+                    **{t: float("inf") for t in temp_nodes},
+                },
+                precolored={
+                    v: c for v, c in spec.precolored.items() if v not in all_spilled
+                },
+                local_prefs=spec.local_prefs,
+                pref_pairs=spec.pref_pairs,
+                never_spill=spec.never_spill | temp_nodes,
+                boundary=spec.boundary,
+                spill_heuristic=spec.spill_heuristic,
+            )
+        except NoColorForRequiredNode as exc:
+            # Extreme pressure: an unspillable node (operand temporary) has
+            # no color left.  Spill its least valuable ordinary neighbour
+            # and recolor -- "the paper's temporaries do not contribute
+            # significantly" holds only when something else yields.
+            victims = [
+                n
+                for n in work.neighbors(exc.node)
+                if n not in temp_nodes
+                and n not in spec.never_spill
+                and n not in spec.precolored
+            ]
+            if not victims:
+                raise
+            victim = min(
+                victims, key=lambda n: (spec.priorities.get(n, 0.0), n)
+            )
+            all_spilled.add(victim)
+            continue
+        if not result.spilled:
+            return TileColoringOutcome(
+                assignment=result.assignment,
+                spilled=all_spilled,
+                temp_nodes=temp_nodes,
+                rounds=rounds,
+                used_colors=result.used_colors,
+            )
+        all_spilled |= result.spilled
+        if not spec.make_temps:
+            # Reserve strategy: no recoloring needed, spilled references
+            # will use the reserved registers at rewrite time.
+            return TileColoringOutcome(
+                assignment={
+                    v: c
+                    for v, c in result.assignment.items()
+                    if v not in all_spilled
+                },
+                spilled=all_spilled,
+                temp_nodes=set(),
+                rounds=rounds,
+                used_colors=result.used_colors,
+            )
+
+
+def _add_temp_nodes(
+    ctx: FunctionContext,
+    own_labels: Iterable[str],
+    graph: InterferenceGraph,
+    new_vars: Set[str],
+    all_spilled: Set[str],
+) -> Set[str]:
+    """Create temp nodes for every reference to *new_vars* in the tile's own
+    blocks, with conflicts against whatever is live (and not itself spilled)
+    at the reference point."""
+    added: Set[str] = set()
+    if not new_vars:
+        return added
+    node_set = set(graph.nodes())
+    for label in own_labels:
+        block = ctx.fn.blocks[label]
+        live_in = ctx.liveness.instr_live_in(label)
+        live_out = ctx.liveness.instr_live_out(label)
+        for idx, instr in enumerate(block.instrs):
+            use_temps: List[str] = []
+            def_temps: List[str] = []
+            for var in dict.fromkeys(instr.uses):
+                if var in new_vars:
+                    use_temps.append(temp_node_name(instr.uid, var, "u"))
+            for var in dict.fromkeys(instr.defs):
+                if var in new_vars:
+                    def_temps.append(temp_node_name(instr.uid, var, "d"))
+            if not use_temps and not def_temps:
+                continue
+            # Existing temps at this instruction conflict with new temps of
+            # the same kind: use temps coexist before the instruction, def
+            # temps after it.  A def temp may share a register with a use
+            # temp -- all uses are read before any def is written.
+            peer_use = [
+                n
+                for n in node_set
+                if is_temp_node(n)
+                and n.endswith(":u")
+                and parse_temp_node(n)[0] == instr.uid
+            ]
+            peer_def = [
+                n
+                for n in node_set
+                if is_temp_node(n)
+                and n.endswith(":d")
+                and parse_temp_node(n)[0] == instr.uid
+            ]
+            live_in_regs = {
+                v for v in live_in[idx] if v in node_set and v not in all_spilled
+            }
+            live_out_regs = {
+                v for v in live_out[idx] if v in node_set and v not in all_spilled
+            }
+            for temp in use_temps:
+                graph.add_node(temp)
+                for other in live_in_regs | set(use_temps) | set(peer_use):
+                    if other != temp:
+                        graph.add_edge(temp, other)
+                added.add(temp)
+            for temp in def_temps:
+                graph.add_node(temp)
+                for other in live_out_regs | set(def_temps) | set(peer_def):
+                    if other != temp:
+                        graph.add_edge(temp, other)
+                added.add(temp)
+            node_set |= added
+    return added

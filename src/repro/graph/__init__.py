@@ -1,0 +1,12 @@
+"""Interference graphs and the preference-aware coloring engine."""
+
+from repro.graph.interference import InterferenceGraph, build_interference
+from repro.graph.coloring import ColoringResult, color_graph, NoColorForRequiredNode
+
+__all__ = [
+    "InterferenceGraph",
+    "build_interference",
+    "ColoringResult",
+    "color_graph",
+    "NoColorForRequiredNode",
+]

@@ -1,0 +1,265 @@
+"""Graph coloring with preferences (paper section 3, "Coloring").
+
+The engine implements the Briggs-style optimistic scheme the paper adopts:
+every node is eventually pushed on the "colorable stack" -- nodes with fewer
+than ``k`` conflicts first, then spill candidates in order of increasing
+value -- and actual spilling is decided only when a popped node finds no
+color.  Preference handling follows the paper:
+
+* a node may carry a *local preference* (a specific color it wants);
+* preference *pairs* want to share some arbitrary color: when one member is
+  colored, uncolored partners inherit the color as their local preference;
+* when coloring a node without a local preference, colors that are local
+  preferences of still-uncolored conflicting neighbours are avoided; if that
+  leaves nothing, the engine "reverts to standard coloring techniques";
+* *boundary* nodes (globals live at tile boundaries) try to take a color
+  "separate from any other color already used subject to the constraint of
+  using only ||R|| colors" so the top-down phase retains freedom to bind
+  local and global colors independently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.graph.interference import InterferenceGraph
+
+
+class NoColorForRequiredNode(RuntimeError):
+    """A node that must receive a color (infinite spill cost or a required
+    physical register) could not be colored."""
+
+    def __init__(self, message: str, node: str) -> None:
+        super().__init__(message)
+        self.node = node
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of one coloring run."""
+
+    assignment: Dict[str, str]
+    spilled: Set[str]
+    used_colors: List[str]
+    stack_order: List[str] = field(default_factory=list)
+
+    def color_of(self, var: str) -> Optional[str]:
+        return self.assignment.get(var)
+
+
+def color_graph(
+    graph: InterferenceGraph,
+    k: int,
+    color_order: Sequence[str],
+    priorities: Optional[Mapping[str, float]] = None,
+    precolored: Optional[Mapping[str, str]] = None,
+    local_prefs: Optional[Mapping[str, str]] = None,
+    pref_pairs: Optional[Iterable[Tuple[str, str]]] = None,
+    never_spill: Optional[Set[str]] = None,
+    boundary: Optional[Set[str]] = None,
+    pessimistic: bool = False,
+    spill_heuristic: str = "cost_over_degree",
+) -> ColoringResult:
+    """Color *graph* with at most *k* distinct colors.
+
+    Args:
+        graph: the conflict graph.
+        k: ``|R|`` -- the maximum number of simultaneous colors.
+        color_order: colors to draw fresh colors from, in preference order
+            (physical registers for final binding, pseudo-register tokens
+            during the bottom-up phase).  Colors introduced by *precolored*
+            or *local_prefs* may lie outside this sequence; they count
+            toward the *k* budget all the same.
+        priorities: spill value per node -- higher means more deserving of
+            a register (the paper's ``Weight``); missing nodes default 0.
+        precolored: fixed assignments (linkage registers, parent bindings).
+        local_prefs: desired color per node (paper's local preference).
+        pref_pairs: pairs that would like to share a color.
+        never_spill: nodes with infinite spill cost (operand temporaries);
+            failure to color one raises :class:`NoColorForRequiredNode`.
+        boundary: nodes that try for a fresh color before reusing one.
+        pessimistic: use original-Chaitin behaviour -- a node chosen as a
+            spill candidate is spilled immediately instead of optimistically
+            pushed (ablation only).
+        spill_heuristic: how the next spill candidate is ranked --
+            ``"cost_over_degree"`` (Chaitin's ratio, the paper's choice),
+            ``"cost"`` (pure benefit, Bernstein-style single criterion), or
+            ``"degree"`` (most-constraining node first).  The paper notes
+            "our algorithm could easily use either method".
+    """
+    if spill_heuristic not in ("cost_over_degree", "cost", "degree"):
+        raise ValueError(f"unknown spill heuristic {spill_heuristic!r}")
+    priorities = dict(priorities or {})
+    precolored = dict(precolored or {})
+    local_prefs = dict(local_prefs or {})
+    never_spill = set(never_spill or ())
+    boundary = set(boundary or ())
+
+    partners: Dict[str, Set[str]] = {}
+    for a, b in pref_pairs or ():
+        if a == b:
+            continue
+        partners.setdefault(a, set()).add(b)
+        partners.setdefault(b, set()).add(a)
+
+    adj = graph.copy_adjacency()
+    for var in precolored:
+        if var not in adj:
+            adj[var] = set()
+
+    # ------------------------------------------------------------------
+    # Simplify: push nodes onto the colorable stack.
+    # ------------------------------------------------------------------
+    degrees = {v: len(ns) for v, ns in adj.items()}
+    remaining = {v for v in adj if v not in precolored}
+    stack: List[str] = []
+    spilled: Set[str] = set()
+
+    def spill_metric(var: str) -> float:
+        if var in never_spill:
+            return math.inf
+        degree = max(degrees[var], 1)
+        if spill_heuristic == "cost":
+            return priorities.get(var, 0.0)
+        if spill_heuristic == "degree":
+            return -degree
+        return priorities.get(var, 0.0) / degree
+
+    while remaining:
+        trivially = [v for v in remaining if degrees[v] < k]
+        if trivially:
+            # Deterministic order: lowest degree, then name.
+            var = min(trivially, key=lambda v: (degrees[v], v))
+        else:
+            # All remaining nodes have >= k conflicts: pick the least
+            # valuable as the next (potential) spill.
+            var = min(remaining, key=lambda v: (spill_metric(v), v))
+            if pessimistic and var not in never_spill:
+                spilled.add(var)
+                remaining.discard(var)
+                for other in adj[var]:
+                    degrees[other] = degrees.get(other, 1) - 1
+                continue
+        remaining.discard(var)
+        stack.append(var)
+        for other in adj[var]:
+            degrees[other] = degrees.get(other, 1) - 1
+
+    # ------------------------------------------------------------------
+    # Select: pop and color.
+    # ------------------------------------------------------------------
+    assignment: Dict[str, str] = dict(precolored)
+    used: List[str] = []
+    for color in precolored.values():
+        if color not in used:
+            used.append(color)
+    dynamic_prefs = dict(local_prefs)
+
+    def forbidden_for(var: str) -> Set[str]:
+        return {
+            assignment[n] for n in adj.get(var, ()) if n in assignment
+        }
+
+    def neighbour_pref_colors(var: str) -> Set[str]:
+        out = set()
+        for n in adj.get(var, ()):
+            if n not in assignment and n in dynamic_prefs:
+                out.add(dynamic_prefs[n])
+        return out
+
+    def fresh_color(forbidden: Set[str]) -> Optional[str]:
+        if len(used) >= k:
+            return None
+        for color in color_order:
+            if color not in used and color not in forbidden:
+                return color
+        return None
+
+    def take(var: str, color: str) -> None:
+        assignment[var] = color
+        if color not in used:
+            used.append(color)
+        for partner in partners.get(var, ()):
+            if partner not in assignment and partner not in dynamic_prefs:
+                dynamic_prefs[partner] = color
+
+    order: List[str] = []
+    while stack:
+        var = stack.pop()
+        order.append(var)
+        forbidden = forbidden_for(var)
+
+        # 1. Explicit local preference wins when available.
+        pref = dynamic_prefs.get(var)
+        if pref is not None and pref not in forbidden:
+            if pref in used or len(used) < k:
+                take(var, pref)
+                continue
+
+        # 2. A partner's color, when one is already colored.
+        partner_colors = [
+            assignment[p]
+            for p in partners.get(var, ())
+            if p in assignment and assignment[p] not in forbidden
+        ]
+        if partner_colors:
+            take(var, partner_colors[0])
+            continue
+
+        avoid = neighbour_pref_colors(var)
+
+        # 3. Boundary globals try for a color distinct from all used ones.
+        if var in boundary:
+            color = fresh_color(forbidden | avoid)
+            if color is None:
+                color = fresh_color(forbidden)
+            if color is not None:
+                take(var, color)
+                continue
+
+        # 4. Reuse an existing color, avoiding neighbours' preferences.
+        color = _pick(used, forbidden | avoid)
+        if color is None:
+            color = fresh_color(forbidden | avoid)
+        # 5. "Revert to standard coloring": ignore preference avoidance.
+        if color is None:
+            color = _pick(used, forbidden)
+        if color is None:
+            color = fresh_color(forbidden)
+
+        if color is not None:
+            take(var, color)
+        else:
+            if var in never_spill:
+                raise NoColorForRequiredNode(
+                    f"node {var!r} has infinite spill cost but no color", var
+                )
+            spilled.add(var)
+
+    return ColoringResult(
+        assignment=assignment,
+        spilled=spilled,
+        used_colors=used,
+        stack_order=order,
+    )
+
+
+def _pick(used: Sequence[str], forbidden: Set[str]) -> Optional[str]:
+    for color in used:
+        if color not in forbidden:
+            return color
+    return None
+
+
+def verify_coloring(
+    graph: InterferenceGraph, assignment: Mapping[str, str]
+) -> List[Tuple[str, str]]:
+    """Conflicting node pairs that share a color (empty list == valid)."""
+    bad = []
+    for a, b in graph.edges():
+        ca, cb = assignment.get(a), assignment.get(b)
+        if ca is not None and ca == cb:
+            bad.append((a, b))
+    return bad

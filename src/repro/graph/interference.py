@@ -1,0 +1,164 @@
+"""Interference (conflict) graphs.
+
+Nodes are variables; an edge means the two variables cannot share a register
+(they are simultaneously live at some point).  Construction follows Chaitin:
+at every definition point the defined variable conflicts with everything live
+after the instruction -- except that copy sources never conflict with their
+destinations through the copy itself, which is what lets preferencing (the
+paper's replacement for coalescing) put both in one register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.liveness import Liveness
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, Opcode
+
+
+class InterferenceGraph:
+    """Undirected conflict graph over variable names."""
+
+    def __init__(self) -> None:
+        self._adj: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, var: str) -> None:
+        self._adj.setdefault(var, set())
+
+    def add_edge(self, a: str, b: str) -> None:
+        if a == b:
+            return
+        self._adj.setdefault(a, set()).add(b)
+        self._adj.setdefault(b, set()).add(a)
+
+    def add_clique(self, vars_: Iterable[str]) -> None:
+        vs = list(vars_)
+        for i, a in enumerate(vs):
+            self.add_node(a)
+            for b in vs[i + 1:]:
+                self.add_edge(a, b)
+
+    def remove_node(self, var: str) -> None:
+        for other in self._adj.pop(var, ()):  # pragma: no branch
+            self._adj[other].discard(var)
+
+    def merge_from(self, other: "InterferenceGraph") -> None:
+        for var in other.nodes():
+            self.add_node(var)
+        for a, b in other.edges():
+            self.add_edge(a, b)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[str]:
+        return list(self._adj)
+
+    def __contains__(self, var: str) -> bool:
+        return var in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def neighbors(self, var: str) -> Set[str]:
+        return self._adj.get(var, set())
+
+    def degree(self, var: str) -> int:
+        return len(self._adj.get(var, ()))
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        seen = set()
+        for a, others in self._adj.items():
+            for b in others:
+                key = (a, b) if a <= b else (b, a)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def edge_count(self) -> int:
+        return sum(len(v) for v in self._adj.values()) // 2
+
+    def interferes(self, a: str, b: str) -> bool:
+        return b in self._adj.get(a, ())
+
+    def subgraph(self, keep: Set[str]) -> "InterferenceGraph":
+        out = InterferenceGraph()
+        for var in self._adj:
+            if var in keep:
+                out.add_node(var)
+        for a, b in self.edges():
+            if a in keep and b in keep:
+                out.add_edge(a, b)
+        return out
+
+    def copy_adjacency(self) -> Dict[str, Set[str]]:
+        return {v: set(ns) for v, ns in self._adj.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<InterferenceGraph |V|={len(self)} |E|={self.edge_count()}>"
+
+
+def build_interference(
+    fn: Function,
+    liveness: Liveness,
+    labels: Optional[Iterable[str]] = None,
+    relevant: Optional[Set[str]] = None,
+) -> InterferenceGraph:
+    """Chaitin-style conflict graph construction.
+
+    Args:
+        fn: the function.
+        liveness: precomputed liveness for *fn*.
+        labels: restrict construction to these blocks (a tile's
+            ``blocks(t)``); defaults to the whole function.
+        relevant: if given, only variables in this set become nodes; others
+            are ignored entirely (the paper's tile graphs only represent
+            variables referenced in the tile, see section 3).
+
+    Every variable referenced in the visited blocks becomes a node even if
+    it never conflicts.  At each definition the defined variables conflict
+    with every relevant variable live after the instruction, with the
+    classic copy exemption, and multiple definitions of one instruction
+    conflict with each other.
+    """
+    graph = InterferenceGraph()
+    if labels is None:
+        labels = list(fn.blocks)
+
+    def keep(var: str) -> bool:
+        return relevant is None or var in relevant
+
+    for label in labels:
+        block = fn.blocks[label]
+        live_out_per_instr = liveness.instr_live_out(label)
+        for instr, live_after in zip(block.instrs, live_out_per_instr):
+            for var in instr.defs:
+                if keep(var):
+                    graph.add_node(var)
+            for var in instr.uses:
+                if keep(var):
+                    graph.add_node(var)
+            exempt: Set[str] = set()
+            if instr.is_copy_like:
+                exempt.add(instr.uses[0])
+            # Clobbered registers (calls) are written as a side effect:
+            # they conflict with everything live across the instruction.
+            written = instr.defs + instr.clobbers
+            for var in instr.clobbers:
+                if keep(var):
+                    graph.add_node(var)
+            for var in written:
+                if not keep(var):
+                    continue
+                for other in live_after:
+                    if other == var or other in exempt or not keep(other):
+                        continue
+                    graph.add_edge(var, other)
+                for sibling in written:
+                    if sibling != var and keep(sibling):
+                        graph.add_edge(var, sibling)
+    return graph

@@ -1,0 +1,39 @@
+"""Toy three-address intermediate representation.
+
+The IR models exactly what the paper assumes of a program: a control flow
+graph of basic blocks, each a sequence of instructions with explicit use and
+definition lists over an unbounded set of virtual registers (variables).
+
+Public surface:
+
+* :class:`~repro.ir.instructions.Opcode`, :class:`~repro.ir.instructions.Instr`
+* :class:`~repro.ir.basic_block.BasicBlock`
+* :class:`~repro.ir.function.Function`
+* :class:`~repro.ir.builder.FunctionBuilder` -- ergonomic construction DSL
+* :func:`~repro.ir.parser.parse_function` / :func:`~repro.ir.printer.format_function`
+* :func:`~repro.ir.validate.validate_function`
+"""
+
+from repro.ir.instructions import Instr, Opcode, is_phys, phys_reg, phys_index
+from repro.ir.basic_block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import format_function, format_instr
+from repro.ir.parser import parse_function
+from repro.ir.validate import validate_function, IRValidationError
+
+__all__ = [
+    "Instr",
+    "Opcode",
+    "BasicBlock",
+    "Function",
+    "FunctionBuilder",
+    "format_function",
+    "format_instr",
+    "parse_function",
+    "validate_function",
+    "IRValidationError",
+    "is_phys",
+    "phys_reg",
+    "phys_index",
+]

@@ -1,0 +1,221 @@
+"""Ergonomic construction of IR functions.
+
+The builder keeps a *current block* cursor and exposes one helper per
+opcode.  Example (the inner product kernel)::
+
+    b = FunctionBuilder("dot", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("s", 0)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.load("a", "A", "i")
+    b.load("x", "B", "i")
+    b.mul("p", "a", "x")
+    b.add("s", "s", "p")
+    b.addi("i", "i", 1)
+    b.br("head")
+    b.block("done")
+    b.ret("s")
+    fn = b.finish()
+
+``finish()`` wires the unique start/stop structure the paper requires: the
+first block created becomes ``start`` and a synthetic ``stop`` block is
+appended; every ``ret`` is routed through it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Instr,
+    Opcode,
+    make_binary,
+    make_unary,
+)
+
+
+class FunctionBuilder:
+    """Incremental :class:`~repro.ir.function.Function` constructor."""
+
+    def __init__(self, name: str, params: Iterable[str] = ()) -> None:
+        self._fn = Function(name, params, start_label="start", stop_label="stop")
+        self._current: Optional[BasicBlock] = None
+        self._finished = False
+        self._first_label: Optional[str] = None
+        self._ret_blocks: List[str] = []
+        self._tmp = 0
+
+    # ------------------------------------------------------------------
+    # blocks and control flow
+    # ------------------------------------------------------------------
+    def block(self, label: str) -> "FunctionBuilder":
+        """Start (or switch to) block *label*; subsequent emits target it.
+
+        If the previous block has no terminator and no successors yet, it
+        falls through to this one.
+        """
+        prev = self._current
+        if label in self._fn.blocks:
+            self._current = self._fn.blocks[label]
+        else:
+            self._current = self._fn.add_block(BasicBlock(label))
+            if self._first_label is None:
+                self._first_label = label
+            if prev is not None and prev.terminator is None and not prev.succ_labels:
+                prev.succ_labels.append(label)
+        return self
+
+    def emit(self, instr: Instr) -> "FunctionBuilder":
+        if self._current is None:
+            raise RuntimeError("no current block; call .block(label) first")
+        if self._current.terminator is not None:
+            raise RuntimeError(
+                f"block {self._current.label} already terminated"
+            )
+        self._current.instrs.append(instr)
+        return self
+
+    def br(self, target: str) -> "FunctionBuilder":
+        self.emit(Instr(Opcode.BR))
+        self._current.succ_labels = [target]
+        return self
+
+    def cbr(self, cond: str, if_true: str, if_false: str) -> "FunctionBuilder":
+        self.emit(Instr(Opcode.CBR, uses=(cond,)))
+        self._current.succ_labels = [if_true, if_false]
+        return self
+
+    def ret(self, *values: str) -> "FunctionBuilder":
+        self.emit(Instr(Opcode.RET, uses=tuple(values)))
+        self._ret_blocks.append(self._current.label)
+        self._current.succ_labels = []
+        return self
+
+    # ------------------------------------------------------------------
+    # value instructions
+    # ------------------------------------------------------------------
+    def const(self, dst: str, value) -> "FunctionBuilder":
+        return self.emit(Instr(Opcode.CONST, defs=(dst,), imm=value))
+
+    def copy(self, dst: str, src: str) -> "FunctionBuilder":
+        return self.emit(Instr(Opcode.COPY, defs=(dst,), uses=(src,)))
+
+    def load(self, dst: str, array: str, idx: str) -> "FunctionBuilder":
+        return self.emit(Instr(Opcode.LOAD, defs=(dst,), uses=(idx,), imm=array))
+
+    def store(self, array: str, idx: str, src: str) -> "FunctionBuilder":
+        return self.emit(Instr(Opcode.STORE, uses=(idx, src), imm=array))
+
+    def call(
+        self, dsts: Sequence[str], callee: str, args: Sequence[str]
+    ) -> "FunctionBuilder":
+        return self.emit(
+            Instr(Opcode.CALL, defs=tuple(dsts), uses=tuple(args), imm=callee)
+        )
+
+    def addi(self, dst: str, src: str, value) -> "FunctionBuilder":
+        """Add an immediate: materializes the constant into a fresh temp.
+
+        The toy IR has no immediate operands on arithmetic, matching the
+        paper's model where every operand occupies a register.
+        """
+        tmp = self._fresh("k")
+        self.const(tmp, value)
+        return self.add(dst, src, tmp)
+
+    def _fresh(self, prefix: str) -> str:
+        self._tmp += 1
+        return f".{prefix}{self._tmp}"
+
+    # Binary helpers generated explicitly for discoverability.
+    def add(self, dst, a, b):
+        return self.emit(make_binary(Opcode.ADD, dst, a, b))
+
+    def sub(self, dst, a, b):
+        return self.emit(make_binary(Opcode.SUB, dst, a, b))
+
+    def mul(self, dst, a, b):
+        return self.emit(make_binary(Opcode.MUL, dst, a, b))
+
+    def div(self, dst, a, b):
+        return self.emit(make_binary(Opcode.DIV, dst, a, b))
+
+    def mod(self, dst, a, b):
+        return self.emit(make_binary(Opcode.MOD, dst, a, b))
+
+    def min_(self, dst, a, b):
+        return self.emit(make_binary(Opcode.MIN, dst, a, b))
+
+    def max_(self, dst, a, b):
+        return self.emit(make_binary(Opcode.MAX, dst, a, b))
+
+    def and_(self, dst, a, b):
+        return self.emit(make_binary(Opcode.AND, dst, a, b))
+
+    def or_(self, dst, a, b):
+        return self.emit(make_binary(Opcode.OR, dst, a, b))
+
+    def cmplt(self, dst, a, b):
+        return self.emit(make_binary(Opcode.CMP_LT, dst, a, b))
+
+    def cmple(self, dst, a, b):
+        return self.emit(make_binary(Opcode.CMP_LE, dst, a, b))
+
+    def cmpeq(self, dst, a, b):
+        return self.emit(make_binary(Opcode.CMP_EQ, dst, a, b))
+
+    def cmpne(self, dst, a, b):
+        return self.emit(make_binary(Opcode.CMP_NE, dst, a, b))
+
+    def cmpgt(self, dst, a, b):
+        return self.emit(make_binary(Opcode.CMP_GT, dst, a, b))
+
+    def cmpge(self, dst, a, b):
+        return self.emit(make_binary(Opcode.CMP_GE, dst, a, b))
+
+    def neg(self, dst, a):
+        return self.emit(make_unary(Opcode.NEG, dst, a))
+
+    def not_(self, dst, a):
+        return self.emit(make_unary(Opcode.NOT, dst, a))
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def finish(self) -> Function:
+        """Seal the function: wire start/stop and return it.
+
+        * A ``start`` block is prepended that falls through to the first
+          user block (so the start block has no predecessors even if the
+          first user block is a loop header).
+        * All return blocks are given the synthetic ``stop`` block as their
+          single successor; the ``RET`` instruction is moved into ``stop``
+          when there is exactly one ret, otherwise ``stop`` stays empty and
+          each ret block keeps its own ``RET`` with an edge to ``stop``.
+        """
+        if self._finished:
+            raise RuntimeError("finish() called twice")
+        if self._first_label is None:
+            raise RuntimeError("function has no blocks")
+        self._finished = True
+        fn = self._fn
+
+        start = fn.add_block(BasicBlock("start", [], [self._first_label]))
+        stop = fn.add_block(BasicBlock("stop", [], []))
+
+        for label in self._ret_blocks:
+            fn.blocks[label].succ_labels = ["stop"]
+        if not self._ret_blocks:
+            # No explicit ret: route every successor-less block to stop.
+            for block in list(fn.blocks.values()):
+                if block.label not in ("stop",) and not block.succ_labels:
+                    if block is not start:
+                        block.succ_labels = ["stop"]
+        return fn

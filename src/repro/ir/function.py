@@ -1,0 +1,201 @@
+"""Functions: control flow graphs of basic blocks.
+
+Matches the paper's program model: ``G = (B, E, start, stop)`` with a unique
+``start`` block with no predecessors and a unique ``stop`` block with no
+successors (section 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.instructions import Instr, Opcode
+
+
+class Function:
+    """A named CFG with parameters and a designated start/stop block pair.
+
+    Blocks are held in an insertion-ordered dict keyed by label.  Edges are
+    derived from each block's ``succ_labels``.  Mutating helpers
+    (:meth:`insert_block_on_edge`, :meth:`add_block`) keep the successor
+    lists consistent; analyses are recomputed on demand rather than cached
+    here, so mutation never leaves stale results behind.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Iterable[str] = (),
+        start_label: str = "start",
+        stop_label: str = "stop",
+    ) -> None:
+        self.name = name
+        self.params: List[str] = list(params)
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.start_label = start_label
+        self.stop_label = stop_label
+        self._label_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # block management
+    # ------------------------------------------------------------------
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self.blocks:
+            raise ValueError(f"duplicate block label {block.label!r}")
+        self.blocks[block.label] = block
+        return block
+
+    def new_label(self, prefix: str = "bb") -> str:
+        """A label not yet used in this function."""
+        while True:
+            label = f"{prefix}.{next(self._label_counter)}"
+            if label not in self.blocks:
+                return label
+
+    def block(self, label: str) -> BasicBlock:
+        return self.blocks[label]
+
+    @property
+    def start(self) -> BasicBlock:
+        return self.blocks[self.start_label]
+
+    @property
+    def stop(self) -> BasicBlock:
+        return self.blocks[self.stop_label]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def successors(self, label: str) -> List[str]:
+        return list(self.blocks[label].succ_labels)
+
+    def predecessors_map(self) -> Dict[str, List[str]]:
+        """Label -> list of predecessor labels (in deterministic order)."""
+        preds: Dict[str, List[str]] = {label: [] for label in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.succ_labels:
+                preds[succ].append(block.label)
+        return preds
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All control flow edges as (src, dst) label pairs."""
+        out: List[Tuple[str, str]] = []
+        for block in self.blocks.values():
+            for succ in block.succ_labels:
+                out.append((block.label, succ))
+        return out
+
+    # ------------------------------------------------------------------
+    # mutation helpers
+    # ------------------------------------------------------------------
+    def insert_block_on_edge(
+        self, src: str, dst: str, label: Optional[str] = None
+    ) -> BasicBlock:
+        """Split edge ``src -> dst`` with a fresh empty block.
+
+        This is the paper's "inserted on an edge" operation: "a new basic
+        block is created which is executed only when this edge is traversed;
+        fix-up code is placed in this block."  If the edge occurs several
+        times in the successor list (a CBR whose arms coincide), only the
+        first occurrence is redirected.
+        """
+        if label is None:
+            label = self.new_label("fix")
+        new_block = BasicBlock(label, [], [dst])
+        src_block = self.blocks[src]
+        try:
+            idx = src_block.succ_labels.index(dst)
+        except ValueError:
+            raise ValueError(f"no edge {src} -> {dst}") from None
+        src_block.succ_labels[idx] = label
+        self.add_block(new_block)
+        return new_block
+
+    def remove_empty_block(self, label: str) -> None:
+        """Unlink an empty pass-through block with a single successor.
+
+        Used to clean fix-up blocks that received no spill code.
+        """
+        block = self.blocks[label]
+        if label in (self.start_label, self.stop_label):
+            raise ValueError("cannot remove start/stop block")
+        if not block.is_empty() or len(block.succ_labels) != 1:
+            raise ValueError(f"block {label} is not an empty pass-through block")
+        target = block.succ_labels[0]
+        for other in self.blocks.values():
+            other.succ_labels = [
+                target if s == label else s for s in other.succ_labels
+            ]
+        del self.blocks[label]
+
+    # ------------------------------------------------------------------
+    # whole-function queries
+    # ------------------------------------------------------------------
+    def variables(self) -> Set[str]:
+        out: Set[str] = set(self.params)
+        for block in self.blocks.values():
+            out.update(block.variables())
+        return out
+
+    def instructions(self) -> Iterator[Tuple[BasicBlock, Instr]]:
+        for block in self.blocks.values():
+            for instr in block.instrs:
+                yield block, instr
+
+    def instr_count(self) -> int:
+        return sum(len(b) for b in self.blocks.values())
+
+    def rpo(self) -> List[str]:
+        """Reverse postorder over block labels from the start block."""
+        seen: Set[str] = set()
+        order: List[str] = []
+        stack: List[Tuple[str, Iterator[str]]] = []
+
+        def push(label: str) -> None:
+            seen.add(label)
+            stack.append((label, iter(self.blocks[label].succ_labels)))
+
+        push(self.start_label)
+        while stack:
+            label, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in seen:
+                    push(succ)
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(label)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def reachable(self) -> Set[str]:
+        return set(self.rpo())
+
+    def clone(self) -> "Function":
+        """Deep copy (instruction uids preserved)."""
+        fn = Function(self.name, self.params, self.start_label, self.stop_label)
+        for block in self.blocks.values():
+            fn.add_block(block.clone())
+        fn._label_counter = itertools.count(self._next_counter_start())
+        return fn
+
+    def _next_counter_start(self) -> int:
+        best = 1
+        for label in self.blocks:
+            parts = label.rsplit(".", 1)
+            if len(parts) == 2 and parts[1].isdigit():
+                best = max(best, int(parts[1]) + 1)
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Function {self.name}: {len(self.blocks)} blocks>"

@@ -1,0 +1,124 @@
+"""Function inlining (paper section 6).
+
+"Inline expansion ... can have a detrimental effect on traditional register
+allocators since a natural spill point (the call site) has been removed.
+Since our method retains natural spill points such as loop boundaries and
+nested control we should not suffer any side effects.  Further, since the
+local variables of the inlined function will all be local to the function's
+tile, the cost of coloring after inline expansion should be proportional to
+the combined cost of coloring each function separately."
+
+:func:`inline_call` splices a callee's CFG into a caller at one call site;
+experiment E13 measures the claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, Opcode
+
+_inline_counter = itertools.count(1)
+
+
+class InlineError(ValueError):
+    """Raised when a call site cannot be inlined."""
+
+
+def find_call(caller: Function, callee_name: str):
+    """Locate the first CALL to *callee_name*: (block label, instr index)."""
+    for label, block in caller.blocks.items():
+        for idx, instr in enumerate(block.instrs):
+            if instr.op is Opcode.CALL and instr.imm == callee_name:
+                return label, idx
+    raise InlineError(f"no call to {callee_name!r} in {caller.name!r}")
+
+
+def inline_call(
+    caller: Function,
+    callee: Function,
+    site: Optional[tuple] = None,
+) -> Function:
+    """Return a copy of *caller* with one call to *callee* expanded inline.
+
+    The callee's variables and labels are renamed apart (prefix
+    ``inlN.``); parameters become copies of the argument variables;
+    each return becomes copies into the call's destinations plus a jump to
+    the code after the call.  Array state is shared (both functions address
+    the same memory), matching the simulator's semantics.
+    """
+    if site is None:
+        site = find_call(caller, callee.name)
+    label, idx = site
+    out = caller.clone()
+    call = out.blocks[label].instrs[idx]
+    if call.op is not Opcode.CALL:
+        raise InlineError(f"instruction at {site} is not a call")
+    if len(call.uses) != len(callee.params):
+        raise InlineError(
+            f"call passes {len(call.uses)} args, callee takes "
+            f"{len(callee.params)}"
+        )
+
+    tag = f"inl{next(_inline_counter)}"
+
+    def var_of(name: str) -> str:
+        return f"{tag}.{name}"
+
+    def label_of(name: str) -> str:
+        return f"{tag}.{name}"
+
+    # Split the call block: head keeps everything before the call, tail
+    # receives everything after it (including the terminator).
+    head = out.blocks[label]
+    before = head.instrs[:idx]
+    after = head.instrs[idx + 1:]
+    tail_label = out.new_label(f"{tag}.ret")
+    tail = BasicBlock(tail_label, after, list(head.succ_labels))
+    out.add_block(tail)
+
+    head.instrs = before
+    for param, arg in zip(callee.params, call.uses):
+        head.instrs.append(
+            Instr(Opcode.COPY, defs=(var_of(param),), uses=(arg,))
+        )
+    callee_entry = callee.blocks[callee.start_label].succ_labels[0]
+    head.succ_labels = [label_of(callee_entry)]
+
+    # Splice the callee body (excluding its start/stop blocks).
+    for cb_label, cb in callee.blocks.items():
+        if cb_label in (callee.start_label, callee.stop_label):
+            continue
+        new_block = BasicBlock(label_of(cb_label))
+        for instr in cb.instrs:
+            if instr.op is Opcode.RET:
+                for dst, src in zip(call.defs, instr.uses):
+                    new_block.instrs.append(
+                        Instr(Opcode.COPY, defs=(dst,), uses=(var_of(src),))
+                    )
+                new_block.instrs.append(Instr(Opcode.BR))
+            else:
+                new_block.instrs.append(
+                    instr.fresh_clone().rewrite(var_of)
+                )
+        new_block.succ_labels = [
+            tail_label if succ == callee.stop_label else label_of(succ)
+            for succ in cb.succ_labels
+        ]
+        out.add_block(new_block)
+
+    return out
+
+
+def inline_all(caller: Function, callee: Function) -> Function:
+    """Inline every call to *callee* (fixed point)."""
+    out = caller
+    while True:
+        try:
+            site = find_call(out, callee.name)
+        except InlineError:
+            return out
+        out = inline_call(out, callee, site)

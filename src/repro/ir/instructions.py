@@ -1,0 +1,237 @@
+"""Instruction set of the toy IR.
+
+Instructions are three-address operations over *virtual registers*
+(arbitrary identifier strings).  After register allocation the same
+instruction classes are reused with *physical register* names, which by
+convention are spelled ``R0``, ``R1``, ... (see :func:`phys_reg`).
+
+Every instruction carries explicit ``defs`` and ``uses`` tuples; the
+allocators consume nothing else about an instruction except its opcode
+(for spill-cost and preference special cases such as :attr:`Opcode.COPY`).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Tuple
+
+
+class Opcode(enum.Enum):
+    """Operation codes for the toy IR.
+
+    The set is intentionally small but sufficient to express the numeric
+    kernels and control-flow shapes used throughout the paper: arithmetic,
+    comparisons, array loads/stores, branches, calls and the spill
+    instructions inserted by register allocation.
+    """
+
+    # Value-producing operations.
+    CONST = "const"     # dst = imm
+    COPY = "copy"       # dst = src  (source of preferences, paper section 3)
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"         # integer division semantics in the simulator
+    MOD = "mod"
+    NEG = "neg"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    CMP_LT = "cmplt"
+    CMP_LE = "cmple"
+    CMP_EQ = "cmpeq"
+    CMP_NE = "cmpne"
+    CMP_GT = "cmpgt"
+    CMP_GE = "cmpge"
+
+    # Program-level memory traffic (distinct from spill traffic).
+    LOAD = "load"       # dst = array[idx]      (imm = array name)
+    STORE = "store"     # array[idx] = src      (imm = array name)
+
+    # Calls (lowered before allocation by repro.machine.calls).
+    CALL = "call"       # dsts = call imm(uses)
+
+    # Control flow (block terminators).
+    BR = "br"           # unconditional; successor taken from the block
+    CBR = "cbr"         # conditional on single use; successors[0]=true
+    RET = "ret"         # return uses; only legal in the stop block
+
+    # Inserted by register allocation.
+    SPILL_ST = "spillst"   # slot(imm) = src   -- store to a spill slot
+    SPILL_LD = "spillld"   # dst = slot(imm)   -- reload from a spill slot
+    MOVE = "move"          # dst = src         -- register-to-register transfer
+    NOP = "nop"
+
+
+#: Opcodes that terminate a basic block.
+TERMINATORS = frozenset({Opcode.BR, Opcode.CBR, Opcode.RET})
+
+#: Opcodes whose execution touches memory (the quantity the paper minimizes
+#: is *dynamic memory references*; spill traffic and program traffic are
+#: tallied separately by the simulator).
+MEMORY_OPS = frozenset({Opcode.LOAD, Opcode.STORE, Opcode.SPILL_ST, Opcode.SPILL_LD})
+
+#: Spill instructions specifically (inserted by allocators).
+SPILL_OPS = frozenset({Opcode.SPILL_ST, Opcode.SPILL_LD})
+
+_BINARY_EVAL = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: lambda a, b: int(a / b) if b != 0 else 0,
+    Opcode.MOD: lambda a, b: a % b if b != 0 else 0,
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+    Opcode.AND: lambda a, b: int(bool(a) and bool(b)),
+    Opcode.OR: lambda a, b: int(bool(a) or bool(b)),
+    Opcode.CMP_LT: lambda a, b: int(a < b),
+    Opcode.CMP_LE: lambda a, b: int(a <= b),
+    Opcode.CMP_EQ: lambda a, b: int(a == b),
+    Opcode.CMP_NE: lambda a, b: int(a != b),
+    Opcode.CMP_GT: lambda a, b: int(a > b),
+    Opcode.CMP_GE: lambda a, b: int(a >= b),
+}
+
+_UNARY_EVAL = {
+    Opcode.NEG: lambda a: -a,
+    Opcode.NOT: lambda a: int(not a),
+}
+
+BINARY_OPS = frozenset(_BINARY_EVAL)
+UNARY_OPS = frozenset(_UNARY_EVAL)
+
+_PHYS_RE = re.compile(r"^R(\d+)$")
+
+_instr_counter = itertools.count(1)
+
+
+def phys_reg(index: int) -> str:
+    """Return the canonical name of physical register *index* (``R0`` ...)."""
+    return f"R{index}"
+
+
+def is_phys(name: str) -> bool:
+    """True if *name* is a physical register name (``R<digits>``)."""
+    return _PHYS_RE.match(name) is not None
+
+
+def phys_index(name: str) -> int:
+    """Inverse of :func:`phys_reg`; raises ``ValueError`` on non-physical names."""
+    m = _PHYS_RE.match(name)
+    if m is None:
+        raise ValueError(f"{name!r} is not a physical register name")
+    return int(m.group(1))
+
+
+@dataclass
+class Instr:
+    """A single three-address instruction.
+
+    Attributes:
+        op: the :class:`Opcode`.
+        defs: variables defined (written) by this instruction.
+        uses: variables used (read) by this instruction, in operand order.
+        imm: opcode-specific payload -- the literal for ``CONST``, the array
+            name for ``LOAD``/``STORE``, the callee name for ``CALL``, the
+            spill-slot key for ``SPILL_LD``/``SPILL_ST``.
+        clobbers: physical registers destroyed as a side effect (calls).
+        uid: unique id, stable across copies made with :meth:`clone`, used
+            to key per-instruction analysis results.
+    """
+
+    op: Opcode
+    defs: Tuple[str, ...] = ()
+    uses: Tuple[str, ...] = ()
+    imm: Any = None
+    clobbers: Tuple[str, ...] = ()
+    uid: int = field(default_factory=lambda: next(_instr_counter))
+
+    def __post_init__(self) -> None:
+        self.defs = tuple(self.defs)
+        self.uses = tuple(self.uses)
+        self.clobbers = tuple(self.clobbers)
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATORS
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    @property
+    def is_spill(self) -> bool:
+        return self.op in SPILL_OPS
+
+    @property
+    def is_copy_like(self) -> bool:
+        """Copies and moves generate preferences (paper section 3)."""
+        return self.op in (Opcode.COPY, Opcode.MOVE)
+
+    def variables(self) -> Tuple[str, ...]:
+        """All variables referenced (defs then uses)."""
+        return self.defs + self.uses
+
+    def rewrite(self, mapping) -> "Instr":
+        """Return a copy with defs/uses substituted through *mapping*.
+
+        *mapping* is any callable ``old_name -> new_name``; names absent
+        from the mapping should be returned unchanged by the callable.
+        The ``uid`` is preserved so analysis keyed on uids stays valid.
+        """
+        return replace(
+            self,
+            defs=tuple(mapping(d) for d in self.defs),
+            uses=tuple(mapping(u) for u in self.uses),
+            uid=self.uid,
+        )
+
+    def clone(self) -> "Instr":
+        """Structural copy preserving the uid."""
+        return replace(self)
+
+    def fresh_clone(self) -> "Instr":
+        """Structural copy with a brand-new uid."""
+        return replace(self, uid=next(_instr_counter))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.ir.printer import format_instr
+
+        return f"<Instr {format_instr(self)}>"
+
+
+def make_binary(op: Opcode, dst: str, lhs: str, rhs: str) -> Instr:
+    """Construct a binary arithmetic/comparison instruction."""
+    if op not in BINARY_OPS:
+        raise ValueError(f"{op} is not a binary opcode")
+    return Instr(op, defs=(dst,), uses=(lhs, rhs))
+
+
+def make_unary(op: Opcode, dst: str, src: str) -> Instr:
+    """Construct a unary instruction."""
+    if op not in UNARY_OPS:
+        raise ValueError(f"{op} is not a unary opcode")
+    return Instr(op, defs=(dst,), uses=(src,))
+
+
+def eval_binary(op: Opcode, a, b):
+    """Evaluate a binary opcode on concrete values (simulator hook)."""
+    return _BINARY_EVAL[op](a, b)
+
+
+def eval_unary(op: Opcode, a):
+    """Evaluate a unary opcode on a concrete value (simulator hook)."""
+    return _UNARY_EVAL[op](a)
+
+
+def opcode_from_mnemonic(mnemonic: str) -> Opcode:
+    """Look up an :class:`Opcode` by its textual mnemonic."""
+    for op in Opcode:
+        if op.value == mnemonic:
+            return op
+    raise ValueError(f"unknown opcode mnemonic {mnemonic!r}")

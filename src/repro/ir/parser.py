@@ -1,0 +1,151 @@
+"""Parser for the textual IR produced by :mod:`repro.ir.printer`.
+
+The grammar is line-oriented::
+
+    func NAME(p1, p2) start=LBL stop=LBL
+    LBL:
+      x = const 3
+      y = add x, x
+      z = load A[i]
+      store A[i], z
+      cbr c
+      -> then_lbl, else_lbl
+    ...
+
+Successor lists follow the block body on a ``->`` line.  Round-tripping
+``parse_function(format_function(fn))`` reproduces an equivalent function.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BINARY_OPS,
+    Instr,
+    Opcode,
+    UNARY_OPS,
+    opcode_from_mnemonic,
+)
+
+_FUNC_RE = re.compile(
+    r"^func\s+(\w[\w.]*)\((.*?)\)\s+start=(\S+)\s+stop=(\S+)\s*$"
+)
+_LABEL_RE = re.compile(r"^([\w.$%]+):\s*$")
+_SUCC_RE = re.compile(r"^->\s*(.*)$")
+_ASSIGN_RE = re.compile(r"^(.*?)\s*=\s*(.*)$")
+_LOAD_RE = re.compile(r"^load\s+([\w.$%]+)\[([\w.$%]+)\]$")
+_STORE_RE = re.compile(r"^store\s+([\w.$%]+)\[([\w.$%]+)\],\s*([\w.$%]+)$")
+_CALL_RE = re.compile(r"^call\s+([\w.$%]+)\((.*?)\)$")
+_SPILL_ST_RE = re.compile(r"^spillst\s+\[(.*?)\],\s*([\w.$%]+)$")
+_SPILL_LD_RE = re.compile(r"^spillld\s+\[(.*?)\]$")
+
+
+class IRParseError(ValueError):
+    """Raised on malformed IR text."""
+
+
+def _split_names(text: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _parse_rhs(dsts: List[str], rhs: str) -> Instr:
+    rhs = rhs.strip()
+    m = _LOAD_RE.match(rhs)
+    if m:
+        return Instr(Opcode.LOAD, defs=tuple(dsts), uses=(m.group(2),), imm=m.group(1))
+    m = _CALL_RE.match(rhs)
+    if m:
+        return Instr(
+            Opcode.CALL, defs=tuple(dsts), uses=tuple(_split_names(m.group(2))), imm=m.group(1)
+        )
+    m = _SPILL_LD_RE.match(rhs)
+    if m:
+        return Instr(Opcode.SPILL_LD, defs=tuple(dsts), imm=ast.literal_eval(m.group(1)) if m.group(1)[:1] in "'\"([0123456789-" else m.group(1))
+    parts = rhs.split(None, 1)
+    if not parts:
+        raise IRParseError(f"empty right-hand side in {rhs!r}")
+    mnemonic = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    op = opcode_from_mnemonic(mnemonic)
+    if op is Opcode.CONST:
+        return Instr(op, defs=tuple(dsts), imm=ast.literal_eval(rest))
+    operands = _split_names(rest)
+    if op in (Opcode.COPY, Opcode.MOVE):
+        return Instr(op, defs=tuple(dsts), uses=(operands[0],))
+    if op in BINARY_OPS or op in UNARY_OPS:
+        return Instr(op, defs=tuple(dsts), uses=tuple(operands))
+    raise IRParseError(f"cannot parse rhs {rhs!r}")
+
+
+def _parse_instr(line: str) -> Instr:
+    m = _ASSIGN_RE.match(line)
+    if m and "[" not in m.group(1):
+        dsts = _split_names(m.group(1))
+        return _parse_rhs(dsts, m.group(2))
+    m = _STORE_RE.match(line)
+    if m:
+        return Instr(Opcode.STORE, uses=(m.group(2), m.group(3)), imm=m.group(1))
+    m = _SPILL_ST_RE.match(line)
+    if m:
+        slot = m.group(1)
+        try:
+            slot = ast.literal_eval(slot)
+        except (ValueError, SyntaxError):
+            pass
+        return Instr(Opcode.SPILL_ST, uses=(m.group(2),), imm=slot)
+    m = _CALL_RE.match(line)
+    if m:
+        return Instr(Opcode.CALL, uses=tuple(_split_names(m.group(2))), imm=m.group(1))
+    if line == "br":
+        return Instr(Opcode.BR)
+    if line == "nop":
+        return Instr(Opcode.NOP)
+    if line.startswith("cbr"):
+        cond = line[3:].strip()
+        return Instr(Opcode.CBR, uses=(cond,))
+    if line == "ret":
+        return Instr(Opcode.RET)
+    if line.startswith("ret"):
+        return Instr(Opcode.RET, uses=tuple(_split_names(line[3:])))
+    raise IRParseError(f"cannot parse instruction {line!r}")
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single function from *text*."""
+    lines = [ln.strip() for ln in text.splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("#")]
+    if not lines:
+        raise IRParseError("empty input")
+    m = _FUNC_RE.match(lines[0])
+    if not m:
+        raise IRParseError(f"bad function header {lines[0]!r}")
+    name, params_text, start_label, stop_label = m.groups()
+    fn = Function(name, _split_names(params_text), start_label, stop_label)
+
+    current: Optional[BasicBlock] = None
+    for line in lines[1:]:
+        lm = _LABEL_RE.match(line)
+        if lm:
+            current = fn.add_block(BasicBlock(lm.group(1)))
+            continue
+        sm = _SUCC_RE.match(line)
+        if sm:
+            if current is None:
+                raise IRParseError("successor list before any block")
+            current.succ_labels = _split_names(sm.group(1))
+            continue
+        if current is None:
+            raise IRParseError(f"instruction outside block: {line!r}")
+        current.instrs.append(_parse_instr(line))
+
+    if fn.start_label not in fn.blocks or fn.stop_label not in fn.blocks:
+        raise IRParseError("missing start or stop block")
+    return fn

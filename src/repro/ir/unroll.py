@@ -1,0 +1,97 @@
+"""Loop unrolling.
+
+The paper's introduction motivates structure-aware allocation with exactly
+this transformation: "aggressive loop unrolling and operation scheduling
+are required, both of which increase register pressure at various points in
+the program."
+
+:func:`unroll_loop` replicates a loop body *factor* times, chaining each
+copy's back edge to the next copy's header (the last copy closes the loop).
+Every copy keeps its own exit tests, so the transformation is correct for
+any trip count -- no prologue or remainder loop is needed.  Variables are
+shared between copies (the IR is not SSA), so behaviour is preserved
+verbatim; pressure effects appear once renaming or scheduling runs over
+the enlarged body, or simply through the enlarged tiles the allocator must
+color (bench E16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.loops import build_loop_forest
+from repro.ir.function import Function
+
+
+class UnrollError(ValueError):
+    """Raised when a loop cannot be unrolled."""
+
+
+def unroll_loop(
+    fn: Function, header: Optional[str] = None, factor: int = 2
+) -> Function:
+    """Return a copy of *fn* with one loop unrolled *factor* times.
+
+    Args:
+        fn: the function.
+        header: loop-top label; defaults to (one of) the innermost loops.
+        factor: total number of body copies (2 = doubled).
+    """
+    if factor < 2:
+        return fn.clone()
+    forest = build_loop_forest(fn)
+    if not len(forest):
+        raise UnrollError("function has no loops")
+    if header is None:
+        loop = max(forest, key=lambda l: l.depth)
+    else:
+        matches = [l for l in forest if l.header == header]
+        if not matches:
+            raise UnrollError(f"no loop with header {header!r}")
+        loop = max(matches, key=lambda l: l.depth)
+    if loop.irreducible:
+        raise UnrollError("cannot unroll an irreducible loop")
+
+    out = fn.clone()
+    loop_blocks = sorted(loop.blocks)
+
+    def copy_label(label: str, k: int) -> str:
+        return label if k == 0 else f"{label}.u{k}"
+
+    # Create the copies.
+    for k in range(1, factor):
+        for label in loop_blocks:
+            block = out.blocks[label].clone()
+            block.label = copy_label(label, k)
+            block.instrs = [i.fresh_clone() for i in block.instrs]
+            out.add_block(block)
+
+    # Rewire successors: within copy k, internal edges stay in copy k,
+    # except edges to the header (back edges), which advance to copy k+1;
+    # the last copy returns to the original header.  Exit edges are left
+    # pointing outside the loop.
+    for k in range(factor):
+        for label in loop_blocks:
+            block = out.blocks[copy_label(label, k)]
+            new_succs = []
+            for succ in block.succ_labels:
+                if succ == loop.header:
+                    nxt = (k + 1) % factor
+                    new_succs.append(copy_label(loop.header, nxt))
+                elif succ in loop.blocks:
+                    new_succs.append(copy_label(succ, k))
+                else:
+                    new_succs.append(succ)
+            block.succ_labels = new_succs
+
+    return out
+
+
+def unroll_innermost(fn: Function, factor: int = 2) -> Function:
+    """Unroll every innermost loop of *fn* by *factor*."""
+    forest = build_loop_forest(fn)
+    headers = [l.header for l in forest if not l.children and not l.irreducible]
+    out = fn
+    for header in headers:
+        out = unroll_loop(out, header=header, factor=factor)
+    return out

@@ -1,0 +1,17 @@
+"""Machine model: target description, simulator/profiler, rewriting."""
+
+from repro.machine.target import Machine
+from repro.machine.simulator import (
+    ExecutionResult,
+    Profile,
+    SimulationError,
+    simulate,
+)
+
+__all__ = [
+    "Machine",
+    "ExecutionResult",
+    "Profile",
+    "SimulationError",
+    "simulate",
+]

@@ -1,0 +1,93 @@
+"""Target machine description.
+
+The paper's machine model: "The target machine has a finite set R of
+physical registers and an unbounded set M of memory locations."  We add the
+linkage-convention attributes discussed in section 6 (caller/callee-save
+partitions, argument/result registers) so the shrink-wrapping experiment can
+be expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from repro.ir.instructions import phys_reg
+
+
+@dataclass(frozen=True)
+class Machine:
+    """An abstract register machine.
+
+    Attributes:
+        num_registers: ``|R|``, the number of allocatable physical registers.
+        callee_save: indices of registers the callee must preserve.
+        arg_regs: indices used to pass call arguments, in order.
+        ret_regs: indices used to return call results, in order.
+        load_cost / store_cost: unit costs of a dynamic memory reference;
+            the paper assumes "unit cost to load or store a variable" and
+            the defaults keep that, but the cost model is a knob.
+        move_cost: cost of a register-to-register transfer (cheap but not
+            free, so benches can report it separately).
+    """
+
+    num_registers: int
+    callee_save: FrozenSet[int] = frozenset()
+    arg_regs: Tuple[int, ...] = ()
+    ret_regs: Tuple[int, ...] = ()
+    load_cost: float = 1.0
+    store_cost: float = 1.0
+    move_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_registers < 1:
+            raise ValueError("machine needs at least one register")
+        for idx in self.callee_save:
+            if not 0 <= idx < self.num_registers:
+                raise ValueError(f"callee-save register {idx} out of range")
+        for idx in self.arg_regs + self.ret_regs:
+            if not 0 <= idx < self.num_registers:
+                raise ValueError(f"linkage register {idx} out of range")
+
+    @property
+    def registers(self) -> List[str]:
+        """Names of all physical registers."""
+        return [phys_reg(i) for i in range(self.num_registers)]
+
+    @property
+    def caller_save(self) -> FrozenSet[int]:
+        return frozenset(range(self.num_registers)) - self.callee_save
+
+    def callee_save_names(self) -> List[str]:
+        return [phys_reg(i) for i in sorted(self.callee_save)]
+
+    @staticmethod
+    def simple(num_registers: int) -> "Machine":
+        """A machine with *num_registers* and no linkage structure.
+
+        This is the configuration of the paper's Figure 1 example
+        ("a two-register machine" when ``num_registers=2``).
+        """
+        return Machine(num_registers=num_registers)
+
+    @staticmethod
+    def with_linkage(num_registers: int, num_callee_save: int = 0,
+                     num_args: int = 2) -> "Machine":
+        """A machine with a conventional linkage split.
+
+        Low registers are caller-save scratch/argument registers, the top
+        *num_callee_save* registers are callee-save.  Result register is
+        ``R0`` as on most conventional targets.
+        """
+        if num_callee_save >= num_registers:
+            raise ValueError("need at least one caller-save register")
+        callee = frozenset(
+            range(num_registers - num_callee_save, num_registers)
+        )
+        args = tuple(range(min(num_args, num_registers - num_callee_save)))
+        return Machine(
+            num_registers=num_registers,
+            callee_save=callee,
+            arg_regs=args,
+            ret_regs=(0,),
+        )

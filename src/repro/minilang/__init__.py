@@ -1,0 +1,39 @@
+"""MiniLang: a small imperative front end for the toy IR.
+
+The paper's allocator consumes a CFG; MiniLang provides a convenient way to
+produce realistic ones from source text::
+
+    func dot(n) {
+        var i = 0;
+        var s = 0;
+        while (i < n) {
+            s = s + A[i] * B[i];
+            i = i + 1;
+        }
+        return s;
+    }
+
+Pipeline: :func:`tokenize` -> :func:`parse` (AST) -> :func:`lower`
+(IR function).  :func:`compile_source` runs all three.
+"""
+
+from repro.minilang.lexer import MiniLangError, Token, tokenize
+from repro.minilang.parser import parse
+from repro.minilang.lower import lower
+from repro.minilang import ast_nodes as ast
+
+
+def compile_source(text: str):
+    """Compile MiniLang source to an IR :class:`~repro.ir.function.Function`."""
+    return lower(parse(tokenize(text)))
+
+
+__all__ = [
+    "MiniLangError",
+    "Token",
+    "tokenize",
+    "parse",
+    "lower",
+    "compile_source",
+    "ast",
+]

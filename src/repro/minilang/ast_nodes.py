@@ -1,0 +1,101 @@
+"""MiniLang abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+@dataclass
+class Num(Node):
+    value: int = 0
+
+
+@dataclass
+class Var(Node):
+    name: str = ""
+
+
+@dataclass
+class ArrayLoad(Node):
+    array: str = ""
+    index: "Node" = None
+
+
+@dataclass
+class Call(Node):
+    callee: str = ""
+    args: List["Node"] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""
+    operand: "Node" = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""
+    left: "Node" = None
+    right: "Node" = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    value: Node = None
+
+
+@dataclass
+class Assign(Node):
+    name: str = ""
+    value: Node = None
+
+
+@dataclass
+class ArrayStore(Node):
+    array: str = ""
+    index: Node = None
+    value: Node = None
+
+
+@dataclass
+class If(Node):
+    cond: Node = None
+    then_body: List[Node] = field(default_factory=list)
+    else_body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Node = None
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Return(Node):
+    value: Node = None
+
+
+@dataclass
+class Program(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)

@@ -1,0 +1,83 @@
+"""MiniLang tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {"func", "var", "if", "else", "while", "break", "return"}
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<=", ">=", "==", "!=", "&&", "||",
+    "<", ">", "+", "-", "*", "/", "%", "!", "=",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class MiniLangError(ValueError):
+    """Raised on lexical, syntactic or semantic errors, with a line number."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``"int"``, ``"ident"``, a keyword, an operator literal, or
+    ``"eof"``; ``value`` carries the integer value or identifier text.
+    """
+
+    kind: str
+    value: object
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.value!r}, line {self.line})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; comments run from ``#`` or ``//`` to end of line."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#" or text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            tokens.append(Token("int", int(text[start:i]), line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            kind = word if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(op, op, line))
+                i += len(op)
+                break
+        else:
+            raise MiniLangError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens

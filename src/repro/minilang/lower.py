@@ -1,0 +1,240 @@
+"""Lowering MiniLang ASTs to the toy IR.
+
+Semantics notes:
+
+* Variables are lexically scoped; an inner ``var`` shadows an outer one
+  (shadowed variables get fresh IR names).
+* ``&&`` / ``||`` are *non-short-circuit* (they lower to the IR's AND/OR
+  instructions); this keeps conditions as plain values, which is what the
+  toy IR's CBR consumes.
+* Arrays need no declaration -- they are the simulator's unbounded
+  zero-initialized memories and live in a separate namespace from scalars.
+* Statements after a ``break`` or ``return`` in the same block are
+  rejected as unreachable (the IR validator requires reachable blocks).
+* A function body that can fall off the end implicitly returns 0.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode, make_binary, make_unary
+from repro.minilang import ast_nodes as ast
+from repro.minilang.lexer import MiniLangError
+
+_BINARY_OPCODES = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "<": Opcode.CMP_LT,
+    "<=": Opcode.CMP_LE,
+    "==": Opcode.CMP_EQ,
+    "!=": Opcode.CMP_NE,
+    ">": Opcode.CMP_GT,
+    ">=": Opcode.CMP_GE,
+    "&&": Opcode.AND,
+    "||": Opcode.OR,
+}
+
+
+class _Lowerer:
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.builder = FunctionBuilder(program.name, params=program.params)
+        self._temp = itertools.count(1)
+        self._label = itertools.count(1)
+        self._scopes: List[Dict[str, str]] = [
+            {p: p for p in program.params}
+        ]
+        self._shadow = itertools.count(1)
+        self._loop_exits: List[str] = []
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def fresh_temp(self) -> str:
+        return f".t{next(self._temp)}"
+
+    def fresh_label(self, prefix: str) -> str:
+        return f"{prefix}{next(self._label)}"
+
+    def lookup(self, name: str, line: int) -> str:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise MiniLangError(f"undeclared variable {name!r}", line)
+
+    def declare(self, name: str, line: int) -> str:
+        scope = self._scopes[-1]
+        if name in scope:
+            raise MiniLangError(
+                f"variable {name!r} already declared in this scope", line
+            )
+        shadowed = any(name in s for s in self._scopes[:-1])
+        ir_name = f"{name}.s{next(self._shadow)}" if shadowed else name
+        scope[name] = ir_name
+        return ir_name
+
+    # ------------------------------------------------------------------
+    # expressions (return the IR variable holding the value)
+    # ------------------------------------------------------------------
+    def expr(self, node: ast.Node) -> str:
+        b = self.builder
+        if isinstance(node, ast.Num):
+            temp = self.fresh_temp()
+            b.const(temp, node.value)
+            return temp
+        if isinstance(node, ast.Var):
+            return self.lookup(node.name, node.line)
+        if isinstance(node, ast.ArrayLoad):
+            index = self.expr(node.index)
+            temp = self.fresh_temp()
+            b.load(temp, node.array, index)
+            return temp
+        if isinstance(node, ast.Call):
+            args = [self.expr(a) for a in node.args]
+            temp = self.fresh_temp()
+            b.call([temp], node.callee, args)
+            return temp
+        if isinstance(node, ast.Unary):
+            operand = self.expr(node.operand)
+            temp = self.fresh_temp()
+            op = Opcode.NEG if node.op == "-" else Opcode.NOT
+            b.emit(make_unary(op, temp, operand))
+            return temp
+        if isinstance(node, ast.Binary):
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            temp = self.fresh_temp()
+            opcode = _BINARY_OPCODES.get(node.op)
+            if opcode is None:
+                raise MiniLangError(f"unknown operator {node.op!r}", node.line)
+            b.emit(make_binary(opcode, temp, left, right))
+            return temp
+        raise MiniLangError(
+            f"cannot lower expression {type(node).__name__}", node.line
+        )
+
+    # ------------------------------------------------------------------
+    # statements; return True if control *definitely* left the block
+    # ------------------------------------------------------------------
+    def body(self, statements: List[ast.Node]) -> bool:
+        self._scopes.append({})
+        try:
+            for i, stmt in enumerate(statements):
+                terminated = self.statement(stmt)
+                if terminated:
+                    if i + 1 < len(statements):
+                        raise MiniLangError(
+                            "unreachable code after break/return",
+                            statements[i + 1].line,
+                        )
+                    return True
+            return False
+        finally:
+            self._scopes.pop()
+
+    def statement(self, node: ast.Node) -> bool:
+        b = self.builder
+        if isinstance(node, ast.VarDecl):
+            value = self.expr(node.value)
+            b.copy(self.declare(node.name, node.line), value)
+            return False
+        if isinstance(node, ast.Assign):
+            target = self.lookup(node.name, node.line)
+            value = self.expr(node.value)
+            b.copy(target, value)
+            return False
+        if isinstance(node, ast.ArrayStore):
+            index = self.expr(node.index)
+            value = self.expr(node.value)
+            b.store(node.array, index, value)
+            return False
+        if isinstance(node, ast.Return):
+            value = self.expr(node.value)
+            b.ret(value)
+            return True
+        if isinstance(node, ast.Break):
+            if not self._loop_exits:
+                raise MiniLangError("break outside a loop", node.line)
+            b.br(self._loop_exits[-1])
+            return True
+        if isinstance(node, ast.If):
+            return self._lower_if(node)
+        if isinstance(node, ast.While):
+            return self._lower_while(node)
+        raise MiniLangError(
+            f"cannot lower statement {type(node).__name__}", node.line
+        )
+
+    def _lower_if(self, node: ast.If) -> bool:
+        b = self.builder
+        cond = self.expr(node.cond)
+        then_label = self.fresh_label("then")
+        join_label = self.fresh_label("join")
+        else_label = self.fresh_label("else") if node.else_body else join_label
+        b.cbr(cond, then_label, else_label)
+
+        b.block(then_label)
+        then_done = self.body(node.then_body)
+        if not then_done:
+            b.br(join_label)
+
+        else_done = False
+        if node.else_body:
+            b.block(else_label)
+            else_done = self.body(node.else_body)
+            if not else_done:
+                b.br(join_label)
+
+        if then_done and (node.else_body and else_done):
+            # Neither arm falls through: no join block exists.
+            return True
+        b.block(join_label)
+        return False
+
+    def _lower_while(self, node: ast.While) -> bool:
+        b = self.builder
+        head = self.fresh_label("while")
+        body_label = self.fresh_label("wbody")
+        exit_label = self.fresh_label("wexit")
+        b.br(head)
+        b.block(head)
+        cond = self.expr(node.cond)
+        b.cbr(cond, body_label, exit_label)
+        b.block(body_label)
+        self._loop_exits.append(exit_label)
+        terminated = self.body(node.body)
+        self._loop_exits.pop()
+        if not terminated:
+            b.br(head)
+        b.block(exit_label)
+        return False
+
+    # ------------------------------------------------------------------
+    def lower(self) -> Function:
+        b = self.builder
+        b.block(self.fresh_label("entry"))
+        terminated = False
+        for i, stmt in enumerate(self.program.body):
+            terminated = self.statement(stmt)
+            if terminated and i + 1 < len(self.program.body):
+                raise MiniLangError(
+                    "unreachable code after break/return",
+                    self.program.body[i + 1].line,
+                )
+        if not terminated:
+            zero = self.fresh_temp()
+            b.const(zero, 0)
+            b.ret(zero)
+        return b.finish()
+
+
+def lower(program: ast.Program) -> Function:
+    """Lower a parsed program to an IR function."""
+    return _Lowerer(program).lower()

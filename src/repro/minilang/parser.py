@@ -1,0 +1,218 @@
+"""MiniLang recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minilang import ast_nodes as ast
+from repro.minilang.lexer import MiniLangError, Token
+
+_CMP_OPS = ("<", "<=", "==", "!=", ">", ">=")
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*", "/", "%")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise MiniLangError(
+                f"expected {kind!r}, found {self.current.kind!r}",
+                self.current.line,
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> bool:
+        if self.current.kind == kind:
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def program(self) -> ast.Program:
+        line = self.current.line
+        self.expect("func")
+        name = self.expect("ident").value
+        self.expect("(")
+        params: List[str] = []
+        if self.current.kind != ")":
+            params.append(self.expect("ident").value)
+            while self.accept(","):
+                params.append(self.expect("ident").value)
+        self.expect(")")
+        body = self.block()
+        self.expect("eof")
+        return ast.Program(line=line, name=name, params=params, body=body)
+
+    def block(self) -> List[ast.Node]:
+        self.expect("{")
+        statements: List[ast.Node] = []
+        while self.current.kind != "}":
+            statements.append(self.statement())
+        self.expect("}")
+        return statements
+
+    def statement(self) -> ast.Node:
+        token = self.current
+        if token.kind == "var":
+            self.advance()
+            name = self.expect("ident").value
+            self.expect("=")
+            value = self.expression()
+            self.expect(";")
+            return ast.VarDecl(line=token.line, name=name, value=value)
+        if token.kind == "if":
+            self.advance()
+            self.expect("(")
+            cond = self.expression()
+            self.expect(")")
+            then_body = self.block()
+            else_body: List[ast.Node] = []
+            if self.accept("else"):
+                if self.current.kind == "if":  # else-if chains
+                    else_body = [self.statement()]
+                else:
+                    else_body = self.block()
+            return ast.If(
+                line=token.line, cond=cond,
+                then_body=then_body, else_body=else_body,
+            )
+        if token.kind == "while":
+            self.advance()
+            self.expect("(")
+            cond = self.expression()
+            self.expect(")")
+            body = self.block()
+            return ast.While(line=token.line, cond=cond, body=body)
+        if token.kind == "break":
+            self.advance()
+            self.expect(";")
+            return ast.Break(line=token.line)
+        if token.kind == "return":
+            self.advance()
+            value = self.expression()
+            self.expect(";")
+            return ast.Return(line=token.line, value=value)
+        if token.kind == "ident":
+            name = self.advance().value
+            if self.accept("["):
+                index = self.expression()
+                self.expect("]")
+                self.expect("=")
+                value = self.expression()
+                self.expect(";")
+                return ast.ArrayStore(
+                    line=token.line, array=name, index=index, value=value
+                )
+            self.expect("=")
+            value = self.expression()
+            self.expect(";")
+            return ast.Assign(line=token.line, name=name, value=value)
+        raise MiniLangError(
+            f"unexpected token {token.kind!r} at statement start", token.line
+        )
+
+    # expression precedence: || < && < comparison < additive < multiplicative
+    def expression(self) -> ast.Node:
+        return self._or()
+
+    def _or(self) -> ast.Node:
+        node = self._and()
+        while self.current.kind == "||":
+            line = self.advance().line
+            node = ast.Binary(line=line, op="||", left=node, right=self._and())
+        return node
+
+    def _and(self) -> ast.Node:
+        node = self._cmp()
+        while self.current.kind == "&&":
+            line = self.advance().line
+            node = ast.Binary(line=line, op="&&", left=node, right=self._cmp())
+        return node
+
+    def _cmp(self) -> ast.Node:
+        node = self._add()
+        if self.current.kind in _CMP_OPS:
+            op = self.advance()
+            node = ast.Binary(
+                line=op.line, op=op.kind, left=node, right=self._add()
+            )
+        return node
+
+    def _add(self) -> ast.Node:
+        node = self._mul()
+        while self.current.kind in _ADD_OPS:
+            op = self.advance()
+            node = ast.Binary(
+                line=op.line, op=op.kind, left=node, right=self._mul()
+            )
+        return node
+
+    def _mul(self) -> ast.Node:
+        node = self._unary()
+        while self.current.kind in _MUL_OPS:
+            op = self.advance()
+            node = ast.Binary(
+                line=op.line, op=op.kind, left=node, right=self._unary()
+            )
+        return node
+
+    def _unary(self) -> ast.Node:
+        token = self.current
+        if token.kind in ("-", "!"):
+            self.advance()
+            return ast.Unary(line=token.line, op=token.kind,
+                             operand=self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Node:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.Num(line=token.line, value=token.value)
+        if token.kind == "(":
+            self.advance()
+            node = self.expression()
+            self.expect(")")
+            return node
+        if token.kind == "ident":
+            name = self.advance().value
+            if self.accept("["):
+                index = self.expression()
+                self.expect("]")
+                return ast.ArrayLoad(line=token.line, array=name, index=index)
+            if self.accept("("):
+                args: List[ast.Node] = []
+                if self.current.kind != ")":
+                    args.append(self.expression())
+                    while self.accept(","):
+                        args.append(self.expression())
+                self.expect(")")
+                return ast.Call(line=token.line, callee=name, args=args)
+            return ast.Var(line=token.line, name=name)
+        raise MiniLangError(
+            f"unexpected token {token.kind!r} in expression", token.line
+        )
+
+
+def parse(tokens: List[Token]) -> ast.Program:
+    """Parse a token list into a :class:`~repro.minilang.ast_nodes.Program`."""
+    return _Parser(tokens).program()

@@ -1,0 +1,33 @@
+"""Classic pre-allocation optimization passes.
+
+The paper's allocator sits in an optimizing compiler ("aggressive loop
+unrolling and operation scheduling are required, both of which increase
+register pressure").  This package provides the standard scalar cleanups a
+front end like MiniLang needs before allocation:
+
+* :func:`constant_fold` -- evaluate constant expressions, propagate
+  constants within extended basic blocks.
+* :func:`copy_propagate` -- replace uses of copies by their sources within
+  basic blocks.
+* :func:`dead_code_eliminate` -- drop instructions whose results are never
+  used (liveness-based, effect-free only).
+* :func:`simplify_cfg` -- merge straight-line block chains and drop empty
+  pass-through blocks.
+* :func:`optimize` -- run all of the above to a fixed point.
+"""
+
+from repro.opt.passes import (
+    constant_fold,
+    copy_propagate,
+    dead_code_eliminate,
+    optimize,
+    simplify_cfg,
+)
+
+__all__ = [
+    "constant_fold",
+    "copy_propagate",
+    "dead_code_eliminate",
+    "simplify_cfg",
+    "optimize",
+]

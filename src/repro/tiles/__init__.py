@@ -1,0 +1,15 @@
+"""Tiles and tile trees (paper section 2 and Appendix A)."""
+
+from repro.tiles.tile import Tile, TileTree
+from repro.tiles.construction import build_tile_tree, TileTreeOptions
+from repro.tiles.validate import validate_tile_tree, TileTreeError, edge_violations
+
+__all__ = [
+    "Tile",
+    "TileTree",
+    "build_tile_tree",
+    "TileTreeOptions",
+    "validate_tile_tree",
+    "TileTreeError",
+    "edge_violations",
+]

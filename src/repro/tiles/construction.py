@@ -1,0 +1,348 @@
+"""Tile-tree construction (paper Appendix A).
+
+The pipeline:
+
+1. Identify the loop structure (intervals); every loop becomes a tile.
+   Irreducible regions become a single tile, per the paper's summary-loop-top
+   treatment.
+2. Within each interval, build the coalesced graph ``G_I`` (inner loops
+   collapsed to single nodes, self loops and interval exit edges ignored),
+   compute dominators and post-dominators, and extract the equivalence
+   classes ``S_i`` "totally ordered by both the dominator and post-dominator
+   relations"; each ``S_i`` is extended to ``S'_i`` by adding nodes dominated
+   by a member and post-dominated by a member.  Each ``S'_i`` becomes a
+   conditional tile.
+3. Tiles are arranged by containment; a synthetic *body* tile directly under
+   the root keeps ``blocks(root) = {start, stop}`` (condition 4).
+4. The Figure 3 fix-up inserts empty blocks until edge conditions 2-3 hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dominators import compute_idoms
+from repro.analysis.loops import Loop, build_loop_forest
+from repro.ir.function import Function
+from repro.tiles.fixup import FixupStats, fixup_tile_tree
+from repro.tiles.tile import Tile, TileTree
+
+_ENTRY = "<entry>"
+_EXIT = "<exit>"
+
+
+@dataclass(frozen=True)
+class TileTreeOptions:
+    """Construction knobs.
+
+    Attributes:
+        conditional_tiles: include the ``S'_i`` conditional regions.  With
+            False only loops become tiles -- the ablation the paper argues
+            against in section 2 ("By including the conditionally executed
+            portions ... the size of the interference graphs are further
+            reduced and the placement of spill code is improved").
+        max_tile_width: if set, conditional tiles wider than this many
+            abstract nodes are split along the dominance order, the paper's
+            "natural way to break tiles ... partition large S_i into
+            disjoint pieces where all nodes in one piece dominate those in
+            another".
+    """
+
+    conditional_tiles: bool = True
+    max_tile_width: Optional[int] = None
+
+
+@dataclass
+class TileTreeBuild:
+    """Result of construction: the tree plus fix-up statistics."""
+
+    tree: TileTree
+    fixup: FixupStats
+
+
+class _AbstractNode:
+    """A node of a coalesced interval graph: a block or a whole inner loop."""
+
+    __slots__ = ("key", "blocks", "loop")
+
+    def __init__(self, key: Hashable, blocks: FrozenSet[str], loop: Optional[Loop]):
+        self.key = key
+        self.blocks = blocks
+        self.loop = loop
+
+
+def build_tile_tree(
+    fn: Function, options: Optional[TileTreeOptions] = None
+) -> TileTree:
+    """Construct a legal tile tree for *fn* (fix-up included)."""
+    return build_tile_tree_detailed(fn, options).tree
+
+
+def build_tile_tree_detailed(
+    fn: Function, options: Optional[TileTreeOptions] = None
+) -> TileTreeBuild:
+    """Like :func:`build_tile_tree` but also returns fix-up statistics."""
+    options = options or TileTreeOptions()
+    forest = build_loop_forest(fn)
+
+    root = Tile(set(fn.blocks), kind="root")
+    body_blocks = set(fn.blocks) - {fn.start_label, fn.stop_label}
+    if body_blocks:
+        body = Tile(body_blocks, kind="body")
+        _link(root, body)
+        top_loops = [l for l in forest.top_level]
+        in_loop = set()
+        for loop in top_loops:
+            in_loop |= loop.blocks
+        scope_own = body_blocks - in_loop
+        _structure_scope(body, scope_own, top_loops, fn, options)
+
+    tree = TileTree(fn, root)
+    stats = fixup_tile_tree(tree)
+    return TileTreeBuild(tree, stats)
+
+
+def _link(parent: Tile, child: Tile) -> None:
+    child.parent = parent
+    parent.children.append(child)
+
+
+def _structure_scope(
+    scope_tile: Tile,
+    own_blocks: Set[str],
+    loops: Sequence[Loop],
+    fn: Function,
+    options: TileTreeOptions,
+) -> None:
+    """Populate *scope_tile* with loop tiles and conditional tiles.
+
+    ``own_blocks`` are the scope's blocks not inside any of *loops*; the
+    scope covers ``own_blocks ∪ union(loop.blocks)``.
+    """
+    nodes: List[_AbstractNode] = []
+    block_to_node: Dict[str, _AbstractNode] = {}
+    for loop in loops:
+        node = _AbstractNode(("loop", loop.header), frozenset(loop.blocks), loop)
+        nodes.append(node)
+        for label in loop.blocks:
+            block_to_node[label] = node
+    for label in sorted(own_blocks):
+        node = _AbstractNode(label, frozenset([label]), None)
+        nodes.append(node)
+        block_to_node[label] = node
+
+    # Conditional (SESE chain) regions over the coalesced scope graph.
+    candidate_sets: List[Set[str]] = []
+    if options.conditional_tiles and len(nodes) > 2:
+        candidate_sets = _conditional_regions(nodes, block_to_node, fn, options)
+
+    scope_all = set(own_blocks)
+    for loop in loops:
+        scope_all |= loop.blocks
+
+    # Materialize tiles: loops always, conditional candidates if proper.
+    pending: List[Tuple[Tile, Optional[Loop]]] = []
+    loop_sets = {frozenset(loop.blocks) for loop in loops}
+    for loop in loops:
+        kind = "irreducible" if loop.irreducible else "loop"
+        pending.append((Tile(loop.blocks, kind=kind, header=loop.header), loop))
+    seen_sets = set(loop_sets)
+    for cand in candidate_sets:
+        fz = frozenset(cand)
+        if fz in seen_sets or fz == frozenset(scope_all) or len(fz) < 2:
+            continue
+        seen_sets.add(fz)
+        pending.append((Tile(cand, kind="cond"), None))
+
+    _attach_by_containment(scope_tile, pending)
+
+    # Recurse into loop bodies.
+    for tile, loop in pending:
+        if loop is None:
+            continue
+        inner_own = loop.own_blocks()
+        _structure_scope(tile, inner_own, loop.children, fn, options)
+
+
+def _attach_by_containment(
+    scope_tile: Tile, pending: List[Tuple[Tile, Optional[Loop]]]
+) -> None:
+    """Arrange *pending* tiles under *scope_tile* by block-set containment.
+
+    Candidate sets produced by :func:`_conditional_regions` are nested or
+    disjoint (SESE region chains); loops nest cleanly with them because a
+    conditional region either wholly contains a loop's coalesced node or
+    excludes it.  Partial overlaps cannot arise by construction, but we
+    assert against them to fail loudly rather than build an illegal tree.
+    """
+    ordered = sorted(pending, key=lambda pair: len(pair[0].all_blocks), reverse=True)
+    placed: List[Tile] = []
+    for tile, _ in ordered:
+        best: Optional[Tile] = None
+        for other in placed:
+            if tile.all_blocks < other.all_blocks:
+                # Track the smallest strict superset (processing order makes
+                # every placed overlap a superset or disjoint).
+                if best is None or other.all_blocks < best.all_blocks:
+                    best = other
+            elif tile.all_blocks & other.all_blocks:
+                raise AssertionError(
+                    "partially overlapping tile candidates: "
+                    f"{sorted(tile.all_blocks)} vs {sorted(other.all_blocks)}"
+                )
+        _link(best if best is not None else scope_tile, tile)
+        placed.append(tile)
+
+
+def _conditional_regions(
+    nodes: List[_AbstractNode],
+    block_to_node: Dict[str, _AbstractNode],
+    fn: Function,
+    options: TileTreeOptions,
+) -> List[Set[str]]:
+    """The S'_i region block-sets of one coalesced scope graph."""
+    scope_blocks: Set[str] = set(block_to_node)
+
+    succs: Dict[Hashable, List[Hashable]] = {node.key: [] for node in nodes}
+    succs[_ENTRY] = []
+    succs[_EXIT] = []
+    entry_nodes: Set[Hashable] = set()
+    exit_nodes: Set[Hashable] = set()
+
+    preds_map = fn.predecessors_map()
+    for node in nodes:
+        for label in node.blocks:
+            for pred in preds_map[label]:
+                if pred not in scope_blocks:
+                    entry_nodes.add(node.key)
+            for succ in fn.blocks[label].succ_labels:
+                if succ in scope_blocks:
+                    target = block_to_node[succ].key
+                    if target != node.key and target not in succs[node.key]:
+                        succs[node.key].append(target)
+                else:
+                    exit_nodes.add(node.key)
+
+    # Dead-end nodes (all successors internal to the node, e.g. a loop whose
+    # only outgoing edges were self edges) must still reach the virtual exit
+    # or post-dominance over the scope graph would be undefined for them.
+    for node in nodes:
+        if not succs[node.key] and node.key not in exit_nodes:
+            exit_nodes.add(node.key)
+
+    for key in sorted(entry_nodes, key=str):
+        succs[_ENTRY].append(key)
+    for key in sorted(exit_nodes, key=str):
+        succs[key] = succs.get(key, [])
+        succs[key].append(_EXIT)
+
+    dom = compute_idoms(_ENTRY, succs)
+
+    rsuccs: Dict[Hashable, List[Hashable]] = {key: [] for key in succs}
+    for key, targets in succs.items():
+        for target in targets:
+            rsuccs.setdefault(target, []).append(key)
+    pdom = compute_idoms(_EXIT, rsuccs)
+
+    real_keys = [
+        node.key for node in nodes if node.key in dom and node.key in pdom
+    ]
+
+    # Equivalence classes: u ~ v iff u dominates v and v post-dominates u
+    # (or vice versa).  Pairwise with union-find; scope graphs are small.
+    parent_of: Dict[Hashable, Hashable] = {k: k for k in real_keys}
+
+    def find(x: Hashable) -> Hashable:
+        while parent_of[x] != x:
+            parent_of[x] = parent_of[parent_of[x]]
+            x = parent_of[x]
+        return x
+
+    def union(a: Hashable, b: Hashable) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent_of[ra] = rb
+
+    for i, u in enumerate(real_keys):
+        for v in real_keys[i + 1:]:
+            if (dom.dominates(u, v) and pdom.dominates(v, u)) or (
+                dom.dominates(v, u) and pdom.dominates(u, v)
+            ):
+                union(u, v)
+
+    classes: Dict[Hashable, List[Hashable]] = {}
+    for key in real_keys:
+        classes.setdefault(find(key), []).append(key)
+
+    key_to_node = {node.key: node for node in nodes}
+    out: List[Set[str]] = []
+    for members in classes.values():
+        # S'_i: members plus nodes dominated by some member and
+        # post-dominated by some member.
+        extended = set(members)
+        for key in real_keys:
+            if key in extended:
+                continue
+            if any(dom.dominates(m, key) for m in members) and any(
+                pdom.dominates(m, key) for m in members
+            ):
+                extended.add(key)
+        if len(extended) < 2:
+            continue
+        pieces = [extended]
+        if options.max_tile_width and len(members) > options.max_tile_width:
+            # "It is desirable to control the size of blocks(t) plus the
+            # number of subtiles of t ... partition large S_i into disjoint
+            # pieces where all nodes in one piece dominate those in
+            # another."  This also applies when the class spans the whole
+            # scope (a long chain of sequential regions).
+            pieces = _split_wide_class(members, extended, dom, options.max_tile_width)
+        if len(pieces) == 1 and len(extended) == len(real_keys):
+            # Identical to the enclosing scope: no structure gained.
+            continue
+        for piece in pieces:
+            if len(piece) == len(real_keys):
+                continue
+            blocks: Set[str] = set()
+            for key in piece:
+                blocks |= set(key_to_node[key].blocks)
+            out.append(blocks)
+    return out
+
+
+def _split_wide_class(
+    members: List[Hashable], extended: Set[Hashable], dom, width: int
+) -> List[Set[Hashable]]:
+    """Partition a wide S_i chain into dominance-ordered segments.
+
+    The class members form a chain under dominance; we cut the chain into
+    segments of at most *width* members and give each segment the extension
+    nodes dominated by its first member and not by the next segment's first
+    member ("all nodes in one piece dominate those in another").  Chunking
+    repeats at geometrically growing widths (width, width^2, ...) so long
+    chains become a balanced hierarchy rather than a flat list of segments
+    -- keeping blocks(t) *plus the number of subtiles* bounded, which is
+    what the paper's size-control paragraph asks for.
+    """
+    chain = sorted(members, key=lambda k: dom.depth(k))
+    extras = [k for k in extended if k not in set(members)]
+    out: List[Set[Hashable]] = []
+    level_width = width
+    while level_width < len(chain):
+        segments = [
+            chain[i:i + level_width]
+            for i in range(0, len(chain), level_width)
+        ]
+        for idx, segment in enumerate(segments):
+            piece = set(segment)
+            nxt = segments[idx + 1][0] if idx + 1 < len(segments) else None
+            for key in extras:
+                if any(dom.dominates(m, key) for m in segment) and (
+                    nxt is None or not dom.dominates(nxt, key)
+                ):
+                    piece.add(key)
+            if len(piece) >= 2:
+                out.append(piece)
+        level_width *= width
+    return out if out else [extended]

@@ -1,0 +1,219 @@
+"""Tile and tile-tree data structures.
+
+A *tile* is a set of basic blocks; a *tile tree* is a collection of tiles
+covering the program where any two tiles are disjoint or nested (paper
+section 2).  ``blocks(t)`` -- the blocks belonging to *t* but to none of its
+children -- is the level at which tile *t* itself operates: its references,
+its conflict graph, its spill decisions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+class Tile:
+    """One node of a tile tree.
+
+    Attributes:
+        tid: stable integer id (creation order; root is 0 after building).
+        all_blocks: every block label contained in this tile, including
+            those owned by descendant tiles.
+        parent / children: tree links.
+        kind: provenance tag -- ``"root"``, ``"body"``, ``"loop"``,
+            ``"cond"`` (conditional/SESE region) or ``"irreducible"``;
+            informational only.
+        header: for loop tiles, the loop-top block label.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        all_blocks: Iterable[str],
+        kind: str = "cond",
+        header: Optional[str] = None,
+    ) -> None:
+        self.tid = next(Tile._ids)
+        self.all_blocks: Set[str] = set(all_blocks)
+        self.parent: Optional["Tile"] = None
+        self.children: List["Tile"] = []
+        self.kind = kind
+        self.header = header
+
+    def own_blocks(self) -> Set[str]:
+        """The paper's ``blocks(t)``: members of *t* not in any child."""
+        out = set(self.all_blocks)
+        for child in self.children:
+            out -= child.all_blocks
+        return out
+
+    def add_block(self, label: str) -> None:
+        """Add *label* to this tile and every ancestor (fix-up helper)."""
+        tile: Optional[Tile] = self
+        while tile is not None:
+            tile.all_blocks.add(label)
+            tile = tile.parent
+
+    def depth(self) -> int:
+        depth = 0
+        tile = self.parent
+        while tile is not None:
+            depth += 1
+            tile = tile.parent
+        return depth
+
+    def ancestors(self) -> Iterator["Tile"]:
+        tile = self.parent
+        while tile is not None:
+            yield tile
+            tile = tile.parent
+
+    def is_ancestor_of(self, other: "Tile") -> bool:
+        return any(a is self for a in other.ancestors())
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.all_blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Tile#{self.tid} {self.kind} own={sorted(self.own_blocks())}"
+            f" |all|={len(self.all_blocks)}>"
+        )
+
+
+class TileTree:
+    """A legal tile tree over one function.
+
+    Holds the root tile, a per-block map to the smallest containing tile
+    (the paper's ``t(n)``), and traversal helpers.  The tree owns *labels*
+    only; the function itself is shared and may gain fix-up blocks during
+    construction (those are registered via :meth:`register_block`).
+    """
+
+    def __init__(self, fn, root: Tile) -> None:
+        self.fn = fn
+        self.root = root
+        self._smallest: Dict[str, Tile] = {}
+        self._rebuild_smallest()
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def _rebuild_smallest(self) -> None:
+        self._smallest.clear()
+        for tile in self.preorder():
+            for label in tile.own_blocks():
+                self._smallest[label] = tile
+
+    def tile_of(self, label: str) -> Tile:
+        """The smallest tile containing *label* (paper's ``t(n)``)."""
+        return self._smallest[label]
+
+    def register_block(self, label: str, tile: Tile) -> None:
+        """Record a newly inserted block as owned by *tile*."""
+        tile.add_block(label)
+        for child in tile.children:
+            child.all_blocks.discard(label)
+        self._smallest[label] = tile
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def preorder(self) -> Iterator[Tile]:
+        stack = [self.root]
+        while stack:
+            tile = stack.pop()
+            yield tile
+            stack.extend(reversed(tile.children))
+
+    def postorder(self) -> Iterator[Tile]:
+        result: List[Tile] = []
+        stack: List[Tuple[Tile, bool]] = [(self.root, False)]
+        while stack:
+            tile, expanded = stack.pop()
+            if expanded:
+                result.append(tile)
+            else:
+                stack.append((tile, True))
+                for child in reversed(tile.children):
+                    stack.append((child, False))
+        return iter(result)
+
+    def tiles(self) -> List[Tile]:
+        return list(self.preorder())
+
+    def height(self) -> int:
+        """Longest chain of nested tiles (paper's ``h(T)``)."""
+        best = 0
+        stack = [(self.root, 1)]
+        while stack:
+            tile, depth = stack.pop()
+            best = max(best, depth)
+            for child in tile.children:
+                stack.append((child, depth + 1))
+        return best
+
+    def breadth_profile(self) -> Dict[int, int]:
+        """Number of tiles per depth level (parallelism claim, section 6)."""
+        out: Dict[int, int] = {}
+        stack = [(self.root, 0)]
+        while stack:
+            tile, depth = stack.pop()
+            out[depth] = out.get(depth, 0) + 1
+            for child in tile.children:
+                stack.append((child, depth + 1))
+        return out
+
+    # ------------------------------------------------------------------
+    # edge classification (paper section 2)
+    # ------------------------------------------------------------------
+    def entry_edges(self, tile: Tile) -> List[Tuple[str, str]]:
+        """Edges ``(n, m)`` with ``m`` in *tile* and ``n`` outside it."""
+        out = []
+        for src, dst in self.fn.edges():
+            if dst in tile.all_blocks and src not in tile.all_blocks:
+                out.append((src, dst))
+        return out
+
+    def exit_edges(self, tile: Tile) -> List[Tuple[str, str]]:
+        """Edges ``(m, n)`` with ``m`` in *tile* and ``n`` outside it."""
+        out = []
+        for src, dst in self.fn.edges():
+            if src in tile.all_blocks and dst not in tile.all_blocks:
+                out.append((src, dst))
+        return out
+
+    def boundary_edges(self, tile: Tile) -> List[Tuple[str, str]]:
+        return self.entry_edges(tile) + self.exit_edges(tile)
+
+    def boundary_block_count(self, tile: Tile) -> int:
+        """The paper's ``Z_t``: blocks that are destinations of entry edges
+        or sources of exit edges of *tile* ("for structured programs, this
+        number is 2")."""
+        blocks = set()
+        for _, dst in self.entry_edges(tile):
+            blocks.add(dst)
+        for src, _ in self.exit_edges(tile):
+            blocks.add(src)
+        return len(blocks)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.preorder())
+
+    def format(self) -> str:
+        """Readable ASCII rendering of the tree (tests and examples)."""
+        lines: List[str] = []
+
+        def rec(tile: Tile, indent: int) -> None:
+            own = ",".join(sorted(tile.own_blocks()))
+            lines.append(
+                "  " * indent
+                + f"Tile#{tile.tid}[{tile.kind}] blocks={{{own}}}"
+            )
+            for child in sorted(tile.children, key=lambda t: t.tid):
+                rec(child, indent + 1)
+
+        rec(self.root, 0)
+        return "\n".join(lines)

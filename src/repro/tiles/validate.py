@@ -1,0 +1,122 @@
+"""Legality checking for tile trees (the four conditions of section 2)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tiles.tile import Tile, TileTree
+
+
+class TileTreeError(ValueError):
+    """Raised when a tile tree violates a legality condition."""
+
+
+def edge_violations(tree: TileTree) -> List[Tuple[str, str, str]]:
+    """Edges violating conditions 2 or 3, with a reason string.
+
+    Conditions 2 and 3 jointly require every edge to connect blocks at
+    adjacent tile levels: for edge ``(n, m)`` with smallest tiles ``t(n)``
+    and ``t(m)``, one of the following must hold:
+
+    * ``t(n) is t(m)``                      (edge within one tile level),
+    * ``parent(t(m)) is t(n)``              (entry edge, one level down),
+    * ``parent(t(n)) is t(m)``              (exit edge, one level up).
+
+    This pairwise formulation is equivalent to the paper's universally
+    quantified conditions: since ``n ∈ blocks(t)`` iff ``t = t(n)``, the
+    requirement "``n ∈ t`` or ``n ∈ blocks(parent(t))``" for *every* tile
+    ``t ∋ m`` collapses to the three cases above.
+    """
+    violations: List[Tuple[str, str, str]] = []
+    for src, dst in tree.fn.edges():
+        t_src = tree.tile_of(src)
+        t_dst = tree.tile_of(dst)
+        if t_src is t_dst:
+            continue
+        if t_dst.parent is t_src:
+            continue
+        if t_src.parent is t_dst:
+            continue
+        violations.append(
+            (
+                src,
+                dst,
+                f"edge spans non-adjacent tiles #{t_src.tid} -> #{t_dst.tid}",
+            )
+        )
+    return violations
+
+
+def validate_tile_tree(tree: TileTree) -> None:
+    """Raise :class:`TileTreeError` unless *tree* is a legal tile tree.
+
+    Checks, in order: coverage, proper nesting (condition 1), parent/child
+    link consistency, the root-tile condition 4, and the edge conditions
+    2-3 via :func:`edge_violations`.
+    """
+    fn = tree.fn
+    all_labels = set(fn.blocks)
+
+    if tree.root.all_blocks != all_labels:
+        missing = all_labels - tree.root.all_blocks
+        extra = tree.root.all_blocks - all_labels
+        raise TileTreeError(
+            f"root tile must cover the function; missing={sorted(missing)}, "
+            f"stale={sorted(extra)}"
+        )
+
+    tiles = tree.tiles()
+    for tile in tiles:
+        for child in tile.children:
+            if child.parent is not tile:
+                raise TileTreeError(
+                    f"tile #{child.tid} has inconsistent parent link"
+                )
+            if not child.all_blocks <= tile.all_blocks:
+                raise TileTreeError(
+                    f"child tile #{child.tid} not a subset of parent #{tile.tid}"
+                )
+            if not child.all_blocks < tile.all_blocks:
+                raise TileTreeError(
+                    f"child tile #{child.tid} equals its parent #{tile.tid}"
+                )
+
+    # Condition 1: pairwise disjoint-or-nested.  Nesting is structural via
+    # the tree, so it suffices that siblings are disjoint.
+    for tile in tiles:
+        for i, a in enumerate(tile.children):
+            for b in tile.children[i + 1:]:
+                overlap = a.all_blocks & b.all_blocks
+                if overlap:
+                    raise TileTreeError(
+                        f"sibling tiles #{a.tid} and #{b.tid} overlap on "
+                        f"{sorted(overlap)}"
+                    )
+
+    # Every block must be owned by exactly one tile.
+    owned = {}
+    for tile in tiles:
+        for label in tile.own_blocks():
+            if label in owned:
+                raise TileTreeError(
+                    f"block {label} owned by tiles #{owned[label]} and #{tile.tid}"
+                )
+            owned[label] = tile.tid
+    unowned = all_labels - set(owned)
+    if unowned:
+        raise TileTreeError(f"blocks owned by no tile: {sorted(unowned)}")
+
+    # Condition 4: blocks(root) == {start, stop}.
+    root_own = tree.root.own_blocks()
+    expected = {fn.start_label, fn.stop_label}
+    if root_own != expected:
+        raise TileTreeError(
+            f"blocks(root) must be {sorted(expected)}, got {sorted(root_own)}"
+        )
+
+    violations = edge_violations(tree)
+    if violations:
+        src, dst, reason = violations[0]
+        raise TileTreeError(
+            f"{len(violations)} edge violation(s); first: ({src} -> {dst}) {reason}"
+        )

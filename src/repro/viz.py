@@ -1,0 +1,85 @@
+"""Graphviz (DOT) rendering of the library's structures.
+
+Pure text generation -- no graphviz dependency; feed the output to ``dot``:
+
+    python -m repro tiles prog.ir   # ASCII
+    python - <<'PY'
+    from repro import parse_function
+    from repro.viz import cfg_to_dot
+    print(cfg_to_dot(parse_function(open("prog.ir").read())))
+    PY
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.ir.function import Function
+from repro.graph.interference import InterferenceGraph
+from repro.tiles.tile import TileTree
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(fn: Function, include_instrs: bool = True) -> str:
+    """The control flow graph as a DOT digraph."""
+    lines = [f'digraph "{_escape(fn.name)}" {{', "  node [shape=box];"]
+    for label, block in fn.blocks.items():
+        if include_instrs:
+            from repro.ir.printer import format_instr
+
+            body = "\\l".join(
+                _escape(format_instr(i)) for i in block.instrs
+            )
+            text = f"{_escape(label)}:\\l{body}\\l" if body else _escape(label)
+        else:
+            text = _escape(label)
+        lines.append(f'  "{_escape(label)}" [label="{text}"];')
+    for src, dst in fn.edges():
+        lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tile_tree_to_dot(tree: TileTree) -> str:
+    """The tile tree as nested DOT clusters over the CFG's blocks."""
+    lines = [f'digraph "{_escape(tree.fn.name)}_tiles" {{',
+             "  compound=true;", "  node [shape=box];"]
+
+    def emit(tile, indent: int) -> None:
+        pad = "  " * indent
+        lines.append(f'{pad}subgraph "cluster_{tile.tid}" {{')
+        lines.append(
+            f'{pad}  label="tile #{tile.tid} [{_escape(tile.kind)}]";'
+        )
+        for label in sorted(tile.own_blocks()):
+            lines.append(f'{pad}  "{_escape(label)}";')
+        for child in tile.children:
+            emit(child, indent + 1)
+        lines.append(f"{pad}}}")
+
+    emit(tree.root, 1)
+    for src, dst in tree.fn.edges():
+        lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def interference_to_dot(
+    graph: InterferenceGraph,
+    assignment: Optional[Mapping[str, str]] = None,
+) -> str:
+    """The conflict graph as an undirected DOT graph; nodes are labelled
+    with their assigned color/register when *assignment* is given."""
+    lines = ["graph interference {", "  node [shape=ellipse];"]
+    for node in sorted(graph.nodes()):
+        label = _escape(node)
+        if assignment and node in assignment:
+            label = f"{label}\\n{_escape(str(assignment[node]))}"
+        lines.append(f'  "{_escape(node)}" [label="{label}"];')
+    for a, b in sorted(graph.edges()):
+        lines.append(f'  "{_escape(a)}" -- "{_escape(b)}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Workloads: the paper's Figure 1, numeric kernels, random programs."""
+
+from repro.workloads.figure1 import figure1, figure1_workload
+from repro.workloads.kernels import (
+    cond_sum,
+    copy_heavy,
+    reload_heavy,
+    dot,
+    hot_cold,
+    matmul,
+    nested_cond,
+    quick_return,
+    reduce_minmax,
+    saxpy,
+    stencil,
+    unrolled_dot,
+    all_kernel_workloads,
+)
+from repro.workloads.generators import random_program, random_workload
+from repro.workloads.minilang_fuzz import (
+    random_minilang_source,
+    random_minilang_workload,
+)
+
+__all__ = [
+    "figure1",
+    "figure1_workload",
+    "dot",
+    "saxpy",
+    "matmul",
+    "stencil",
+    "reduce_minmax",
+    "cond_sum",
+    "copy_heavy",
+    "reload_heavy",
+    "nested_cond",
+    "hot_cold",
+    "quick_return",
+    "unrolled_dot",
+    "all_kernel_workloads",
+    "random_program",
+    "random_workload",
+    "random_minilang_source",
+    "random_minilang_workload",
+]

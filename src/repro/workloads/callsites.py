@@ -1,0 +1,47 @@
+"""Caller/callee pairs for the call-related experiments (E13, tests)."""
+
+from __future__ import annotations
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+
+
+def make_callee() -> Function:
+    """``clampv(x, lim) = min(x, lim)`` via a conditional -- a small leaf
+    function whose body contains control structure, so inlining it brings
+    a tile of its own."""
+    b = FunctionBuilder("clampv", params=["x", "lim"])
+    b.block("c_entry")
+    b.cmplt("lt", "x", "lim")
+    b.cbr("lt", "c_low", "c_high")
+    b.block("c_low")
+    b.ret("x")
+    b.block("c_high")
+    b.ret("lim")
+    return b.finish()
+
+
+def make_caller(calls: int = 1) -> Function:
+    """A hot loop applying ``clampv`` *calls* times per iteration."""
+    b = FunctionBuilder("caller", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("s", 0)
+    b.const("one", 1)
+    b.const("lim", 5)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.load("v", "A", "i")
+    prev = "v"
+    for k in range(calls):
+        b.call([f"cv{k}"], "clampv", [prev, "lim"])
+        prev = f"cv{k}"
+    b.add("s", "s", prev)
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("done")
+    b.ret("s")
+    return b.finish()

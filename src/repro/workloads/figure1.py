@@ -1,0 +1,72 @@
+"""The paper's Figure 1 example.
+
+Two sequential loops and four interesting variables: ``g1`` is used in the
+first loop and after the second; ``g2`` is used in the second loop and at
+the end; ``t1``/``t2`` are loop-local temporaries.  On a machine without
+enough registers, "Chaitin's allocator will spill either g1 or g2 for the
+entire program resulting in the poor execution of one of the loops", while
+the optimal allocation "requires g2 to be spilled before B2 and reloaded
+before B3; g1 should be spilled after B2".
+
+The paper draws the example for a two-register machine over schematic code
+with no loop plumbing.  Our concrete IR must materialize loop counters and
+the constant 1, so the register-starved configuration is **four** registers
+(see DESIGN.md): each loop body references exactly four variables, and the
+variables live across a loop but unreferenced inside it (``g2`` and ``n``
+across the first loop, ``g1`` across the second) are the ones a structure-
+aware allocator should spill *around* the loop rather than everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+
+#: Register count at which Figure 1's dilemma appears in our IR.
+FIGURE1_REGISTERS = 4
+
+
+def figure1() -> Function:
+    """Build the Figure 1 program."""
+    b = FunctionBuilder("figure1", params=["n"])
+    b.block("B1")
+    b.const("one", 1)
+    b.add("g1", "n", "one")       # g1 = ...
+    b.mul("g2", "n", "n")         # g2 = ...
+    b.copy("i1", "n")
+    b.br("B2")
+
+    # First loop (tile T1): references g1, t1, i1, one.
+    # g2 and n are live through but unreferenced.
+    b.block("B2")
+    b.mul("t1", "g1", "i1")       # ... g1 ...; t1 = ...
+    b.store("A", "i1", "t1")      # ... t1 ...
+    b.add("g1", "g1", "t1")
+    b.sub("i1", "i1", "one")
+    b.cbr("i1", "B2", "MID")
+
+    b.block("MID")
+    b.copy("i2", "n")
+    b.br("B3")
+
+    # Second loop (tile T2): references g2, t2, i2, one.
+    # g1 is live through but unreferenced.
+    b.block("B3")
+    b.mul("t2", "g2", "i2")       # ... g2 ...; t2 = ...
+    b.store("B", "i2", "t2")      # ... t2 ...
+    b.add("g2", "g2", "t2")
+    b.sub("i2", "i2", "one")
+    b.cbr("i2", "B3", "B4")
+
+    b.block("B4")
+    b.add("r", "g1", "g2")        # ... g1 ... g2 ...
+    b.ret("r")
+    return b.finish()
+
+
+def figure1_workload(n: int = 10):
+    """The Figure 1 program with inputs (avoids a circular import by
+    creating the Workload lazily)."""
+    from repro.pipeline import Workload
+
+    return Workload(figure1(), args={"n": n}, arrays={}, name="figure1")

@@ -1,0 +1,239 @@
+"""Random structured program generator.
+
+Produces *executable, always-terminating* programs for property-based
+testing and scaling benches: every loop is a counted do-while on a fresh
+counter, every use refers to an already-defined variable, and every array
+index is taken modulo a small bound so memory accesses stay in range.
+
+The generator emits the same structural repertoire the tile tree is built
+from -- sequences, counted loops (nestable), and if/else diamonds -- so it
+exercises tile construction, fix-up, and spill placement broadly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+
+_BIN_OPS = [
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.ADD,
+    Opcode.MIN,
+    Opcode.MAX,
+]
+
+
+class _Gen:
+    def __init__(self, rng: random.Random, max_blocks: int, max_vars: int,
+                 max_depth: int, break_prob: float = 0.0) -> None:
+        self.rng = rng
+        self.max_blocks = max_blocks
+        self.max_vars = max_vars
+        self.max_depth = max_depth
+        self.break_prob = break_prob
+        self.builder: Optional[FunctionBuilder] = None
+        self.defined: set = set()
+        self.counter = 0
+        self.blocks = 0
+        #: exit labels of the enclosing loops, innermost last; breaks jump
+        #: to one of them (possibly several levels out, which is exactly
+        #: what the Figure 3 fix-up exists for).
+        self.loop_exits: List[str] = []
+        #: per enclosing loop: the defined-variable snapshots taken at each
+        #: break targeting that loop's exit (a break bypasses the rest of
+        #: the body, so only these variables are definite at the exit).
+        self.break_snapshots: List[List[set]] = []
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def new_label(self, prefix: str) -> str:
+        self.blocks += 1
+        return f"{prefix}_{self.blocks}"
+
+    def pick_var(self) -> str:
+        return self.rng.choice(sorted(self.defined))
+
+    def def_var(self) -> str:
+        # Reuse an existing variable name sometimes so webs appear.
+        if self.defined and len(self.defined) >= self.max_vars:
+            return self.pick_var()
+        if self.defined and self.rng.random() < 0.3:
+            return self.pick_var()
+        var = self.fresh("v")
+        self.defined.add(var)
+        return var
+
+    def emit_straight(self, count: int) -> None:
+        b = self.builder
+        for _ in range(count):
+            roll = self.rng.random()
+            if roll < 0.15:
+                b.const(self.def_var(), self.rng.randint(-8, 8))
+            elif roll < 0.30:
+                idx = self.fresh("ix")
+                b.mod(idx, self.pick_var(), self.modulus)
+                sink = self.def_var()
+                b.load(sink, "A", idx)
+            elif roll < 0.42:
+                idx = self.fresh("ix")
+                b.mod(idx, self.pick_var(), self.modulus)
+                b.store("B", idx, self.pick_var())
+            elif roll < 0.5:
+                # Pick the source before creating the destination, or a
+                # fresh destination could name its own operand.
+                src = self.pick_var()
+                b.copy(self.def_var(), src)
+            else:
+                op = self.rng.choice(_BIN_OPS)
+                from repro.ir.instructions import make_binary
+
+                lhs = self.pick_var()
+                rhs = self.pick_var()
+                b.emit(make_binary(op, self.def_var(), lhs, rhs))
+
+    def emit_region(self, depth: int) -> None:
+        """A sequence of statements / loops / conditionals."""
+        b = self.builder
+        pieces = self.rng.randint(1, 3)
+        for _ in range(pieces):
+            if self.blocks >= self.max_blocks:
+                self.emit_straight(1)
+                continue
+            roll = self.rng.random()
+            if depth < self.max_depth and roll < 0.35:
+                self.emit_loop(depth)
+            elif depth < self.max_depth and roll < 0.65:
+                self.emit_cond(depth)
+            else:
+                self.emit_straight(self.rng.randint(1, 4))
+
+    def emit_loop(self, depth: int) -> None:
+        b = self.builder
+        counter = self.fresh("lc")
+        one = self.fresh("k")
+        trips = self.rng.randint(1, 4)
+        head = self.new_label("loop")
+        exit_ = self.new_label("lexit")
+        b.const(counter, trips)
+        b.const(one, 1)
+        b.br(head)
+        b.block(head)
+        self.loop_exits.append(exit_)
+        self.break_snapshots.append([])
+        self.emit_straight(self.rng.randint(1, 3))
+        if depth + 1 < self.max_depth and self.rng.random() < 0.4:
+            self.emit_region(depth + 1)
+        self.loop_exits.pop()
+        snapshots = self.break_snapshots.pop()
+        b.sub(counter, counter, one)
+        b.cbr(counter, head, exit_)
+        b.block(exit_)
+        for snapshot in snapshots:
+            self.defined &= snapshot
+
+    def emit_cond(self, depth: int) -> None:
+        # Definedness is path-sensitive: a variable first defined in only
+        # one branch may not be used after the join.
+        b = self.builder
+        cond = self.fresh("cd")
+        then_l = self.new_label("then")
+        else_l = self.new_label("else")
+        join_l = self.new_label("join")
+        b.cmplt(cond, self.pick_var(), self.pick_var())
+        b.cbr(cond, then_l, else_l)
+        before = set(self.defined)
+        b.block(then_l)
+        breaks = (
+            self.loop_exits
+            and self.rng.random() < self.break_prob
+        )
+        if breaks:
+            # A break: jump straight to the exit of some enclosing loop --
+            # potentially several tile levels out.
+            self.emit_straight(1)
+            index = self.rng.randrange(len(self.loop_exits))
+            self.break_snapshots[index].append(set(self.defined))
+            b.br(self.loop_exits[index])
+            after_then = None
+        else:
+            self.emit_region(depth + 1)
+            b.br(join_l)
+            after_then = set(self.defined)
+        self.defined = set(before)
+        b.block(else_l)
+        self.emit_region(depth + 1)
+        b.br(join_l)
+        after_else = set(self.defined)
+        b.block(join_l)
+        if after_then is None:
+            # The break path never reaches the join.
+            self.defined = after_else
+        else:
+            self.defined = before | (after_then & after_else)
+
+    def generate(self, name: str) -> Function:
+        self.modulus = "md"
+        b = FunctionBuilder(name, params=["n"])
+        self.builder = b
+        b.block(self.new_label("entry"))
+        b.const("md", 8)
+        self.defined = {"n", "md"}
+        b.const(self.def_var(), 1)
+        b.const(self.def_var(), 2)
+        self.emit_region(0)
+        # Return a value derived from several live variables.
+        total = self.fresh("ret")
+        b.const(total, 0)
+        picks = self.rng.sample(
+            sorted(self.defined), k=min(3, len(self.defined))
+        )
+        acc = total
+        for var in picks:
+            nxt = self.fresh("ret")
+            b.add(nxt, acc, var)
+            acc = nxt
+        b.ret(acc)
+        return b.finish()
+
+
+def random_program(
+    seed: int,
+    max_blocks: int = 24,
+    max_vars: int = 14,
+    max_depth: int = 3,
+    break_prob: float = 0.0,
+    name: Optional[str] = None,
+) -> Function:
+    """A random structured, terminating, executable program.
+
+    With ``break_prob > 0`` conditionals inside loops sometimes branch
+    straight to an enclosing loop's exit (possibly several levels out),
+    producing the edge shapes that require Figure 3 fix-up blocks.
+    """
+    rng = random.Random(seed)
+    gen = _Gen(
+        rng,
+        max_blocks=max_blocks,
+        max_vars=max_vars,
+        max_depth=max_depth,
+        break_prob=break_prob,
+    )
+    return gen.generate(name or f"rand{seed}")
+
+
+def random_workload(seed: int, **kwargs):
+    """A random program paired with inputs."""
+    from repro.pipeline import Workload
+
+    fn = random_program(seed, **kwargs)
+    rng = random.Random(seed ^ 0x5EED)
+    arrays = {"A": [rng.randint(-9, 9) for _ in range(8)], "B": [0] * 8}
+    return Workload(fn, {"n": rng.randint(1, 9)}, arrays, name=fn.name)

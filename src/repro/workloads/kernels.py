@@ -1,0 +1,473 @@
+"""Numeric kernels in the toy IR.
+
+The shapes the paper's introduction motivates: loop nests (register pressure
+from unrolling and scheduling), conditionals nested in loops (spill *inside*
+the cold branch), values live across cold regions, and a quick-return
+function (shrink-wrapping, section 6).
+
+Each builder returns a :class:`~repro.ir.function.Function`;
+:func:`all_kernel_workloads` pairs them with concrete inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+
+
+def dot() -> Function:
+    """Inner product of A and B."""
+    b = FunctionBuilder("dot", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("s", 0)
+    b.const("one", 1)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.load("a", "A", "i")
+    b.load("x", "B", "i")
+    b.mul("p", "a", "x")
+    b.add("s", "s", "p")
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("done")
+    b.ret("s")
+    return b.finish()
+
+
+def saxpy() -> Function:
+    """Y[i] = a*X[i] + Y[i]."""
+    b = FunctionBuilder("saxpy", params=["n", "a"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("one", 1)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.load("x", "X", "i")
+    b.load("y", "Y", "i")
+    b.mul("ax", "a", "x")
+    b.add("r", "ax", "y")
+    b.store("Y", "i", "r")
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("done")
+    b.const("z", 0)
+    b.ret("z")
+    return b.finish()
+
+
+def matmul() -> Function:
+    """C = A x B for n x n row-major matrices (three nested loops)."""
+    b = FunctionBuilder("matmul", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("one", 1)
+    b.br("ih")
+    b.block("ih")
+    b.cmplt("ci", "i", "n")
+    b.cbr("ci", "jinit", "done")
+    b.block("jinit")
+    b.const("j", 0)
+    b.br("jh")
+    b.block("jh")
+    b.cmplt("cj", "j", "n")
+    b.cbr("cj", "kinit", "inext")
+    b.block("kinit")
+    b.const("k", 0)
+    b.const("acc", 0)
+    b.mul("irow", "i", "n")
+    b.br("kh")
+    b.block("kh")
+    b.cmplt("ck", "k", "n")
+    b.cbr("ck", "kbody", "jstore")
+    b.block("kbody")
+    b.add("ai", "irow", "k")
+    b.load("av", "A", "ai")
+    b.mul("krow", "k", "n")
+    b.add("bi", "krow", "j")
+    b.load("bv", "B", "bi")
+    b.mul("prod", "av", "bv")
+    b.add("acc", "acc", "prod")
+    b.add("k", "k", "one")
+    b.br("kh")
+    b.block("jstore")
+    b.add("ci2", "irow", "j")
+    b.store("C", "ci2", "acc")
+    b.add("j", "j", "one")
+    b.br("jh")
+    b.block("inext")
+    b.add("i", "i", "one")
+    b.br("ih")
+    b.block("done")
+    b.const("z", 0)
+    b.ret("z")
+    return b.finish()
+
+
+def stencil() -> Function:
+    """B[i] = A[i-1] + A[i] + A[i+1] over the interior."""
+    b = FunctionBuilder("stencil", params=["n"])
+    b.block("entry")
+    b.const("i", 1)
+    b.const("one", 1)
+    b.sub("lim", "n", "one")
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "lim")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.sub("im1", "i", "one")
+    b.add("ip1", "i", "one")
+    b.load("l", "A", "im1")
+    b.load("m", "A", "i")
+    b.load("r", "A", "ip1")
+    b.add("lm", "l", "m")
+    b.add("sum", "lm", "r")
+    b.store("B", "i", "sum")
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("done")
+    b.const("z", 0)
+    b.ret("z")
+    return b.finish()
+
+
+def reduce_minmax() -> Function:
+    """Simultaneous min and max reduction."""
+    b = FunctionBuilder("reduce_minmax", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("one", 1)
+    b.const("big", 1 << 30)
+    b.const("small", -(1 << 30))
+    b.copy("lo", "big")
+    b.copy("hi", "small")
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.load("v", "A", "i")
+    b.min_("lo", "lo", "v")
+    b.max_("hi", "hi", "v")
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("done")
+    b.sub("range_", "hi", "lo")
+    b.ret("range_")
+    return b.finish()
+
+
+def cond_sum() -> Function:
+    """Sum positives, subtract negatives (if/else inside a loop)."""
+    b = FunctionBuilder("cond_sum", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("s", 0)
+    b.const("one", 1)
+    b.const("zero", 0)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.load("v", "A", "i")
+    b.cmplt("neg", "v", "zero")
+    b.cbr("neg", "ifneg", "ifpos")
+    b.block("ifneg")
+    b.sub("s", "s", "v")
+    b.br("cont")
+    b.block("ifpos")
+    b.add("s", "s", "v")
+    b.br("cont")
+    b.block("cont")
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("done")
+    b.ret("s")
+    return b.finish()
+
+
+def nested_cond() -> Function:
+    """The section-2 motivating case: a variable (``rare``) used only in a
+    deeply nested, rarely executed conditional inside a hot loop.  A
+    structure-aware allocator can keep it in memory in the cold branch
+    without penalizing the hot path."""
+    b = FunctionBuilder("nested_cond", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("one", 1)
+    b.const("s", 0)
+    b.const("k", 17)
+    b.mul("rare", "n", "k")      # live across the whole loop, used rarely
+    b.const("hund", 100)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.load("v", "A", "i")
+    b.add("s", "s", "v")
+    b.mod("m", "v", "hund")
+    b.cbr("m", "cont", "coldtest")   # m == 0 is rare
+    b.block("coldtest")
+    b.load("w", "A", "i")
+    b.cmpgt("big", "w", "k")
+    b.cbr("big", "cold", "cont")
+    b.block("cold")
+    b.add("s", "s", "rare")          # the only use of 'rare'
+    b.br("cont")
+    b.block("cont")
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("done")
+    b.add("out", "s", "rare")
+    b.ret("out")
+    return b.finish()
+
+
+def hot_cold() -> Function:
+    """A loop whose body branches between a tight hot path and a fat cold
+    path needing many registers (spill placement test E5/E9)."""
+    b = FunctionBuilder("hot_cold", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("one", 1)
+    b.const("s", 0)
+    b.const("seven", 7)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.load("v", "A", "i")
+    b.mod("sel", "v", "seven")
+    b.cbr("sel", "hot", "cold")
+    b.block("hot")
+    b.add("s", "s", "v")
+    b.br("cont")
+    b.block("cold")
+    b.load("a", "B", "i")
+    b.load("x", "C", "i")
+    b.mul("p1", "a", "v")
+    b.mul("p2", "x", "v")
+    b.add("p3", "p1", "p2")
+    b.add("p4", "p3", "a")
+    b.add("s", "s", "p4")
+    b.br("cont")
+    b.block("cont")
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("done")
+    b.ret("s")
+    return b.finish()
+
+
+def quick_return() -> Function:
+    """Quick-return check followed by heavy computation (section 6's
+    shrink-wrapping discussion: "a routine first has a quick return check
+    and then does lots of computation")."""
+    b = FunctionBuilder("quick_return", params=["n"])
+    b.block("entry")
+    b.const("zero", 0)
+    b.cmple("trivial", "n", "zero")
+    b.cbr("trivial", "fast", "slowinit")
+    b.block("fast")
+    b.ret("zero")
+    b.block("slowinit")
+    b.const("i", 0)
+    b.const("one", 1)
+    b.const("s0", 0)
+    b.const("s1", 0)
+    b.const("s2", 0)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "slowdone")
+    b.block("body")
+    b.load("v", "A", "i")
+    b.add("s0", "s0", "v")
+    b.mul("vv", "v", "v")
+    b.add("s1", "s1", "vv")
+    b.mul("vvv", "vv", "v")
+    b.add("s2", "s2", "vvv")
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("slowdone")
+    b.add("t01", "s0", "s1")
+    b.add("t012", "t01", "s2")
+    b.ret("t012")
+    return b.finish()
+
+
+def unrolled_dot() -> Function:
+    """Dot product unrolled by four -- the introduction's motivation:
+    "aggressive loop unrolling and operation scheduling ... increase
+    register pressure"."""
+    b = FunctionBuilder("unrolled_dot", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("one", 1)
+    b.const("four", 4)
+    b.const("s0", 0)
+    b.const("s1", 0)
+    b.const("s2", 0)
+    b.const("s3", 0)
+    b.sub("lim", "n", "four")
+    b.br("head")
+    b.block("head")
+    b.cmple("c", "i", "lim")
+    b.cbr("c", "body", "tailhead")
+    b.block("body")
+    for u in range(4):
+        idx = "i" if u == 0 else f"iu{u}"
+        if u:
+            b.const(f"ku{u}", u)
+            b.add(idx, "i", f"ku{u}")
+        b.load(f"a{u}", "A", idx)
+        b.load(f"b{u}", "B", idx)
+        b.mul(f"p{u}", f"a{u}", f"b{u}")
+        b.add(f"s{u}", f"s{u}", f"p{u}")
+    b.add("i", "i", "four")
+    b.br("head")
+    b.block("tailhead")
+    b.cmplt("ct", "i", "n")
+    b.cbr("ct", "tail", "done")
+    b.block("tail")
+    b.load("at", "A", "i")
+    b.load("bt", "B", "i")
+    b.mul("pt", "at", "bt")
+    b.add("s0", "s0", "pt")
+    b.add("i", "i", "one")
+    b.br("tailhead")
+    b.block("done")
+    b.add("t01", "s0", "s1")
+    b.add("t23", "s2", "s3")
+    b.add("tot", "t01", "t23")
+    b.ret("tot")
+    return b.finish()
+
+
+def copy_heavy() -> Function:
+    """Values shuffled through copies inside a loop: with preferencing the
+    copies collapse onto one register and disappear; without it they
+    survive as real register moves (section 3, "Preferencing")."""
+    b = FunctionBuilder("copy_heavy", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("one", 1)
+    b.const("acc", 0)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.load("v", "A", "i")
+    b.copy("w", "v")          # preference chain w=v, x=w, y=x
+    b.copy("x", "w")
+    b.copy("y", "x")
+    b.add("acc", "acc", "y")
+    b.copy("acc2", "acc")     # accumulator renaming through a copy
+    b.copy("acc", "acc2")
+    b.add("i", "i", "one")
+    b.br("head")
+    b.block("done")
+    b.ret("acc")
+    return b.finish()
+
+
+def reload_heavy() -> Function:
+    """An outer loop re-entering a *low-pressure* inner loop that reads a
+    coefficient which the high-pressure interlude forces into memory at the
+    outer level.  The Reload case fires on every inner-loop entry; with
+    store avoidance the matching exit stores vanish because the coefficient
+    is never modified inside (paper section 3, "Inserting Spill Code")."""
+    b = FunctionBuilder("reload_heavy", params=["n"])
+    b.block("entry")
+    b.const("one", 1)
+    b.const("three", 3)
+    b.mul("c1", "n", "three")  # read-only coefficient
+    b.copy("oi", "n")
+    b.const("acc", 0)
+    b.br("oh")
+    b.block("oh")              # outer loop head
+    b.copy("ii", "n")
+    b.br("ih")
+    b.block("ih")              # inner loop: exactly four referenced vars
+    b.add("acc", "acc", "c1")
+    b.sub("ii", "ii", "one")
+    b.cbr("ii", "ih", "mid")
+    b.block("mid")             # interlude with enough pressure to evict c1
+    b.load("m1", "B", "oi")
+    b.load("m2", "C", "oi")
+    b.mul("m3", "m1", "m2")
+    b.add("m4", "m3", "m1")
+    b.sub("m5", "m4", "m2")
+    b.add("acc", "acc", "m5")
+    b.store("B", "oi", "acc")
+    b.sub("oi", "oi", "one")
+    b.cbr("oi", "oh", "post")
+    b.block("post")
+    b.ret("acc")
+    return b.finish()
+
+
+def sequential_loops(count: int) -> Function:
+    """*count* independent loops in sequence, each with its own handful of
+    local variables.  The whole-program conflict graph grows linearly with
+    *count*; the largest tile graph stays constant -- the paper's "it is
+    not necessary to construct the full conflict graph at any one time"."""
+    b = FunctionBuilder("seqloops", params=["n"])
+    b.block("entry")
+    b.const("one", 1)
+    b.const("acc", 0)
+    b.br("h0")
+    for k in range(count):
+        head, body, nxt = f"h{k}", f"b{k}", f"h{k + 1}"
+        b.block(head)
+        b.copy(f"i{k}", "n")
+        b.br(body)
+        b.block(body)
+        b.load(f"a{k}", "A", f"i{k}")
+        b.mul(f"p{k}", f"a{k}", f"a{k}")
+        b.add(f"q{k}", f"p{k}", f"a{k}")
+        b.add("acc", "acc", f"q{k}")
+        b.sub(f"i{k}", f"i{k}", "one")
+        b.cbr(f"i{k}", body, nxt)
+    b.block(f"h{count}")
+    b.ret("acc")
+    return b.finish()
+
+
+def all_kernel_workloads(n: int = 12) -> List:
+    """Every kernel paired with runnable inputs."""
+    from repro.pipeline import Workload
+
+    data = list(range(1, n + 1))
+    alt = [((-1) ** i) * (i + 3) for i in range(n)]
+    mat = list(range(1, n * n + 1))
+    return [
+        Workload(dot(), {"n": n}, {"A": data, "B": alt}, name="dot"),
+        Workload(saxpy(), {"n": n, "a": 3}, {"X": data, "Y": alt}, name="saxpy"),
+        Workload(matmul(), {"n": 4}, {"A": mat[:16], "B": mat[:16]}, name="matmul"),
+        Workload(stencil(), {"n": n}, {"A": data}, name="stencil"),
+        Workload(reduce_minmax(), {"n": n}, {"A": alt}, name="reduce_minmax"),
+        Workload(cond_sum(), {"n": n}, {"A": alt}, name="cond_sum"),
+        Workload(nested_cond(), {"n": n}, {"A": data}, name="nested_cond"),
+        Workload(hot_cold(), {"n": n}, {"A": data, "B": alt, "C": data}, name="hot_cold"),
+        Workload(quick_return(), {"n": n}, {"A": data}, name="quick_return"),
+        Workload(unrolled_dot(), {"n": n}, {"A": data, "B": alt}, name="unrolled_dot"),
+        Workload(copy_heavy(), {"n": n}, {"A": data}, name="copy_heavy"),
+        Workload(
+            reload_heavy(), {"n": min(n, 6)},
+            {"A": data, "B": alt, "C": data}, name="reload_heavy",
+        ),
+    ]

@@ -1,0 +1,172 @@
+"""Random MiniLang source generator.
+
+Complements :mod:`repro.workloads.generators` (which builds IR directly):
+fuzzing at the source level additionally exercises the front end, lexical
+scoping/shadowing, logical operators, and the optimizer, and produces IR
+shapes the direct generator never emits (deep temp chains from expression
+lowering).
+
+All generated programs terminate: loops count a fresh variable down from a
+small constant, and `while` conditions are exactly those counters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+_BINOPS = ["+", "-", "*", "+", "%"]
+_CMPOPS = ["<", "<=", "==", "!=", ">", ">="]
+
+
+class _SourceGen:
+    def __init__(self, rng: random.Random, max_depth: int, max_stmts: int) -> None:
+        self.rng = rng
+        self.max_depth = max_depth
+        self.max_stmts = max_stmts
+        self.counter = 0
+        self.scopes: List[List[str]] = [["n"]]
+        #: loop counters; never reassigned, so loops always terminate.
+        self.protected: set = set()
+        self.loop_depth = 0
+        self.lines: List[str] = []
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def fresh(self) -> str:
+        self.counter += 1
+        return f"v{self.counter}"
+
+    def visible(self) -> List[str]:
+        out: List[str] = []
+        for scope in self.scopes:
+            out.extend(scope)
+        return out
+
+    def pick(self) -> str:
+        return self.rng.choice(self.visible())
+
+    def pick_assignable(self) -> Optional[str]:
+        candidates = [
+            v for v in self.visible()
+            if v not in self.protected and v != "n"
+        ]
+        return self.rng.choice(candidates) if candidates else None
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append("    " * (depth + 1) + text)
+        self.emitted += 1
+
+    # ------------------------------------------------------------------
+    def expr(self, depth: int = 0) -> str:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.3:
+            if self.rng.random() < 0.5:
+                return str(self.rng.randint(0, 9))
+            return self.pick()
+        if roll < 0.45:
+            index = self.pick()
+            return f"A[{index} % 8]"
+        if roll < 0.62:
+            return f"(-{self.expr(depth + 1)})"
+        if roll < 0.72:
+            op = self.rng.choice(_CMPOPS)
+            return f"({self.expr(depth + 1)} {op} {self.expr(depth + 1)})"
+        if roll < 0.78:
+            gate = self.rng.choice(["&&", "||"])
+            return f"({self.expr(depth + 1)} {gate} {self.expr(depth + 1)})"
+        op = self.rng.choice(_BINOPS)
+        if op == "%":
+            return f"({self.expr(depth + 1)} % 7)"
+        return f"({self.expr(depth + 1)} {op} {self.expr(depth + 1)})"
+
+    # ------------------------------------------------------------------
+    def statement(self, depth: int) -> None:
+        roll = self.rng.random()
+        if self.emitted >= self.max_stmts:
+            roll = 1.0  # force a simple statement
+        if depth < self.max_depth and roll < 0.2:
+            self.while_loop(depth)
+        elif depth < self.max_depth and roll < 0.45:
+            self.if_stmt(depth)
+        elif roll < 0.6:
+            # Initializer first: the new name is not in scope inside it.
+            init = self.expr()
+            name = self.fresh()
+            self.scopes[-1].append(name)
+            self.emit(depth, f"var {name} = {init};")
+        elif roll < 0.75:
+            target = self.pick_assignable()
+            if target is None:
+                self.emit(depth, f"B[{self.pick()} % 8] = {self.expr()};")
+            else:
+                self.emit(depth, f"{target} = {self.expr()};")
+        else:
+            self.emit(depth, f"B[{self.pick()} % 8] = {self.expr()};")
+
+    def body(self, depth: int, min_stmts: int = 1) -> None:
+        self.scopes.append([])
+        for _ in range(self.rng.randint(min_stmts, 3)):
+            self.statement(depth)
+        self.scopes.pop()
+
+    def while_loop(self, depth: int) -> None:
+        counter = self.fresh()
+        trips = self.rng.randint(1, 4)
+        self.emit(depth, f"var {counter} = {trips};")
+        self.scopes[-1].append(counter)
+        self.protected.add(counter)
+        self.emit(depth, f"while ({counter} > 0) {{")
+        self.loop_depth += 1
+        self.body(depth + 1)
+        # Optional conditional break.
+        if self.rng.random() < 0.3:
+            self.emit(
+                depth + 1,
+                f"if ({self.expr()} == 0) {{ break; }}",
+            )
+        self.emit(depth + 1, f"{counter} = {counter} - 1;")
+        self.loop_depth -= 1
+        self.emit(depth, "}")
+
+    def if_stmt(self, depth: int) -> None:
+        self.emit(depth, f"if ({self.expr()}) {{")
+        self.body(depth + 1)
+        if self.rng.random() < 0.6:
+            self.emit(depth, "} else {")
+            self.body(depth + 1)
+        self.emit(depth, "}")
+
+    # ------------------------------------------------------------------
+    def generate(self, name: str) -> str:
+        self.emit(-1, "var acc = 0;")
+        self.scopes[0].append("acc")
+        for _ in range(self.rng.randint(2, 4)):
+            self.statement(0)
+        result = " + ".join(
+            self.rng.sample(self.visible(), k=min(2, len(self.visible())))
+        )
+        self.emit(-1, f"return acc + {result};")
+        body = "\n".join(self.lines)
+        return f"func {name}(n) {{\n{body}\n}}\n"
+
+
+def random_minilang_source(
+    seed: int, max_depth: int = 3, max_stmts: int = 30
+) -> str:
+    """A random, terminating MiniLang program as source text."""
+    rng = random.Random(seed)
+    gen = _SourceGen(rng, max_depth=max_depth, max_stmts=max_stmts)
+    return gen.generate(f"fuzz{seed}")
+
+
+def random_minilang_workload(seed: int, **kwargs):
+    """Compile a random MiniLang program and pair it with inputs."""
+    from repro.minilang import compile_source
+    from repro.pipeline import Workload
+
+    source = random_minilang_source(seed, **kwargs)
+    fn = compile_source(source)
+    rng = random.Random(seed ^ 0xABCD)
+    arrays = {"A": [rng.randint(-9, 9) for _ in range(8)], "B": [0] * 8}
+    return Workload(fn, {"n": rng.randint(0, 9)}, arrays, name=fn.name)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.machine.target import Machine
+from repro.workloads.kernels import dot
+
+
+@pytest.fixture
+def dot_fn():
+    return dot()
+
+
+@pytest.fixture
+def machine4():
+    return Machine.simple(4)
+
+
+@pytest.fixture
+def machine2():
+    return Machine.simple(2)
+
+
+def build_diamond():
+    """start -> entry -> (then|else) -> join -> stop, returning max-ish."""
+    b = FunctionBuilder("diamond", params=["x"])
+    b.block("entry")
+    b.const("ten", 10)
+    b.cmplt("c", "x", "ten")
+    b.cbr("c", "then", "els")
+    b.block("then")
+    b.add("r", "x", "ten")
+    b.br("join")
+    b.block("els")
+    b.sub("r", "x", "ten")
+    b.br("join")
+    b.block("join")
+    b.ret("r")
+    return b.finish()
+
+
+def build_loop():
+    """A counted loop summing 1..n."""
+    b = FunctionBuilder("count", params=["n"])
+    b.block("entry")
+    b.const("i", 0)
+    b.const("s", 0)
+    b.const("one", 1)
+    b.br("head")
+    b.block("head")
+    b.cmplt("c", "i", "n")
+    b.cbr("c", "body", "done")
+    b.block("body")
+    b.add("i", "i", "one")
+    b.add("s", "s", "i")
+    b.br("head")
+    b.block("done")
+    b.ret("s")
+    return b.finish()
+
+
+@pytest.fixture
+def diamond_fn():
+    return build_diamond()
+
+
+@pytest.fixture
+def loop_fn():
+    return build_loop()

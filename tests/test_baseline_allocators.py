@@ -1,0 +1,131 @@
+"""End-to-end tests for the baseline allocators."""
+
+import pytest
+
+from repro.allocators import (
+    BriggsAllocator,
+    ChaitinAllocator,
+    LocalAllocator,
+    NaiveMemoryAllocator,
+)
+from repro.ir.instructions import Opcode, is_phys
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compile_function
+from repro.workloads.kernels import all_kernel_workloads, dot
+
+ALLOCATORS = [
+    ChaitinAllocator,
+    BriggsAllocator,
+    NaiveMemoryAllocator,
+    LocalAllocator,
+]
+
+
+@pytest.fixture
+def dot_workload():
+    return Workload(
+        dot(), args={"n": 6},
+        arrays={"A": [1, 2, 3, 4, 5, 6], "B": [6, 5, 4, 3, 2, 1]},
+        name="dot",
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("allocator_cls", ALLOCATORS)
+    @pytest.mark.parametrize("registers", [2, 3, 4, 8])
+    def test_dot_all_registers(self, dot_workload, allocator_cls, registers):
+        result = compile_function(
+            dot_workload, allocator_cls(), Machine.simple(registers)
+        )
+        assert result.allocated_run.returned == (56,)
+
+    @pytest.mark.parametrize("allocator_cls", ALLOCATORS)
+    def test_all_kernels(self, allocator_cls):
+        for workload in all_kernel_workloads(6):
+            result = compile_function(
+                workload, allocator_cls(), Machine.simple(4)
+            )
+            assert result.reference_run.returned == result.allocated_run.returned
+
+    @pytest.mark.parametrize("allocator_cls", ALLOCATORS)
+    def test_output_is_physical(self, dot_workload, allocator_cls):
+        result = compile_function(dot_workload, allocator_cls(), Machine.simple(4))
+        for block in result.fn.blocks.values():
+            for instr in block.instrs:
+                for var in instr.defs + instr.uses:
+                    assert is_phys(var)
+
+
+class TestChaitinBehaviour:
+    def test_no_spills_with_plenty_of_registers(self, dot_workload):
+        result = compile_function(
+            dot_workload, ChaitinAllocator(), Machine.simple(16)
+        )
+        assert result.spill_refs == 0
+        assert result.stats.iterations == 1
+
+    def test_iterates_under_pressure(self, dot_workload):
+        result = compile_function(
+            dot_workload, ChaitinAllocator(), Machine.simple(2)
+        )
+        assert result.stats.iterations > 1
+        assert result.stats.spilled_vars
+
+    def test_spill_everywhere(self, dot_workload):
+        """A spilled variable pays at every reference, including in-loop."""
+        result = compile_function(
+            dot_workload, ChaitinAllocator(), Machine.simple(3)
+        )
+        spill_blocks = result.stats.spill_block_labels
+        assert "body" in spill_blocks or "head" in spill_blocks
+
+    def test_briggs_never_worse_here(self, dot_workload):
+        for registers in (2, 3, 4):
+            machine = Machine.simple(registers)
+            chaitin = compile_function(dot_workload, ChaitinAllocator(), machine)
+            briggs = compile_function(dot_workload, BriggsAllocator(), machine)
+            assert briggs.spill_refs <= chaitin.spill_refs
+
+    def test_reuse_within_block_helps(self, dot_workload):
+        """At moderate pressure the classic within-block cleanup saves
+        reloads.  (At extreme pressure it can backfire -- reuse lengthens
+        temp live ranges -- so the comparison is made at R=4.)"""
+        machine = Machine.simple(4)
+        with_reuse = compile_function(
+            dot_workload, ChaitinAllocator(reuse_within_block=True), machine
+        )
+        without = compile_function(
+            dot_workload, ChaitinAllocator(reuse_within_block=False), machine
+        )
+        assert with_reuse.spill_refs <= without.spill_refs
+
+
+class TestAnchors:
+    def test_ordering_naive_worst(self, dot_workload):
+        """naive >= local >= briggs on spill traffic."""
+        machine = Machine.simple(4)
+        naive = compile_function(dot_workload, NaiveMemoryAllocator(), machine)
+        local = compile_function(dot_workload, LocalAllocator(), machine)
+        briggs = compile_function(dot_workload, BriggsAllocator(), machine)
+        assert naive.spill_refs >= local.spill_refs >= briggs.spill_refs
+
+    def test_naive_touches_memory_everywhere(self, dot_workload):
+        result = compile_function(
+            dot_workload, NaiveMemoryAllocator(), Machine.simple(4)
+        )
+        for label, block in result.fn.blocks.items():
+            ops = [i.op for i in block.instrs]
+            if any(o not in (Opcode.BR, Opcode.CBR, Opcode.NOP,
+                             Opcode.SPILL_LD, Opcode.SPILL_ST, Opcode.RET)
+                   for o in ops):
+                assert Opcode.SPILL_LD in ops or Opcode.SPILL_ST in ops
+
+    def test_naive_requires_two_registers(self, dot_workload):
+        with pytest.raises(ValueError):
+            NaiveMemoryAllocator().allocate(dot_workload.fn, Machine.simple(1))
+
+    def test_local_flushes_only_live_out(self, dot_workload):
+        result = compile_function(
+            dot_workload, LocalAllocator(), Machine.simple(8)
+        )
+        assert result.allocated_run.returned == (56,)

@@ -1,0 +1,170 @@
+"""Tests for linkage lowering and callee-save handling (paper section 6)."""
+
+import pytest
+
+from repro.allocators import BriggsAllocator, ChaitinAllocator
+from repro.analysis.frequency import frequencies_from_profile
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Opcode
+from repro.machine.calls import (
+    LinkageError,
+    lower_calls,
+    with_callee_save,
+)
+from repro.machine.rewrite import remove_self_moves
+from repro.machine.simulator import simulate
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compile_function
+from repro.workloads.kernels import quick_return
+
+MACHINE = Machine.with_linkage(6, num_callee_save=2, num_args=2)
+
+
+def call_fn():
+    b = FunctionBuilder("callsite", params=["x"])
+    b.block("entry")
+    b.const("k", 3)
+    b.mul("big", "x", "k")        # live across the call
+    b.call(["a"], "abs", ["x"])
+    b.add("r", "a", "big")
+    b.ret("r")
+    return b.finish()
+
+
+class TestLowerCalls:
+    def test_arguments_flow_through_arg_regs(self):
+        lowered = lower_calls(call_fn(), MACHINE)
+        call = next(
+            i for _, i in lowered.instructions() if i.op is Opcode.CALL
+        )
+        assert call.uses == ("R0",)
+        assert call.defs == ("R0",)
+        assert "R1" in call.clobbers  # caller-save, not the result reg
+        assert "R4" not in call.clobbers  # callee-save survives
+
+    def test_semantics_preserved(self):
+        original = call_fn()
+        lowered = lower_calls(original, MACHINE)
+        a = simulate(original, args={"x": -4})
+        b = simulate(lowered, args={"x": -4})
+        assert a.returned == b.returned == (-8,)
+
+    def test_too_many_args_rejected(self):
+        b = FunctionBuilder("f", params=["x"])
+        b.block("entry")
+        b.call(["y"], "clamp", ["x", "x", "x"])
+        b.ret("y")
+        fn = b.finish()
+        with pytest.raises(LinkageError):
+            lower_calls(fn, MACHINE)
+
+    @pytest.mark.parametrize(
+        "allocator_cls", [HierarchicalAllocator, ChaitinAllocator, BriggsAllocator]
+    )
+    def test_allocation_across_call(self, allocator_cls):
+        """A value live across the call must survive the clobbered
+        caller-save registers."""
+        lowered = lower_calls(call_fn(), MACHINE)
+        w = Workload(lowered, args={"x": -4}, name="callsite")
+        result = compile_function(w, allocator_cls(), MACHINE)
+        assert result.allocated_run.returned == (-8,)
+
+
+class TestWithCalleeSave:
+    def test_no_callee_save_machine_is_identity(self):
+        fn = call_fn()
+        out = with_callee_save(fn, Machine.simple(4))
+        assert len(out.blocks) == len(fn.blocks)
+        assert out.params == fn.params
+
+    def test_params_extended(self):
+        out = with_callee_save(quick_return(), MACHINE)
+        assert out.params == ["n", "R4", "R5"]
+
+    def test_returns_include_restored_registers(self):
+        out = with_callee_save(quick_return(), MACHINE)
+        result = simulate(
+            out, args={"n": 0, "R4": 7, "R5": 9}, arrays={"A": []}
+        )
+        assert result.returned == (0, 7, 9)
+
+    @pytest.mark.parametrize(
+        "allocator_cls", [HierarchicalAllocator, ChaitinAllocator]
+    )
+    def test_callee_save_contract_after_allocation(self, allocator_cls):
+        out = with_callee_save(quick_return(), MACHINE)
+        w = Workload(
+            out, args={"n": 4, "R4": 77, "R5": 88},
+            arrays={"A": [1, 2, 3, 4]}, name="qr",
+        )
+        result = compile_function(w, allocator_cls(), MACHINE)
+        assert result.allocated_run.returned[-2:] == (77, 88)
+
+
+class TestShrinkWrapping:
+    """E11: 'a callee-save register is not saved until an execution path
+    which actually requires the register is selected'."""
+
+    def _profiled_freq(self, fn):
+        profile = None
+        for n in [0] * 9 + [5]:
+            run = simulate(
+                fn, args={"n": n, "R4": 1, "R5": 2},
+                arrays={"A": [1, 2, 3, 4, 5]},
+            )
+            profile = run.profile if profile is None else profile.merge(run.profile)
+        return frequencies_from_profile(fn, profile)
+
+    def test_fast_path_free_of_callee_save_traffic(self):
+        fn = with_callee_save(quick_return(), MACHINE)
+        freq = self._profiled_freq(fn)
+        w = Workload(
+            fn, args={"n": 0, "R4": 1, "R5": 2}, arrays={"A": []}, name="fast"
+        )
+        hier = compile_function(
+            w,
+            HierarchicalAllocator(HierarchicalConfig(frequencies=freq)),
+            MACHINE,
+        )
+        assert hier.spill_refs == 0
+
+    def test_chaitin_pays_on_fast_path(self):
+        fn = with_callee_save(quick_return(), MACHINE)
+        w = Workload(
+            fn, args={"n": 0, "R4": 1, "R5": 2}, arrays={"A": []}, name="fast"
+        )
+        chaitin = compile_function(w, ChaitinAllocator(), MACHINE)
+        assert chaitin.spill_refs > 0
+
+    def test_slow_path_still_correct(self):
+        fn = with_callee_save(quick_return(), MACHINE)
+        freq = self._profiled_freq(fn)
+        w = Workload(
+            fn, args={"n": 4, "R4": 5, "R5": 6},
+            arrays={"A": [2, 2, 2, 2]}, name="slow",
+        )
+        result = compile_function(
+            w,
+            HierarchicalAllocator(HierarchicalConfig(frequencies=freq)),
+            MACHINE,
+        )
+        assert result.allocated_run.returned == result.reference_run.returned
+
+
+class TestRemoveSelfMoves:
+    def test_removes_only_self_moves(self):
+        b = FunctionBuilder("f", params=["x"])
+        b.block("entry")
+        b.emit(
+            __import__("repro.ir.instructions", fromlist=["Instr"]).Instr(
+                Opcode.COPY, defs=("R1",), uses=("R1",)
+            )
+        )
+        b.copy("y", "x")
+        b.ret("y")
+        fn = b.finish()
+        removed = remove_self_moves(fn)
+        assert removed == 1
+        ops = [i.op for i in fn.blocks["entry"].instrs]
+        assert ops.count(Opcode.COPY) == 1

@@ -1,0 +1,197 @@
+"""Tests for the preference-aware optimistic coloring engine."""
+
+import pytest
+
+from repro.graph.coloring import (
+    NoColorForRequiredNode,
+    color_graph,
+    verify_coloring,
+)
+from repro.graph.interference import InterferenceGraph
+
+REGS = ["R0", "R1", "R2", "R3"]
+
+
+def clique(names):
+    g = InterferenceGraph()
+    g.add_clique(names)
+    return g
+
+
+class TestBasicColoring:
+    def test_triangle_three_colors(self):
+        g = clique(["a", "b", "c"])
+        result = color_graph(g, k=3, color_order=REGS[:3])
+        assert not result.spilled
+        assert len({result.assignment[v] for v in "abc"}) == 3
+        assert not verify_coloring(g, result.assignment)
+
+    def test_bipartite_two_colors(self):
+        g = InterferenceGraph()
+        for a in ("x", "y"):
+            for b in ("u", "v"):
+                g.add_edge(a, b)
+        result = color_graph(g, k=2, color_order=REGS[:2])
+        assert not result.spilled
+        assert result.assignment["x"] == result.assignment["y"]
+        assert result.assignment["u"] == result.assignment["v"]
+
+    def test_isolated_nodes_share(self):
+        g = InterferenceGraph()
+        g.add_node("a")
+        g.add_node("b")
+        result = color_graph(g, k=4, color_order=REGS)
+        assert result.assignment["a"] == result.assignment["b"]
+        assert len(result.used_colors) == 1
+
+    def test_spill_when_overcommitted(self):
+        g = clique(["a", "b", "c", "d"])
+        result = color_graph(g, k=2, color_order=REGS[:2])
+        assert len(result.spilled) == 2
+        assert not verify_coloring(g, result.assignment)
+
+    def test_priorities_protect_valuable_nodes(self):
+        g = clique(["hot", "warm", "cold"])
+        result = color_graph(
+            g,
+            k=2,
+            color_order=REGS[:2],
+            priorities={"hot": 100.0, "warm": 10.0, "cold": 1.0},
+        )
+        assert result.spilled == {"cold"}
+
+    def test_optimistic_beats_pessimistic(self):
+        """Two high-degree nodes that never conflict: the optimistic pass
+        colors the diamond the pessimistic pass spills (Briggs' classic)."""
+        g = InterferenceGraph()
+        # diamond: a-b, a-c, d-b, d-c; a,d nonadjacent; k=2
+        for x, y in [("a", "b"), ("a", "c"), ("d", "b"), ("d", "c")]:
+            g.add_edge(x, y)
+        optimistic = color_graph(g, k=2, color_order=REGS[:2])
+        assert not optimistic.spilled
+
+    def test_pessimistic_flag(self):
+        g = clique(["a", "b", "c"])
+        result = color_graph(
+            g, k=2, color_order=REGS[:2], pessimistic=True,
+            priorities={"a": 3, "b": 2, "c": 1},
+        )
+        assert result.spilled == {"c"}
+
+
+class TestPrecoloring:
+    def test_precolored_respected(self):
+        g = clique(["a", "b"])
+        result = color_graph(
+            g, k=2, color_order=REGS[:2], precolored={"a": "R1"}
+        )
+        assert result.assignment["a"] == "R1"
+        assert result.assignment["b"] != "R1"
+
+    def test_precolored_counts_toward_budget(self):
+        g = InterferenceGraph()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "b")
+        result = color_graph(
+            g, k=2, color_order=["p0", "p1"], precolored={"a": "R9"}
+        )
+        assert result.assignment["a"] == "R9"
+        assert len(result.used_colors) <= 2
+
+
+class TestPreferences:
+    def test_local_pref_granted(self):
+        g = clique(["a", "b"])
+        result = color_graph(
+            g, k=2, color_order=REGS[:2], local_prefs={"b": "R1"}
+        )
+        assert result.assignment["b"] == "R1"
+
+    def test_local_pref_denied_on_conflict(self):
+        g = clique(["a", "b"])
+        result = color_graph(
+            g,
+            k=2,
+            color_order=REGS[:2],
+            precolored={"a": "R1"},
+            local_prefs={"b": "R1"},
+        )
+        assert result.assignment["b"] != "R1"
+
+    def test_pref_pairs_share_color(self):
+        g = InterferenceGraph()
+        g.add_edge("a", "x")
+        g.add_edge("b", "x")
+        g.add_node("a")
+        g.add_node("b")
+        result = color_graph(
+            g, k=3, color_order=REGS[:3], pref_pairs=[("a", "b")]
+        )
+        assert result.assignment["a"] == result.assignment["b"]
+
+    def test_conflicting_pair_not_shared(self):
+        g = clique(["a", "b"])
+        result = color_graph(
+            g, k=2, color_order=REGS[:2], pref_pairs=[("a", "b")]
+        )
+        assert result.assignment["a"] != result.assignment["b"]
+
+    def test_neighbour_pref_avoided(self):
+        """A node avoids colors that are local preferences of uncolored
+        conflicting variables."""
+        g = InterferenceGraph()
+        g.add_edge("v", "w")
+        result = color_graph(
+            g,
+            k=2,
+            color_order=REGS[:2],
+            local_prefs={"w": "R0"},
+            priorities={"v": 1.0, "w": 10.0},
+        )
+        assert result.assignment["w"] == "R0"
+        assert result.assignment["v"] == "R1"
+
+
+class TestBoundary:
+    def test_boundary_nodes_prefer_distinct_colors(self):
+        g = InterferenceGraph()
+        g.add_node("g1")
+        g.add_node("g2")  # no conflict: ordinarily they would share
+        result = color_graph(
+            g, k=4, color_order=REGS, boundary={"g1", "g2"}
+        )
+        assert result.assignment["g1"] != result.assignment["g2"]
+
+    def test_boundary_respects_budget(self):
+        g = InterferenceGraph()
+        for name in ("g1", "g2", "g3"):
+            g.add_node(name)
+        result = color_graph(
+            g, k=2, color_order=REGS[:2], boundary={"g1", "g2", "g3"}
+        )
+        assert not result.spilled
+        assert len(result.used_colors) <= 2
+
+
+class TestNeverSpill:
+    def test_never_spill_survives(self):
+        g = clique(["t", "a", "b"])
+        result = color_graph(
+            g,
+            k=2,
+            color_order=REGS[:2],
+            never_spill={"t"},
+            priorities={"a": 5.0, "b": 4.0},
+        )
+        assert "t" in result.assignment
+        assert "t" not in result.spilled
+
+    def test_never_spill_failure_raises(self):
+        g = clique(["t1", "t2", "t3"])
+        with pytest.raises(NoColorForRequiredNode) as info:
+            color_graph(
+                g, k=2, color_order=REGS[:2],
+                never_spill={"t1", "t2", "t3"},
+            )
+        assert info.value.node in {"t1", "t2", "t3"}

@@ -1,0 +1,89 @@
+"""Tests for dominator and post-dominator computation."""
+
+import pytest
+
+from repro.analysis.dominators import (
+    compute_dominators,
+    compute_idoms,
+    compute_postdominators,
+)
+
+
+class TestGenericIdoms:
+    def test_straight_line(self):
+        succs = {"a": ["b"], "b": ["c"], "c": []}
+        tree = compute_idoms("a", succs)
+        assert tree.idom == {"a": "a", "b": "a", "c": "b"}
+
+    def test_diamond(self):
+        succs = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+        tree = compute_idoms("a", succs)
+        assert tree.idom["d"] == "a"
+        assert tree.idom["b"] == "a"
+        assert tree.idom["c"] == "a"
+
+    def test_loop(self):
+        succs = {"a": ["h"], "h": ["b", "x"], "b": ["h"], "x": []}
+        tree = compute_idoms("a", succs)
+        assert tree.idom["b"] == "h"
+        assert tree.idom["x"] == "h"
+
+    def test_unreachable_ignored(self):
+        succs = {"a": ["b"], "b": [], "z": ["a"]}
+        tree = compute_idoms("a", succs)
+        assert "z" not in tree.idom
+
+    def test_dominates_reflexive_and_transitive(self):
+        succs = {"a": ["b"], "b": ["c"], "c": []}
+        tree = compute_idoms("a", succs)
+        assert tree.dominates("a", "a")
+        assert tree.dominates("a", "c")
+        assert tree.strictly_dominates("a", "c")
+        assert not tree.strictly_dominates("a", "a")
+        assert not tree.dominates("c", "a")
+
+    def test_children_and_depth(self):
+        succs = {"a": ["b", "c"], "b": [], "c": []}
+        tree = compute_idoms("a", succs)
+        assert set(tree.children("a")) == {"b", "c"}
+        assert tree.depth("a") == 0
+        assert tree.depth("b") == 1
+
+    def test_walk_up(self):
+        succs = {"a": ["b"], "b": ["c"], "c": []}
+        tree = compute_idoms("a", succs)
+        assert list(tree.walk_up("c")) == ["c", "b", "a"]
+
+    def test_irreducible_region(self):
+        # a -> b, a -> c, b <-> c: neither b nor c dominates the other.
+        succs = {"a": ["b", "c"], "b": ["c"], "c": ["b"]}
+        tree = compute_idoms("a", succs)
+        assert tree.idom["b"] == "a"
+        assert tree.idom["c"] == "a"
+
+
+class TestFunctionDominators:
+    def test_loop_fn(self, loop_fn):
+        dom = compute_dominators(loop_fn)
+        assert dom.idom["head"] == "entry"
+        assert dom.idom["body"] == "head"
+        assert dom.idom["done"] == "head"
+        assert dom.dominates("head", "body")
+
+    def test_postdominators(self, loop_fn):
+        pdom = compute_postdominators(loop_fn)
+        assert pdom.root == loop_fn.stop_label
+        assert pdom.dominates("head", "body")  # body always returns to head
+        assert pdom.dominates("done", "head")
+
+    def test_diamond_postdominators(self, diamond_fn):
+        pdom = compute_postdominators(diamond_fn)
+        assert pdom.idom["then"] == "join"
+        assert pdom.idom["els"] == "join"
+        assert pdom.dominates("join", "entry")
+
+    def test_every_node_dominated_by_start(self, loop_fn, diamond_fn):
+        for fn in (loop_fn, diamond_fn):
+            dom = compute_dominators(fn)
+            for label in fn.blocks:
+                assert dom.dominates(fn.start_label, label)

@@ -1,0 +1,82 @@
+"""Tests for execution-frequency estimation (Prob(b), Prob(e))."""
+
+import pytest
+
+from repro.analysis.frequency import (
+    LOOP_BACK_PROB,
+    estimate_frequencies,
+    frequencies_from_profile,
+    loop_depth_weights,
+)
+from repro.machine.simulator import simulate
+from repro.workloads.kernels import matmul
+from repro.workloads.figure1 import figure1
+
+
+class TestStaticEstimates:
+    def test_loop_trip_count(self, loop_fn):
+        freq = estimate_frequencies(loop_fn)
+        expected = 1.0 / (1.0 - LOOP_BACK_PROB)  # 10
+        assert freq.block_freq["head"] == pytest.approx(expected)
+        assert freq.block_freq["body"] == pytest.approx(expected - 1)
+        assert freq.block_freq["entry"] == pytest.approx(1.0)
+        assert freq.block_freq[loop_fn.stop_label] == pytest.approx(1.0)
+
+    def test_branch_split(self, diamond_fn):
+        freq = estimate_frequencies(diamond_fn)
+        assert freq.block_freq["then"] == pytest.approx(0.5)
+        assert freq.block_freq["els"] == pytest.approx(0.5)
+        assert freq.block_freq["join"] == pytest.approx(1.0)
+
+    def test_edge_freq_consistency(self, loop_fn):
+        """Flow conservation: block frequency equals incoming edge flow."""
+        freq = estimate_frequencies(loop_fn)
+        for label in loop_fn.blocks:
+            if label == loop_fn.start_label:
+                continue
+            inflow = sum(
+                f for (u, v), f in freq.edge_freq.items() if v == label
+            )
+            assert inflow == pytest.approx(freq.block_freq[label], rel=1e-6)
+
+    def test_nested_loops_multiply(self):
+        freq = estimate_frequencies(matmul())
+        assert freq.block_freq["kbody"] > 100  # three nested trip-10 loops
+        assert freq.block_freq["kbody"] > freq.block_freq["jh"]
+        assert freq.block_freq["jh"] > freq.block_freq["ih"]
+
+    def test_two_sequential_loops(self):
+        freq = estimate_frequencies(figure1())
+        assert freq.block_freq["B2"] == pytest.approx(freq.block_freq["B3"])
+        assert freq.block_freq["B4"] == pytest.approx(1.0)
+
+
+class TestProfileFrequencies:
+    def test_profile_matches_run(self, loop_fn):
+        result = simulate(loop_fn, args={"n": 7})
+        freq = frequencies_from_profile(loop_fn, result.profile)
+        assert freq.block_freq["body"] == pytest.approx(7.0)
+        assert freq.block_freq["head"] == pytest.approx(8.0)
+        assert freq.source == "profile"
+
+    def test_untaken_edges_present_as_zero(self, diamond_fn):
+        result = simulate(diamond_fn, args={"x": 1})  # takes 'then'
+        freq = frequencies_from_profile(diamond_fn, result.profile)
+        assert freq.edge_freq[("entry", "els")] == 0.0
+        assert freq.edge_freq[("entry", "then")] == pytest.approx(1.0)
+
+    def test_normalized_by_entries(self, loop_fn):
+        result = simulate(loop_fn, args={"n": 3})
+        merged = result.profile.merge(result.profile)
+        freq = frequencies_from_profile(loop_fn, merged)
+        # Two identical runs: per-entry frequencies unchanged.
+        assert freq.block_freq["body"] == pytest.approx(3.0)
+
+
+class TestLoopDepthWeights:
+    def test_powers_of_base(self):
+        weights = loop_depth_weights(matmul(), base=10.0)
+        assert weights["kbody"] == pytest.approx(1000.0)
+        assert weights["jh"] == pytest.approx(100.0)
+        assert weights["ih"] == pytest.approx(10.0)
+        assert weights["entry"] == pytest.approx(1.0)

@@ -1,0 +1,207 @@
+"""Unit tests for basic blocks and functions (CFG layer)."""
+
+import pytest
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, Opcode
+
+
+def _add(d, a, b):
+    return Instr(Opcode.ADD, defs=(d,), uses=(a, b))
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        block = BasicBlock("b", [_add("x", "a", "b"), Instr(Opcode.BR)])
+        assert block.terminator is not None
+        assert block.terminator.op is Opcode.BR
+        assert [i.op for i in block.body] == [Opcode.ADD]
+
+    def test_no_terminator(self):
+        block = BasicBlock("b", [_add("x", "a", "b")])
+        assert block.terminator is None
+
+    def test_append_keeps_terminator_last(self):
+        block = BasicBlock("b", [Instr(Opcode.BR)])
+        block.append(_add("x", "a", "b"))
+        assert block.instrs[-1].op is Opcode.BR
+        assert block.instrs[0].op is Opcode.ADD
+
+    def test_insert_before_terminator(self):
+        block = BasicBlock("b", [_add("x", "a", "b"), Instr(Opcode.BR)])
+        block.insert_before_terminator([_add("y", "x", "x")])
+        assert [i.op for i in block.instrs] == [Opcode.ADD, Opcode.ADD, Opcode.BR]
+
+    def test_insert_without_terminator_appends(self):
+        block = BasicBlock("b", [_add("x", "a", "b")])
+        block.insert_before_terminator([_add("y", "x", "x")])
+        assert len(block.instrs) == 2
+
+    def test_ref_count_counts_defs_and_uses(self):
+        block = BasicBlock("b", [_add("x", "x", "x"), _add("y", "x", "z")])
+        assert block.ref_count("x") == 4
+        assert block.ref_count("z") == 1
+        assert block.ref_count("missing") == 0
+
+    def test_variable_sets(self):
+        block = BasicBlock("b", [_add("x", "a", "b")])
+        assert block.variables() == {"x", "a", "b"}
+        assert block.defs() == {"x"}
+        assert block.uses() == {"a", "b"}
+
+    def test_is_empty(self):
+        assert BasicBlock("b", []).is_empty()
+        assert BasicBlock("b", [Instr(Opcode.BR)]).is_empty()
+        assert not BasicBlock("b", [_add("x", "a", "b")]).is_empty()
+
+    def test_clone_is_independent(self):
+        block = BasicBlock("b", [_add("x", "a", "b")], ["next"])
+        other = block.clone()
+        other.instrs.append(Instr(Opcode.BR))
+        other.succ_labels.append("extra")
+        assert len(block.instrs) == 1
+        assert block.succ_labels == ["next"]
+
+
+class TestFunctionStructure:
+    def _two_block_fn(self):
+        fn = Function("f", params=["p"], start_label="a", stop_label="b")
+        fn.add_block(BasicBlock("a", [], ["b"]))
+        fn.add_block(BasicBlock("b", []))
+        return fn
+
+    def test_duplicate_label_rejected(self):
+        fn = self._two_block_fn()
+        with pytest.raises(ValueError):
+            fn.add_block(BasicBlock("a"))
+
+    def test_edges_and_preds(self):
+        fn = self._two_block_fn()
+        assert fn.edges() == [("a", "b")]
+        assert fn.predecessors_map() == {"a": [], "b": ["a"]}
+
+    def test_new_label_avoids_collisions(self):
+        fn = self._two_block_fn()
+        label = fn.new_label("bb")
+        assert label not in fn.blocks
+        fn.add_block(BasicBlock(label))
+        assert fn.new_label("bb") != label
+
+    def test_insert_block_on_edge(self):
+        fn = self._two_block_fn()
+        mid = fn.insert_block_on_edge("a", "b")
+        assert fn.blocks["a"].succ_labels == [mid.label]
+        assert fn.blocks[mid.label].succ_labels == ["b"]
+        assert ("a", "b") not in fn.edges()
+
+    def test_insert_on_missing_edge(self):
+        fn = self._two_block_fn()
+        with pytest.raises(ValueError):
+            fn.insert_block_on_edge("b", "a")
+
+    def test_remove_empty_block(self):
+        fn = self._two_block_fn()
+        mid = fn.insert_block_on_edge("a", "b")
+        fn.remove_empty_block(mid.label)
+        assert fn.edges() == [("a", "b")]
+        assert mid.label not in fn.blocks
+
+    def test_remove_nonempty_block_rejected(self):
+        fn = self._two_block_fn()
+        mid = fn.insert_block_on_edge("a", "b")
+        mid.instrs.append(_add("x", "p", "p"))
+        with pytest.raises(ValueError):
+            fn.remove_empty_block(mid.label)
+
+    def test_remove_start_rejected(self):
+        fn = self._two_block_fn()
+        with pytest.raises(ValueError):
+            fn.remove_empty_block("a")
+
+    def test_rpo_starts_at_start(self, loop_fn):
+        order = loop_fn.rpo()
+        assert order[0] == loop_fn.start_label
+        index = {label: i for i, label in enumerate(order)}
+        # RPO property for this reducible CFG: loop header precedes body.
+        assert index["head"] < index["body"]
+
+    def test_rpo_covers_reachable(self, loop_fn):
+        assert set(loop_fn.rpo()) == set(loop_fn.blocks)
+
+    def test_clone_deep(self, loop_fn):
+        other = loop_fn.clone()
+        other.blocks["body"].instrs.clear()
+        assert len(loop_fn.blocks["body"].instrs) > 0
+
+    def test_clone_label_counter_fresh(self, loop_fn):
+        other = loop_fn.clone()
+        label = other.new_label("fix")
+        assert label not in loop_fn.blocks
+
+    def test_variables_include_params(self):
+        fn = self._two_block_fn()
+        assert "p" in fn.variables()
+
+    def test_instr_count(self, loop_fn):
+        assert loop_fn.instr_count() == sum(
+            len(b.instrs) for b in loop_fn.blocks.values()
+        )
+
+
+class TestBuilder:
+    def test_start_has_no_preds(self, loop_fn):
+        assert loop_fn.predecessors_map()[loop_fn.start_label] == []
+
+    def test_stop_has_no_succs(self, loop_fn):
+        assert loop_fn.blocks[loop_fn.stop_label].succ_labels == []
+
+    def test_ret_routes_to_stop(self, loop_fn):
+        assert loop_fn.blocks["done"].succ_labels == ["stop"]
+
+    def test_fallthrough_linking(self):
+        b = FunctionBuilder("f")
+        b.block("one")
+        b.const("x", 1)
+        b.block("two")  # implicit fallthrough from one
+        b.ret("x")
+        fn = b.finish()
+        assert fn.blocks["one"].succ_labels == ["two"]
+
+    def test_emit_after_terminator_rejected(self):
+        b = FunctionBuilder("f")
+        b.block("one")
+        b.const("x", 1)
+        b.br("one")
+        with pytest.raises(RuntimeError):
+            b.const("y", 2)
+
+    def test_emit_without_block_rejected(self):
+        b = FunctionBuilder("f")
+        with pytest.raises(RuntimeError):
+            b.const("x", 1)
+
+    def test_finish_twice_rejected(self):
+        b = FunctionBuilder("f")
+        b.block("one")
+        b.ret()
+        b.finish()
+        with pytest.raises(RuntimeError):
+            b.finish()
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(RuntimeError):
+            FunctionBuilder("f").finish()
+
+    def test_addi_materializes_constant(self):
+        b = FunctionBuilder("f")
+        b.block("one")
+        b.const("x", 1)
+        b.addi("y", "x", 5)
+        b.ret("y")
+        fn = b.finish()
+        ops = [i.op for i in fn.blocks["one"].instrs]
+        from repro.ir.instructions import Opcode
+
+        assert ops.count(Opcode.CONST) == 2

@@ -1,0 +1,101 @@
+"""Tests for loop-forest (interval) detection."""
+
+from repro.analysis.loops import build_loop_forest
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, Opcode
+from repro.workloads.kernels import matmul
+
+
+class TestSimpleLoops:
+    def test_single_loop(self, loop_fn):
+        forest = build_loop_forest(loop_fn)
+        assert len(forest) == 1
+        loop = forest.loops[0]
+        assert loop.header == "head"
+        assert loop.blocks == {"head", "body"}
+        assert not loop.irreducible
+        assert loop.depth == 1
+
+    def test_no_loops(self, diamond_fn):
+        forest = build_loop_forest(diamond_fn)
+        assert len(forest) == 0
+        assert forest.loop_depth("join") == 0
+
+    def test_loop_depth_map(self, loop_fn):
+        forest = build_loop_forest(loop_fn)
+        assert forest.loop_depth("body") == 1
+        assert forest.loop_depth("entry") == 0
+        assert forest.innermost_loop("body").header == "head"
+        assert forest.innermost_loop("entry") is None
+
+
+class TestNesting:
+    def test_matmul_three_levels(self):
+        forest = build_loop_forest(matmul())
+        depths = sorted(l.depth for l in forest)
+        assert depths == [1, 2, 3]
+        inner = max(forest, key=lambda l: l.depth)
+        assert inner.header == "kh"
+        assert forest.loop_depth("kbody") == 3
+        assert forest.loop_depth("jh") == 2
+
+    def test_own_blocks_excludes_children(self):
+        forest = build_loop_forest(matmul())
+        outer = next(l for l in forest if l.depth == 1)
+        middle = next(l for l in forest if l.depth == 2)
+        assert middle.blocks < outer.blocks
+        assert not (outer.own_blocks() & middle.blocks)
+
+    def test_parent_links(self):
+        forest = build_loop_forest(matmul())
+        inner = next(l for l in forest if l.depth == 3)
+        assert inner.parent.depth == 2
+        assert inner in inner.parent.children
+
+
+class TestSelfLoop:
+    def test_self_loop_detected(self):
+        fn = Function("f", start_label="s", stop_label="t")
+        fn.add_block(BasicBlock("s", [], ["a"]))
+        a = BasicBlock("a", [Instr(Opcode.CBR, uses=("c",))], ["a", "t"])
+        fn.add_block(a)
+        fn.add_block(BasicBlock("t", []))
+        forest = build_loop_forest(fn)
+        assert len(forest) == 1
+        assert forest.loops[0].blocks == {"a"}
+
+
+class TestIrreducible:
+    def _irreducible_fn(self):
+        # start -> a -> {b, c}; b <-> c; b -> t  : two-entry cycle {b, c}
+        fn = Function("f", start_label="s", stop_label="t")
+        fn.add_block(BasicBlock("s", [], ["a"]))
+        fn.add_block(
+            BasicBlock("a", [Instr(Opcode.CBR, uses=("c",))], ["b", "c"])
+        )
+        fn.add_block(
+            BasicBlock("b", [Instr(Opcode.CBR, uses=("c",))], ["c", "t"])
+        )
+        fn.add_block(BasicBlock("c", [], ["b"]))
+        fn.add_block(BasicBlock("t", []))
+        return fn
+
+    def test_detected_as_irreducible(self):
+        forest = build_loop_forest(self._irreducible_fn())
+        assert len(forest) == 1
+        loop = forest.loops[0]
+        assert loop.irreducible
+        assert loop.blocks == {"b", "c"}
+        assert set(loop.entries) == {"b", "c"}
+
+    def test_reducible_not_flagged(self, loop_fn):
+        forest = build_loop_forest(loop_fn)
+        assert not forest.loops[0].irreducible
+
+
+class TestHeaders:
+    def test_headers_set(self):
+        forest = build_loop_forest(matmul())
+        assert forest.headers() == {"ih", "jh", "kh"}

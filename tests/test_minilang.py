@@ -1,0 +1,232 @@
+"""Tests for the MiniLang front end (lexer, parser, lowering)."""
+
+import pytest
+
+from repro.allocators import ChaitinAllocator
+from repro.core import HierarchicalAllocator
+from repro.ir.validate import validate_function
+from repro.machine.simulator import simulate
+from repro.machine.target import Machine
+from repro.minilang import MiniLangError, compile_source, parse, tokenize
+from repro.minilang import ast_nodes as ast
+from repro.pipeline import Workload, compile_function
+
+
+def run(src, args=None, arrays=None):
+    fn = compile_source(src)
+    validate_function(fn)
+    return simulate(fn, args=args or {}, arrays=arrays or {})
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("func f(x) { return x <= 42; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "func", "ident", "(", "ident", ")", "{", "return", "ident",
+            "<=", "int", ";", "}", "eof",
+        ]
+
+    def test_line_numbers(self):
+        tokens = tokenize("func f()\n{\nreturn 1;\n}")
+        ret = next(t for t in tokens if t.kind == "return")
+        assert ret.line == 3
+
+    def test_comments(self):
+        tokens = tokenize("# comment\nfunc f() { // tail\nreturn 1; }")
+        assert tokens[0].kind == "func"
+
+    def test_maximal_munch(self):
+        kinds = [t.kind for t in tokenize("a<=b==c&&d")]
+        assert kinds == ["ident", "<=", "ident", "==", "ident", "&&",
+                         "ident", "eof"]
+
+    def test_bad_character(self):
+        with pytest.raises(MiniLangError, match="line 2"):
+            tokenize("func f() {\n  @  \n}")
+
+
+class TestParser:
+    def test_program_shape(self):
+        prog = parse(tokenize("func f(a, b) { return a + b; }"))
+        assert prog.name == "f"
+        assert prog.params == ["a", "b"]
+        assert isinstance(prog.body[0], ast.Return)
+
+    def test_precedence(self):
+        prog = parse(tokenize("func f() { return 1 + 2 * 3 < 4 && 5; }"))
+        top = prog.body[0].value
+        assert top.op == "&&"
+        assert top.left.op == "<"
+        assert top.left.left.op == "+"
+        assert top.left.left.right.op == "*"
+
+    def test_parentheses(self):
+        result = run("func f() { return (1 + 2) * 3; }")
+        assert result.returned == (9,)
+
+    def test_else_if_chain(self):
+        prog = parse(tokenize(
+            "func f(x) { if (x < 0) { return 1; } else if (x == 0) "
+            "{ return 2; } else { return 3; } }"
+        ))
+        outer = prog.body[0]
+        assert isinstance(outer.else_body[0], ast.If)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniLangError, match="expected"):
+            parse(tokenize("func f() { return 1 }"))
+
+    def test_trailing_garbage(self):
+        with pytest.raises(MiniLangError):
+            parse(tokenize("func f() { return 1; } extra"))
+
+
+class TestLowering:
+    def test_arithmetic(self):
+        assert run("func f() { return 7 % 3 + 10 / 4 - -2; }").returned == (5,)
+
+    def test_unary_not(self):
+        assert run("func f() { return !0 + !5; }").returned == (1,)
+
+    def test_while_loop(self):
+        result = run(
+            "func f(n) { var s = 0; var i = 1; while (i <= n) "
+            "{ s = s + i; i = i + 1; } return s; }",
+            args={"n": 10},
+        )
+        assert result.returned == (55,)
+
+    def test_nested_loops(self):
+        result = run(
+            """
+            func f(n) {
+                var total = 0;
+                var i = 0;
+                while (i < n) {
+                    var j = 0;
+                    while (j < n) {
+                        total = total + i * j;
+                        j = j + 1;
+                    }
+                    i = i + 1;
+                }
+                return total;
+            }
+            """,
+            args={"n": 4},
+        )
+        assert result.returned == (36,)
+
+    def test_break(self):
+        result = run(
+            "func f() { var i = 0; while (1) { i = i + 1; "
+            "if (i == 7) { break; } } return i; }"
+        )
+        assert result.returned == (7,)
+
+    def test_arrays(self):
+        result = run(
+            "func f(n) { var i = 0; while (i < n) "
+            "{ B[i] = A[i] * 2; i = i + 1; } return B[0]; }",
+            args={"n": 3}, arrays={"A": [4, 5, 6]},
+        )
+        assert result.returned == (8,)
+        assert result.arrays["B"][2] == 12
+
+    def test_intrinsic_call(self):
+        assert run("func f(x) { return abs(x); }", args={"x": -9}).returned == (9,)
+
+    def test_shadowing(self):
+        result = run(
+            """
+            func f() {
+                var x = 1;
+                if (1) { var x = 100; B[0] = x; }
+                return x;
+            }
+            """
+        )
+        assert result.returned == (1,)
+        assert result.arrays["B"][0] == 100
+
+    def test_implicit_return_zero(self):
+        assert run("func f() { var x = 3; x = x + 1; }").returned == (0,)
+
+    def test_if_both_arms_return(self):
+        src = (
+            "func f(x) { if (x < 0) { return 1; } else { return 2; } }"
+        )
+        assert run(src, args={"x": -5}).returned == (1,)
+        assert run(src, args={"x": 5}).returned == (2,)
+
+    def test_logical_ops_nonshortcircuit(self):
+        assert run("func f() { return 1 && 2; }").returned == (1,)
+        assert run("func f() { return 0 || 0; }").returned == (0,)
+
+
+class TestSemanticErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(MiniLangError, match="undeclared"):
+            compile_source("func f() { return y; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(MiniLangError, match="already declared"):
+            compile_source("func f() { var x = 1; var x = 2; return x; }")
+
+    def test_out_of_scope(self):
+        with pytest.raises(MiniLangError, match="undeclared"):
+            compile_source(
+                "func f() { if (1) { var x = 1; } return x; }"
+            )
+
+    def test_break_outside_loop(self):
+        with pytest.raises(MiniLangError, match="break outside"):
+            compile_source("func f() { break; }")
+
+    def test_unreachable_after_return(self):
+        with pytest.raises(MiniLangError, match="unreachable"):
+            compile_source("func f() { return 1; var x = 2; }")
+
+    def test_unreachable_after_break(self):
+        with pytest.raises(MiniLangError, match="unreachable"):
+            compile_source(
+                "func f() { while (1) { break; var x = 1; } return 0; }"
+            )
+
+
+class TestFullPipeline:
+    COLLATZ = """
+    func collatz(x) {
+        var steps = 0;
+        while (x != 1) {
+            if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+            steps = steps + 1;
+        }
+        return steps;
+    }
+    """
+
+    def test_collatz(self):
+        assert run(self.COLLATZ, args={"x": 27}).returned == (111,)
+
+    @pytest.mark.parametrize(
+        "allocator_cls", [HierarchicalAllocator, ChaitinAllocator]
+    )
+    @pytest.mark.parametrize("registers", [2, 4])
+    def test_allocation_of_minilang_programs(self, allocator_cls, registers):
+        fn = compile_source(self.COLLATZ)
+        workload = Workload(fn, {"x": 27}, {}, name="collatz")
+        result = compile_function(
+            workload, allocator_cls(), Machine.simple(registers)
+        )
+        assert result.allocated_run.returned == (111,)
+
+    def test_tile_tree_of_minilang_program(self):
+        from repro.tiles import build_tile_tree, validate_tile_tree
+
+        fn = compile_source(self.COLLATZ)
+        tree = build_tile_tree(fn)
+        validate_tile_tree(tree)
+        kinds = [t.kind for t in tree.preorder()]
+        assert "loop" in kinds

@@ -1,0 +1,239 @@
+"""Tests for the optimization passes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.validate import validate_function
+from repro.machine.simulator import simulate
+from repro.minilang import compile_source
+from repro.opt import (
+    constant_fold,
+    copy_propagate,
+    dead_code_eliminate,
+    optimize,
+    simplify_cfg,
+)
+from repro.workloads.generators import random_workload
+
+
+def ops_of(fn, label):
+    return [i.op for i in fn.blocks[label].instrs]
+
+
+class TestConstantFold:
+    def test_folds_arithmetic(self):
+        b = FunctionBuilder("f")
+        b.block("one")
+        b.const("a", 6)
+        b.const("c", 7)
+        b.mul("p", "a", "c")
+        b.ret("p")
+        fn = b.finish()
+        out, changed = constant_fold(fn)
+        assert changed
+        folded = out.blocks["one"].instrs[2]
+        assert folded.op is Opcode.CONST and folded.imm == 42
+
+    def test_folds_through_copies(self):
+        b = FunctionBuilder("f")
+        b.block("one")
+        b.const("a", 5)
+        b.copy("bb", "a")
+        b.neg("c", "bb")
+        b.ret("c")
+        fn = b.finish()
+        out, _ = constant_fold(fn)
+        assert out.blocks["one"].instrs[2].imm == -5
+
+    def test_redefinition_kills(self):
+        b = FunctionBuilder("f", params=["p"])
+        b.block("one")
+        b.const("a", 5)
+        b.copy("a", "p")       # a no longer constant
+        b.add("r", "a", "a")
+        b.ret("r")
+        fn = b.finish()
+        out, _ = constant_fold(fn)
+        assert out.blocks["one"].instrs[2].op is Opcode.ADD
+
+    def test_folds_branches_and_drops_unreachable(self):
+        fn = compile_source(
+            "func f() { if (1 < 2) { return 10; } else { return 20; } }"
+        )
+        out, changed = constant_fold(out_fn := fn)
+        # May take a couple of rounds (the comparison folds first).
+        out, _ = constant_fold(out)
+        validate_function(out)
+        assert simulate(out).returned == (10,)
+        labels = set(out.blocks)
+        assert not any(label.startswith("else") for label in labels)
+
+    def test_semantics_on_kernels(self):
+        w = random_workload(3)
+        out, _ = constant_fold(w.fn)
+        validate_function(out)
+        a = simulate(w.fn, args=w.args, arrays=w.arrays)
+        b = simulate(out, args=dict(w.args), arrays=w.arrays)
+        assert a.returned == b.returned
+
+
+class TestCopyPropagate:
+    def test_propagates(self):
+        b = FunctionBuilder("f", params=["p"])
+        b.block("one")
+        b.copy("q", "p")
+        b.add("r", "q", "q")
+        b.ret("r")
+        fn = b.finish()
+        out, changed = copy_propagate(fn)
+        assert changed
+        assert out.blocks["one"].instrs[1].uses == ("p", "p")
+
+    def test_source_redefinition_kills(self):
+        b = FunctionBuilder("f", params=["p"])
+        b.block("one")
+        b.copy("q", "p")
+        b.const("p", 0)        # p changes: q must NOT read the new p
+        b.add("r", "q", "p")
+        b.ret("r")
+        fn = b.finish()
+        out, _ = copy_propagate(fn)
+        assert out.blocks["one"].instrs[2].uses[0] == "q"
+
+    def test_dest_redefinition_kills(self):
+        b = FunctionBuilder("f", params=["p"])
+        b.block("one")
+        b.copy("q", "p")
+        b.const("q", 3)
+        b.add("r", "q", "q")
+        b.ret("r")
+        fn = b.finish()
+        out, _ = copy_propagate(fn)
+        assert out.blocks["one"].instrs[2].uses == ("q", "q")
+
+
+class TestDeadCode:
+    def test_removes_dead_chain(self):
+        b = FunctionBuilder("f", params=["p"])
+        b.block("one")
+        b.const("a", 1)
+        b.add("bb", "a", "a")   # dead chain: bb feeds cc, cc unused
+        b.add("cc", "bb", "bb")
+        b.ret("p")
+        fn = b.finish()
+        out, changed = dead_code_eliminate(fn)
+        assert changed
+        assert ops_of(out, "one") == [Opcode.RET]
+
+    def test_keeps_stores(self):
+        b = FunctionBuilder("f", params=["p"])
+        b.block("one")
+        b.const("i", 0)
+        b.store("A", "i", "p")
+        b.ret("p")
+        fn = b.finish()
+        out, _ = dead_code_eliminate(fn)
+        assert Opcode.STORE in ops_of(out, "one")
+
+    def test_keeps_live_across_blocks(self, loop_fn):
+        out, changed = dead_code_eliminate(loop_fn)
+        result = simulate(out, args={"n": 4})
+        assert result.returned == (10,)
+
+
+class TestSimplifyCfg:
+    def test_merges_chains(self):
+        b = FunctionBuilder("f", params=["p"])
+        b.block("one")
+        b.const("a", 1)
+        b.br("two")
+        b.block("two")
+        b.add("r", "a", "p")
+        b.br("three")
+        b.block("three")
+        b.ret("r")
+        fn = b.finish()
+        out, changed = simplify_cfg(fn)
+        assert changed
+        validate_function(out)
+        assert len(out.blocks) < len(fn.blocks)
+        assert simulate(out, args={"p": 2}).returned == (3,)
+
+    def test_keeps_diamonds(self, diamond_fn):
+        out, _ = simplify_cfg(diamond_fn)
+        validate_function(out)
+        assert simulate(out, args={"x": 1}).returned == (11,)
+
+    def test_drops_empty_blocks(self):
+        b = FunctionBuilder("f", params=["p"])
+        b.block("one")
+        b.cmplt("c", "p", "p")
+        b.cbr("c", "hopA", "hopB")
+        b.block("hopA")
+        b.br("join")
+        b.block("hopB")
+        b.br("join")
+        b.block("join")
+        b.ret("p")
+        fn = b.finish()
+        out, changed = simplify_cfg(fn)
+        assert changed
+        validate_function(out)
+        assert simulate(out, args={"p": 1}).returned == (1,)
+
+
+class TestOptimizeDriver:
+    def test_minilang_cleanup(self):
+        """MiniLang lowering produces many temporaries and copies; the
+        optimizer collapses most of them."""
+        fn = compile_source(
+            "func f(n) { var s = 0; var i = 0; while (i < n) "
+            "{ s = s + A[i] * 2; i = i + 1; } return s; }"
+        )
+        out = optimize(fn)
+        validate_function(out)
+        assert out.instr_count() < fn.instr_count()
+        a = simulate(fn, args={"n": 3}, arrays={"A": [1, 2, 3]})
+        b = simulate(out, args={"n": 3}, arrays={"A": [1, 2, 3]})
+        assert a.returned == b.returned == (12,)
+
+    def test_fixed_point(self):
+        fn = compile_source("func f() { return 1 + 2 + 3; }")
+        once = optimize(fn)
+        twice = optimize(once)
+        assert once.instr_count() == twice.instr_count()
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_optimize_preserves_semantics(self, seed):
+        w = random_workload(seed, break_prob=0.2)
+        out = optimize(w.fn)
+        validate_function(out)
+        a = simulate(w.fn, args=w.args, arrays=w.arrays)
+        b = simulate(out, args=dict(w.args), arrays=w.arrays)
+        assert a.returned == b.returned
+        canon = lambda arrays: {
+            name: {i: v for i, v in contents.items() if v != 0}
+            for name, contents in arrays.items()
+        }
+        assert canon(a.arrays) == canon(b.arrays)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_optimized_programs_still_allocate(self, seed):
+        from repro.core import HierarchicalAllocator
+        from repro.machine.target import Machine
+        from repro.pipeline import Workload, compile_function
+
+        w = random_workload(seed)
+        out = optimize(w.fn)
+        workload = Workload(out, w.args, w.arrays, name="opt")
+        result = compile_function(
+            workload, HierarchicalAllocator(), Machine.simple(3)
+        )
+        assert result.allocated_run.returned == result.reference_run.returned

@@ -1,0 +1,148 @@
+"""Tests for the bottom-up allocation phase."""
+
+import pytest
+
+from repro.core.config import HierarchicalConfig
+from repro.core.info import build_context
+from repro.core.phase1 import run_phase1
+from repro.core.summary import is_summary_var, is_temp_node
+from repro.machine.target import Machine
+from repro.tiles.construction import build_tile_tree_detailed
+from repro.workloads.figure1 import figure1
+from repro.workloads.kernels import cond_sum, dot, matmul
+
+
+def phase1_for(fn, registers=4, config=None):
+    build = build_tile_tree_detailed(fn.clone())
+    ctx = build_context(
+        build.tree.fn, Machine.simple(registers), build.tree, build.fixup, None
+    )
+    config = config or HierarchicalConfig()
+    return ctx, run_phase1(ctx, config)
+
+
+class TestClassification:
+    def test_loop_locals_and_globals(self):
+        ctx, allocations = phase1_for(figure1())
+        loop1 = next(
+            t for t in ctx.tree.preorder()
+            if t.kind == "loop" and t.header == "B2"
+        )
+        alloc = allocations[loop1.tid]
+        assert "t1" in alloc.locals_          # only referenced inside
+        assert "g1" in alloc.globals_         # live across the boundary
+        assert "i1" in alloc.globals_
+        assert "g2" not in alloc.graph.nodes() or "g2" in alloc.globals_
+
+    def test_unreferenced_live_through_omitted(self):
+        """Paper: 'tile T2 does not need to represent g2 in its
+        interference graph' -- unreferenced live-through vars are not
+        nodes in the loop tile."""
+        ctx, allocations = phase1_for(figure1())
+        loop1 = next(
+            t for t in ctx.tree.preorder()
+            if t.kind == "loop" and t.header == "B2"
+        )
+        alloc = allocations[loop1.tid]
+        assert "g2" not in alloc.graph  # unreferenced in loop 1
+
+    def test_root_has_no_globals(self):
+        ctx, allocations = phase1_for(dot())
+        root_alloc = allocations[ctx.tree.root.tid]
+        assert not root_alloc.globals_
+
+
+class TestSummaries:
+    def test_summary_vars_bounded_by_registers(self):
+        for fn in (figure1(), matmul(), cond_sum()):
+            ctx, allocations = phase1_for(fn, registers=4)
+            for alloc in allocations.values():
+                assert len(alloc.summary_vars) <= 4
+
+    def test_ts_map_targets_summary_vars(self):
+        ctx, allocations = phase1_for(figure1())
+        for alloc in allocations.values():
+            for var, summary in alloc.ts_map.items():
+                assert is_summary_var(summary)
+                assert summary in alloc.summary_vars.values()
+
+    def test_global_regs_not_spilled(self):
+        ctx, allocations = phase1_for(figure1())
+        for alloc in allocations.values():
+            for var in alloc.global_regs:
+                assert var not in alloc.spilled
+
+    def test_conflict_summary_refers_to_known_names(self):
+        ctx, allocations = phase1_for(matmul())
+        for alloc in allocations.values():
+            summaries = set(alloc.summary_vars.values())
+            for g, s in alloc.conflict_global_summary:
+                assert g in alloc.global_regs
+                assert s in summaries
+            for s1, s2 in alloc.conflict_summary_summary:
+                assert s1 in summaries and s2 in summaries
+
+
+class TestColoringInvariants:
+    @pytest.mark.parametrize("registers", [2, 3, 4, 8])
+    def test_no_conflicting_nodes_share_colors(self, registers):
+        ctx, allocations = phase1_for(figure1(), registers=registers)
+        for alloc in allocations.values():
+            for a, b in alloc.graph.edges():
+                ca = alloc.assignment.get(a)
+                cb = alloc.assignment.get(b)
+                if ca is not None and cb is not None:
+                    assert ca != cb, (a, b, alloc.tile_id)
+
+    @pytest.mark.parametrize("registers", [2, 4])
+    def test_color_budget_respected(self, registers):
+        ctx, allocations = phase1_for(matmul(), registers=registers)
+        for alloc in allocations.values():
+            assert len(set(alloc.assignment.values())) <= registers
+
+    def test_spilled_references_have_temps(self):
+        ctx, allocations = phase1_for(figure1(), registers=2)
+        for tile in ctx.tree.preorder():
+            alloc = allocations[tile.tid]
+            own = tile.own_blocks()
+            for var in alloc.spilled:
+                if is_summary_var(var) or is_temp_node(var):
+                    continue
+                for label in own:
+                    for instr in ctx.fn.blocks[label].instrs:
+                        if var in instr.uses:
+                            temp = f"tmp:{instr.uid}:{var}:u"
+                            assert temp in alloc.assignment
+
+    def test_temps_always_colored(self):
+        ctx, allocations = phase1_for(figure1(), registers=2)
+        for alloc in allocations.values():
+            for temp in alloc.temp_nodes:
+                assert temp in alloc.assignment
+
+
+class TestFigure1Expectations:
+    def test_loop_tiles_spill_nothing_at_four_registers(self):
+        """Each Figure 1 loop body references exactly four variables: the
+        loop tile itself needs no spills at R=4."""
+        ctx, allocations = phase1_for(figure1(), registers=4)
+        for tile in ctx.tree.preorder():
+            if tile.kind == "loop":
+                alloc = allocations[tile.tid]
+                real_spills = {
+                    v for v in alloc.spilled
+                    if not is_summary_var(v) and not is_temp_node(v)
+                }
+                assert not real_spills, (tile.header, real_spills)
+
+    def test_graphs_stay_small(self):
+        """E6 claim: no single tile graph represents all of the program's
+        variables at once (summary/temp nodes excluded from the count)."""
+        ctx, allocations = phase1_for(matmul(), registers=4)
+        total_vars = len(ctx.fn.variables())
+        for alloc in allocations.values():
+            real_nodes = [
+                n for n in alloc.graph.nodes()
+                if not is_summary_var(n) and not is_temp_node(n)
+            ]
+            assert len(real_nodes) < total_vars

@@ -1,0 +1,99 @@
+"""Tests for live-range renaming (web construction)."""
+
+from repro.analysis.renaming import rename_webs
+from repro.ir.builder import FunctionBuilder
+from repro.machine.simulator import simulate
+from repro.workloads.generators import random_workload
+from repro.workloads.kernels import dot
+
+
+class TestDisjointRanges:
+    def test_two_webs_split(self):
+        """x has two unrelated live ranges; they become distinct names."""
+        b = FunctionBuilder("f", params=["a"])
+        b.block("one")
+        b.const("x", 1)
+        b.add("u", "x", "a")     # end of first x range
+        b.const("x", 2)          # unrelated second range
+        b.add("v", "x", "u")
+        b.ret("v")
+        fn = b.finish()
+        renamed, reverse = rename_webs(fn)
+        instrs = renamed.blocks["one"].instrs
+        first_def = instrs[0].defs[0]
+        second_def = instrs[2].defs[0]
+        assert first_def != second_def
+        assert reverse[first_def] == "x"
+        assert reverse[second_def] == "x"
+        # Uses follow their reaching definitions.
+        assert instrs[1].uses[0] == first_def
+        assert instrs[3].uses[0] == second_def
+
+    def test_connected_ranges_stay_merged(self, loop_fn):
+        """A loop variable's def and redefinition share uses: one web."""
+        renamed, _ = rename_webs(loop_fn)
+        names = {
+            v for v in renamed.variables() if v == "i" or v.startswith("i%")
+        }
+        assert names == {"i"}
+
+    def test_diamond_merge(self):
+        """Defs in both branches reaching a common use form one web."""
+        b = FunctionBuilder("f", params=["p"])
+        b.block("entry")
+        b.const("ten", 10)
+        b.cmplt("c", "p", "ten")
+        b.cbr("c", "t", "e")
+        b.block("t")
+        b.const("x", 1)
+        b.br("j")
+        b.block("e")
+        b.const("x", 2)
+        b.br("j")
+        b.block("j")
+        b.add("r", "x", "p")
+        b.ret("r")
+        fn = b.finish()
+        renamed, _ = rename_webs(fn)
+        then_def = renamed.blocks["t"].instrs[0].defs[0]
+        else_def = renamed.blocks["e"].instrs[0].defs[0]
+        assert then_def == else_def
+
+
+class TestParams:
+    def test_param_web_keeps_name(self):
+        b = FunctionBuilder("f", params=["n"])
+        b.block("one")
+        b.add("u", "n", "n")     # uses the incoming n
+        b.const("n", 5)          # unrelated redefinition
+        b.add("v", "n", "u")
+        b.ret("v")
+        fn = b.finish()
+        renamed, _ = rename_webs(fn)
+        assert renamed.params == ["n"]
+        assert renamed.blocks["one"].instrs[0].uses == ("n", "n")
+        assert renamed.blocks["one"].instrs[1].defs[0] != "n"
+
+
+class TestSemanticsPreserved:
+    def test_kernel(self):
+        fn = dot()
+        renamed, _ = rename_webs(fn)
+        arrays = {"A": [2, 4, 6], "B": [1, 3, 5]}
+        a = simulate(fn, args={"n": 3}, arrays=arrays)
+        b = simulate(renamed, args={"n": 3}, arrays=arrays)
+        assert a.returned == b.returned
+
+    def test_random_programs(self):
+        for seed in range(12):
+            w = random_workload(seed)
+            renamed, _ = rename_webs(w.fn)
+            a = simulate(w.fn, args=w.args, arrays=w.arrays)
+            b = simulate(renamed, args=dict(w.args), arrays=w.arrays)
+            assert a.returned == b.returned, f"seed {seed}"
+
+    def test_idempotent(self):
+        fn = dot()
+        once, _ = rename_webs(fn)
+        twice, _ = rename_webs(once)
+        assert sorted(once.variables()) == sorted(twice.variables())

@@ -1,0 +1,53 @@
+"""Scale stress tests: large programs through the whole pipeline."""
+
+import pytest
+
+from repro.allocators import ChaitinAllocator
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compile_function
+from repro.tiles.construction import build_tile_tree_detailed
+from repro.tiles.validate import validate_tile_tree
+from repro.workloads.generators import random_program, random_workload
+from repro.workloads.kernels import sequential_loops
+
+
+class TestLargePrograms:
+    def test_deep_random_program(self):
+        """A deep, break-ful random program end to end at low pressure."""
+        w = random_workload(
+            777, max_blocks=120, max_vars=30, max_depth=5, break_prob=0.25
+        )
+        assert len(w.fn.blocks) > 50
+        result = compile_function(w, HierarchicalAllocator(), Machine.simple(3))
+        assert result.allocated_run.returned == result.reference_run.returned
+
+    def test_wide_program_with_chunking(self):
+        fn = sequential_loops(48)
+        w = Workload(fn, {"n": 2}, {"A": [5, 6, 7]}, name="seq48")
+        result = compile_function(
+            w,
+            HierarchicalAllocator(HierarchicalConfig(max_tile_width=4)),
+            Machine.simple(4),
+        )
+        assert result.allocated_run.returned == result.reference_run.returned
+        # The chunking hierarchy keeps every graph small even at 48 loops.
+        assert result.stats.max_graph_nodes < 40
+
+    def test_tile_trees_legal_at_scale(self):
+        for seed in (11, 12, 13):
+            fn = random_program(
+                seed, max_blocks=150, max_vars=40, max_depth=5, break_prob=0.3
+            )
+            build = build_tile_tree_detailed(fn)
+            validate_tile_tree(build.tree)
+
+    def test_both_allocators_agree_at_scale(self):
+        w = random_workload(402, max_blocks=100, max_vars=24, max_depth=4)
+        hier = compile_function(w, HierarchicalAllocator(), Machine.simple(4))
+        flat = compile_function(w, ChaitinAllocator(), Machine.simple(4))
+        assert (
+            hier.allocated_run.returned
+            == flat.allocated_run.returned
+            == hier.reference_run.returned
+        )

@@ -1,0 +1,71 @@
+"""Tests for the memory-hierarchy (scratch) extension."""
+
+import pytest
+
+from repro.core import HierarchicalAllocator
+from repro.core.scratch import (
+    hierarchy_cost,
+    promote_to_scratch,
+    spill_slot_references,
+    weighted_slot_traffic,
+)
+from repro.machine.simulator import simulate
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compile_function
+from repro.workloads.kernels import dot
+
+
+@pytest.fixture
+def allocated_dot():
+    workload = Workload(
+        dot(), {"n": 6}, {"A": [1] * 6, "B": [2] * 6}, name="dot"
+    )
+    result = compile_function(workload, HierarchicalAllocator(), Machine.simple(3))
+    return workload, result
+
+
+class TestPromotion:
+    def test_zero_cells_is_identity(self, allocated_dot):
+        _, result = allocated_dot
+        promoted, chosen = promote_to_scratch(result.fn, 0)
+        assert chosen == []
+        assert promoted.instr_count() == result.fn.instr_count()
+
+    def test_semantics_preserved(self, allocated_dot):
+        workload, result = allocated_dot
+        promoted, chosen = promote_to_scratch(result.fn, 2)
+        assert chosen
+        args = {promoted.params[0]: 6}
+        run = simulate(promoted, args=args, arrays=workload.arrays)
+        assert run.returned == result.allocated_run.returned
+
+    def test_scratch_refs_counted(self, allocated_dot):
+        workload, result = allocated_dot
+        promoted, chosen = promote_to_scratch(result.fn, 2)
+        run = simulate(
+            promoted, args={promoted.params[0]: 6}, arrays=workload.arrays
+        )
+        assert run.scratch_refs > 0
+        assert run.scratch_refs <= run.spill_memory_refs
+
+    def test_cost_improves(self, allocated_dot):
+        workload, result = allocated_dot
+        base = hierarchy_cost(result.allocated_run)
+        promoted, _ = promote_to_scratch(result.fn, 3)
+        run = simulate(
+            promoted, args={promoted.params[0]: 6}, arrays=workload.arrays
+        )
+        assert hierarchy_cost(run) < base
+
+    def test_param_slots_not_promoted(self, allocated_dot):
+        _, result = allocated_dot
+        _, chosen = promote_to_scratch(result.fn, 99)
+        assert "slot:n" not in chosen
+
+    def test_traffic_accounts_static_refs(self, allocated_dot):
+        _, result = allocated_dot
+        static = spill_slot_references(result.fn)
+        weighted = weighted_slot_traffic(result.fn)
+        assert set(static) == set(weighted)
+        for key in static:
+            assert weighted[key] > 0

@@ -1,0 +1,129 @@
+"""Tests for boundary spill-code planning and move sequencing."""
+
+import pytest
+
+from repro.core.config import HierarchicalConfig
+from repro.core.info import build_context
+from repro.core.phase1 import run_phase1
+from repro.core.phase2 import run_phase2
+from repro.core.spill_code import (
+    EdgePlan,
+    plan_boundary_code,
+    rewrite_program,
+    sequence_moves,
+)
+from repro.ir.instructions import Opcode
+from repro.machine.target import Machine
+from repro.tiles.construction import build_tile_tree_detailed
+from repro.workloads.figure1 import figure1
+
+REGS = ["R0", "R1", "R2", "R3"]
+
+
+class TestSequenceMoves:
+    def _ops(self, instrs):
+        return [(i.op, i.defs, i.uses, i.imm) for i in instrs]
+
+    def test_stores_before_moves_before_loads(self):
+        plan = EdgePlan(
+            stores=[("slot:a", "R0")],
+            moves=[("R1", "R2")],
+            loads=[("R3", "slot:b")],
+        )
+        instrs = sequence_moves(plan, REGS, ("x", "y"))
+        ops = [i.op for i in instrs]
+        assert ops == [Opcode.SPILL_ST, Opcode.MOVE, Opcode.SPILL_LD]
+
+    def test_chain_ordering(self):
+        """R1 <- R0 and R2 <- R1 must move R2 <- R1 first."""
+        plan = EdgePlan(moves=[("R1", "R0"), ("R2", "R1")])
+        instrs = sequence_moves(plan, REGS, ("x", "y"))
+        assert instrs[0].defs == ("R2",)
+        assert instrs[1].defs == ("R1",)
+
+    def test_swap_cycle_uses_free_register(self):
+        plan = EdgePlan(moves=[("R0", "R1"), ("R1", "R0")], busy={"R0", "R1"})
+        instrs = sequence_moves(plan, REGS, ("x", "y"))
+        assert all(i.op is Opcode.MOVE for i in instrs)
+        assert len(instrs) == 3  # temp save + two moves
+        temps = {i.defs[0] for i in instrs} - {"R0", "R1"}
+        assert temps  # some scratch register was used
+
+    def test_swap_cycle_without_free_register_bounces(self):
+        plan = EdgePlan(moves=[("R0", "R1"), ("R1", "R0")], busy={"R0", "R1"})
+        instrs = sequence_moves(plan, ["R0", "R1"], ("x", "y"))
+        ops = [i.op for i in instrs]
+        assert Opcode.SPILL_ST in ops and Opcode.SPILL_LD in ops
+
+    def test_three_cycle(self):
+        plan = EdgePlan(
+            moves=[("R0", "R1"), ("R1", "R2"), ("R2", "R0")],
+            busy={"R0", "R1", "R2"},
+        )
+        instrs = sequence_moves(plan, REGS, ("x", "y"))
+        # Simulate the move sequence on concrete values.
+        env = {"R0": 0, "R1": 1, "R2": 2, "R3": 99}
+        slots = {}
+        for i in instrs:
+            if i.op is Opcode.MOVE:
+                env[i.defs[0]] = env[i.uses[0]]
+            elif i.op is Opcode.SPILL_ST:
+                slots[i.imm] = env[i.uses[0]]
+            else:
+                env[i.defs[0]] = slots[i.imm]
+        assert (env["R0"], env["R1"], env["R2"]) == (1, 2, 0)
+
+    def test_swap_semantics_via_memory(self):
+        plan = EdgePlan(moves=[("R0", "R1"), ("R1", "R0")], busy={"R0", "R1"})
+        instrs = sequence_moves(plan, ["R0", "R1"], ("x", "y"))
+        env = {"R0": 10, "R1": 20}
+        slots = {}
+        for i in instrs:
+            if i.op is Opcode.MOVE:
+                env[i.defs[0]] = env[i.uses[0]]
+            elif i.op is Opcode.SPILL_ST:
+                slots[i.imm] = env[i.uses[0]]
+            else:
+                env[i.defs[0]] = slots[i.imm]
+        assert (env["R0"], env["R1"]) == (20, 10)
+
+    def test_empty_plan(self):
+        assert sequence_moves(EdgePlan(), REGS, ("x", "y")) == []
+
+
+class TestBoundaryPlans:
+    def _plans(self, registers=4, config=None):
+        config = config or HierarchicalConfig()
+        build = build_tile_tree_detailed(figure1())
+        ctx = build_context(
+            build.tree.fn, Machine.simple(registers), build.tree,
+            build.fixup, None,
+        )
+        allocations = run_phase1(ctx, config)
+        run_phase2(ctx, config, allocations)
+        return ctx, plan_boundary_code(ctx, config, allocations)
+
+    def test_plans_reference_tile_crossing_edges_only(self):
+        ctx, plans = self._plans()
+        for (src, dst) in plans:
+            assert ctx.tree.tile_of(src) is not ctx.tree.tile_of(dst)
+
+    def test_spill_case_present_under_pressure(self):
+        """At R=4 some variable must be stored/reloaded around a loop."""
+        ctx, plans = self._plans(registers=4)
+        all_ops = [p for p in plans.values()]
+        assert any(p.stores or p.loads for p in all_ops)
+
+    def test_no_boundary_code_with_plenty_of_registers(self):
+        ctx, plans = self._plans(registers=10)
+        total = sum(
+            len(p.stores) + len(p.loads) + len(p.moves) for p in plans.values()
+        )
+        assert total == 0
+
+    def test_store_avoidance_reduces_stores(self):
+        _, with_avoid = self._plans(4, HierarchicalConfig(store_avoidance=True))
+        _, without = self._plans(4, HierarchicalConfig(store_avoidance=False))
+        stores_with = sum(len(p.stores) for p in with_avoid.values())
+        stores_without = sum(len(p.stores) for p in without.values())
+        assert stores_with <= stores_without

@@ -1,0 +1,101 @@
+"""Behavioural tests for the paper's section-2 spill-height scenarios.
+
+"Consider a pair of nested loops and a variable v that cannot be allocated
+a register for the inner loop.  It is possible to spill inside of the outer
+loop ... but if there are no references to v in the outer loop it is better
+to spill the variable outside of the outer loop, in a tile still higher in
+the tree."
+"""
+
+import pytest
+
+from repro.core import HierarchicalAllocator
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Opcode
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compile_function
+
+
+def nested_pressure_fn():
+    """v is defined before and used after a doubly nested loop; the inner
+    loop saturates four registers.  Neither loop references v."""
+    b = FunctionBuilder("nested_pressure", params=["n"])
+    b.block("pre")
+    b.const("one", 1)
+    b.mul("v", "n", "n")          # the victim: live across both loops
+    b.copy("oi", "n")
+    b.const("acc", 0)
+    b.br("oh")
+    b.block("oh")                  # outer loop: no reference to v
+    b.copy("ii", "n")
+    b.br("ih")
+    b.block("ih")                  # inner loop: 4 referenced variables
+    b.add("acc", "acc", "ii")
+    b.sub("ii", "ii", "one")
+    b.cbr("ii", "ih", "onext")
+    b.block("onext")
+    b.sub("oi", "oi", "one")
+    b.cbr("oi", "oh", "post")
+    b.block("post")
+    b.add("r", "acc", "v")         # v finally used here
+    b.ret("r")
+    return b.finish()
+
+
+def spill_blocks_for(result, var):
+    out = {}
+    for label, block in result.fn.blocks.items():
+        for instr in block.instrs:
+            if instr.op in (Opcode.SPILL_LD, Opcode.SPILL_ST) and (
+                isinstance(instr.imm, str) and instr.imm == f"slot:{var}"
+            ):
+                out.setdefault(label, []).append(instr.op)
+    return out
+
+
+class TestSpillHeight:
+    def test_victim_spilled_outside_both_loops(self):
+        """v's spill code must execute O(1) times: above the outer loop and
+        after it -- never once per outer iteration."""
+        w = Workload(nested_pressure_fn(), {"n": 10}, {}, name="np")
+        result = compile_function(w, HierarchicalAllocator(), Machine.simple(4))
+        sites = spill_blocks_for(result, "v")
+        assert sites, "expected v to be spilled at R=4"
+        counts = result.allocated_run.profile.block_counts
+        for label in sites:
+            assert counts.get(label, 0) <= 1, (
+                f"spill code for v in {label}, executed "
+                f"{counts.get(label, 0)} times"
+            )
+
+    def test_total_v_traffic_constant_in_trip_count(self):
+        machine = Machine.simple(4)
+        traffic = {}
+        for n in (4, 16):
+            w = Workload(nested_pressure_fn(), {"n": n}, {}, name="np")
+            result = compile_function(w, HierarchicalAllocator(), machine)
+            sites = spill_blocks_for(result, "v")
+            counts = result.allocated_run.profile.block_counts
+            traffic[n] = sum(
+                counts.get(label, 0) * len(ops) for label, ops in sites.items()
+            )
+        assert traffic[16] == traffic[4], traffic
+
+    def test_inner_loop_clean(self):
+        """The innermost (hottest) loop carries no spill code at all; the
+        outer loop may legitimately reload variables it *references* (n),
+        but never v."""
+        w = Workload(nested_pressure_fn(), {"n": 6}, {}, name="np")
+        result = compile_function(w, HierarchicalAllocator(), Machine.simple(4))
+        inner_ops = [
+            i.op for i in result.fn.blocks["ih"].instrs
+            if i.op in (Opcode.SPILL_LD, Opcode.SPILL_ST)
+        ]
+        assert not inner_ops, f"spill code inside the inner loop: {inner_ops}"
+        for label in ("ih", "oh", "onext"):
+            v_ops = [
+                i for i in result.fn.blocks[label].instrs
+                if i.op in (Opcode.SPILL_LD, Opcode.SPILL_ST)
+                and i.imm == "slot:v"
+            ]
+            assert not v_ops, f"v traffic inside loop block {label}"

@@ -1,0 +1,214 @@
+"""Tests for tile trees: construction (Appendix A), fix-up (Figure 3) and
+legality validation (section 2)."""
+
+import pytest
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.validate import validate_function
+from repro.tiles import (
+    Tile,
+    TileTree,
+    TileTreeError,
+    TileTreeOptions,
+    build_tile_tree,
+    edge_violations,
+    validate_tile_tree,
+)
+from repro.tiles.construction import build_tile_tree_detailed
+from repro.workloads.figure1 import figure1
+from repro.workloads.generators import random_program
+from repro.workloads.kernels import cond_sum, matmul, nested_cond
+
+
+class TestBasicShapes:
+    def test_loop_fn_tree(self, loop_fn):
+        tree = build_tile_tree(loop_fn)
+        validate_tile_tree(tree)
+        root_own = tree.root.own_blocks()
+        assert root_own == {"start", "stop"}
+        kinds = [t.kind for t in tree.preorder()]
+        assert kinds[0] == "root"
+        assert "loop" in kinds
+
+    def test_loop_tile_blocks(self, loop_fn):
+        tree = build_tile_tree(loop_fn)
+        loop_tile = next(t for t in tree.preorder() if t.kind == "loop")
+        assert loop_tile.all_blocks == {"head", "body"}
+        assert loop_tile.header == "head"
+
+    def test_diamond_tree_legal(self, diamond_fn):
+        tree = build_tile_tree(diamond_fn)
+        validate_tile_tree(tree)
+
+    def test_matmul_nests_three_loops(self):
+        tree = build_tile_tree(matmul())
+        validate_tile_tree(tree)
+        loops = [t for t in tree.preorder() if t.kind == "loop"]
+        assert len(loops) == 3
+        depths = sorted(t.depth() for t in loops)
+        assert depths[0] < depths[1] < depths[2]
+
+    def test_figure1_structure(self):
+        """Figure 1: two sequential loop tiles under the body region."""
+        tree = build_tile_tree(figure1())
+        validate_tile_tree(tree)
+        loops = [t for t in tree.preorder() if t.kind == "loop"]
+        assert len(loops) == 2
+        headers = {t.header for t in loops}
+        assert headers == {"B2", "B3"}
+        # Neither loop contains the other.
+        a, b = loops
+        assert not (a.all_blocks & b.all_blocks)
+
+    def test_conditional_tiles_present(self):
+        tree = build_tile_tree(nested_cond())
+        conds = [t for t in tree.preorder() if t.kind == "cond"]
+        assert conds, "expected conditional (SESE) tiles"
+
+    def test_loops_only_option(self):
+        tree = build_tile_tree(
+            nested_cond(), TileTreeOptions(conditional_tiles=False)
+        )
+        validate_tile_tree(tree)
+        assert all(t.kind != "cond" for t in tree.preorder())
+
+
+class TestTileQueries:
+    def test_tile_of(self, loop_fn):
+        tree = build_tile_tree(loop_fn)
+        assert tree.tile_of("start") is tree.root
+        assert tree.tile_of("head").kind == "loop"
+
+    def test_entry_exit_edges(self, loop_fn):
+        tree = build_tile_tree(loop_fn)
+        loop_tile = next(t for t in tree.preorder() if t.kind == "loop")
+        entries = tree.entry_edges(loop_tile)
+        exits = tree.exit_edges(loop_tile)
+        assert [dst for _, dst in entries] == ["head"]
+        assert [src for src, _ in exits] == ["head"]
+
+    def test_boundary_block_count_structured(self, loop_fn):
+        """'For structured programs, this number is 2' -- here entry and
+        exit pass through the header, so Z_t == 1."""
+        tree = build_tile_tree(loop_fn)
+        loop_tile = next(t for t in tree.preorder() if t.kind == "loop")
+        assert tree.boundary_block_count(loop_tile) <= 2
+
+    def test_height_and_breadth(self):
+        tree = build_tile_tree(matmul())
+        assert tree.height() >= 4  # root, body, 3 nested loops
+        profile = tree.breadth_profile()
+        assert profile[0] == 1
+
+    def test_format_renders(self, loop_fn):
+        text = build_tile_tree(loop_fn).format()
+        assert "root" in text and "loop" in text
+
+
+class TestValidationErrors:
+    def _tree_for(self, fn):
+        return build_tile_tree(fn)
+
+    def test_coverage_violation(self, loop_fn):
+        tree = self._tree_for(loop_fn)
+        tree.root.all_blocks.discard("done")
+        with pytest.raises(TileTreeError, match="cover"):
+            validate_tile_tree(tree)
+
+    def test_sibling_overlap(self, loop_fn):
+        tree = self._tree_for(loop_fn)
+        body = tree.root.children[0]
+        extra = Tile({"head"}, kind="cond")
+        extra.parent = body
+        body.children.append(extra)
+        with pytest.raises(TileTreeError):
+            validate_tile_tree(tree)
+
+    def test_root_must_own_start_stop_only(self, loop_fn):
+        tree = self._tree_for(loop_fn)
+        body = tree.root.children[0]
+        body.all_blocks.discard("entry")
+        for child in body.children:
+            child.all_blocks.discard("entry")
+        tree._rebuild_smallest()
+        with pytest.raises(TileTreeError, match="blocks\\(root\\)"):
+            validate_tile_tree(tree)
+
+    def test_edge_condition_violation(self):
+        """Craft a tree whose tiles an edge skips levels across."""
+        fn = Function("f", start_label="s", stop_label="t")
+        fn.add_block(BasicBlock("s", [], ["a"]))
+        fn.add_block(BasicBlock("a", [], ["b"]))
+        fn.add_block(BasicBlock("b", [], ["t"]))
+        fn.add_block(BasicBlock("t", []))
+        root = Tile({"s", "a", "b", "t"}, kind="root")
+        outer = Tile({"a", "b"}, kind="cond")
+        inner = Tile({"b"}, kind="cond")
+        outer.parent = root
+        root.children.append(outer)
+        inner.parent = outer
+        outer.children.append(inner)
+        # blocks(root) = {s, t}; edge b->t exits two levels at once.
+        tree = TileTree(fn, root)
+        violations = edge_violations(tree)
+        assert violations
+        with pytest.raises(TileTreeError, match="edge"):
+            validate_tile_tree(tree)
+
+
+class TestFixup:
+    def test_fixup_produces_legal_tree_from_break(self):
+        """A loop with a break edge jumping two levels out needs fix-up."""
+        b = FunctionBuilder("f", params=["n"])
+        b.block("entry")
+        b.const("i", 0)
+        b.const("one", 1)
+        b.const("lim", 5)
+        b.br("head")
+        b.block("head")
+        b.cmplt("c", "i", "n")
+        b.cbr("c", "body", "done")
+        b.block("body")
+        b.add("i", "i", "one")
+        b.cmpgt("brk", "i", "lim")
+        b.cbr("brk", "out", "head")   # break: exits the loop from the body
+        b.block("out")
+        b.ret("i")
+        b.block("done")
+        b.ret("i")
+        fn = b.finish()
+        validate_function(fn)
+        build = build_tile_tree_detailed(fn)
+        validate_tile_tree(build.tree)
+        validate_function(fn)
+
+    def test_fixup_stats_recorded_on_random_programs(self):
+        total = 0
+        for seed in range(10):
+            fn = random_program(seed)
+            build = build_tile_tree_detailed(fn)
+            validate_tile_tree(build.tree)
+            total += build.fixup.total
+            for label in build.fixup.inserted_labels:
+                assert label in build.fixup.orig_edge
+        # Many random programs need at least some fix-up blocks.
+        assert total >= 0
+
+    def test_random_trees_always_legal(self):
+        for seed in range(25):
+            fn = random_program(seed)
+            tree = build_tile_tree(fn)
+            validate_tile_tree(tree)
+            validate_function(fn)
+
+    def test_cond_sum_tree(self):
+        tree = build_tile_tree(cond_sum())
+        validate_tile_tree(tree)
+        # The if/else diamond inside the loop becomes a conditional tile.
+        conds = [t for t in tree.preorder() if t.kind == "cond"]
+        assert any(
+            {"ifneg", "ifpos"} <= t.all_blocks for t in conds
+        )

@@ -1,0 +1,111 @@
+"""Tests for loop unrolling."""
+
+import pytest
+
+from repro.allocators import ChaitinAllocator
+from repro.core import HierarchicalAllocator
+from repro.ir.unroll import UnrollError, unroll_innermost, unroll_loop
+from repro.ir.validate import validate_function
+from repro.machine.simulator import simulate
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compile_function
+from repro.workloads.generators import random_workload
+from repro.workloads.kernels import dot, matmul
+
+
+class TestUnrollStructure:
+    def test_block_count_grows(self, loop_fn):
+        out = unroll_loop(loop_fn, factor=3)
+        validate_function(out)
+        assert len(out.blocks) == len(loop_fn.blocks) + 2 * 2  # head+body x2
+
+    def test_factor_one_is_identity(self, loop_fn):
+        out = unroll_loop(loop_fn, factor=1)
+        assert len(out.blocks) == len(loop_fn.blocks)
+
+    def test_no_loops_rejected(self, diamond_fn):
+        with pytest.raises(UnrollError):
+            unroll_loop(diamond_fn)
+
+    def test_unknown_header_rejected(self, loop_fn):
+        with pytest.raises(UnrollError):
+            unroll_loop(loop_fn, header="nosuch")
+
+    def test_irreducible_rejected(self):
+        from tests.test_irreducible import irreducible_fn
+
+        with pytest.raises(UnrollError):
+            unroll_loop(irreducible_fn(), header="ping")
+
+
+class TestUnrollSemantics:
+    @pytest.mark.parametrize("factor", [2, 3, 4])
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 7])
+    def test_dot_any_trip_count(self, factor, n):
+        """Per-copy exit tests make any trip count correct, including ones
+        that do not divide the factor."""
+        fn = dot()
+        out = unroll_loop(fn, factor=factor)
+        validate_function(out)
+        arrays = {"A": list(range(1, 8)), "B": list(range(2, 9))}
+        a = simulate(fn, args={"n": n}, arrays=arrays)
+        b = simulate(out, args={"n": n}, arrays=arrays)
+        assert a.returned == b.returned
+
+    def test_nested_loop_innermost(self):
+        fn = matmul()
+        out = unroll_loop(fn, header="kh", factor=2)
+        validate_function(out)
+        arrays = {"A": list(range(1, 10)), "B": list(range(2, 11))}
+        a = simulate(fn, args={"n": 3}, arrays=arrays)
+        b = simulate(out, args={"n": 3}, arrays=arrays)
+        assert a.arrays["C"] == b.arrays["C"]
+
+    def test_unroll_innermost_all(self):
+        fn = matmul()
+        out = unroll_innermost(fn, factor=2)
+        validate_function(out)
+        arrays = {"A": [1] * 9, "B": [2] * 9}
+        a = simulate(fn, args={"n": 3}, arrays=arrays)
+        b = simulate(out, args={"n": 3}, arrays=arrays)
+        assert a.arrays["C"] == b.arrays["C"]
+
+    def test_random_programs(self):
+        done = 0
+        for seed in range(20):
+            w = random_workload(seed)
+            try:
+                out = unroll_innermost(w.fn, factor=2)
+            except UnrollError:
+                continue
+            validate_function(out)
+            a = simulate(w.fn, args=w.args, arrays=w.arrays)
+            b = simulate(out, args=dict(w.args), arrays=w.arrays)
+            assert a.returned == b.returned, seed
+            done += 1
+        assert done > 3  # most random programs have loops
+
+
+class TestUnrollAllocation:
+    @pytest.mark.parametrize(
+        "allocator_cls", [HierarchicalAllocator, ChaitinAllocator]
+    )
+    def test_unrolled_programs_allocate(self, allocator_cls):
+        fn = unroll_loop(dot(), factor=4)
+        w = Workload(
+            fn, {"n": 7},
+            {"A": list(range(1, 8)), "B": list(range(2, 9))}, name="dot4x",
+        )
+        result = compile_function(w, allocator_cls(), Machine.simple(3))
+        assert result.allocated_run.returned == result.reference_run.returned
+
+    def test_unrolled_loop_is_one_tile(self):
+        """The whole unrolled body lands inside the loop tile, so spill
+        placement still targets the (single) loop boundary."""
+        from repro.tiles import build_tile_tree
+
+        fn = unroll_loop(dot(), factor=4)
+        tree = build_tile_tree(fn)
+        loops = [t for t in tree.preorder() if t.kind == "loop"]
+        assert len(loops) == 1
+        assert {"body", "body.u1", "body.u2", "body.u3"} <= loops[0].all_blocks

@@ -1,0 +1,130 @@
+"""Tests for small helpers across modules (summary names, loop utilities,
+printer block rendering, execution-result accounting)."""
+
+import pytest
+
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.loops import back_edges, build_loop_forest
+from repro.core.summary import (
+    TileAllocation,
+    is_summary_var,
+    is_temp_node,
+    parse_temp_node,
+    summary_var_name,
+    temp_node_name,
+)
+from repro.ir.printer import format_block
+from repro.machine.simulator import simulate
+from repro.workloads.kernels import dot, matmul
+
+
+class TestSummaryNames:
+    def test_summary_var_round_trip(self):
+        name = summary_var_name(7, "t7.p2")
+        assert is_summary_var(name)
+        assert not is_temp_node(name)
+
+    def test_temp_node_round_trip(self):
+        name = temp_node_name(123, "g1", "u")
+        assert is_temp_node(name)
+        assert parse_temp_node(name) == (123, "g1", "u")
+
+    def test_temp_node_with_colons_in_var(self):
+        name = temp_node_name(5, "csv:4", "d")
+        uid, var, kind = parse_temp_node(name)
+        assert (uid, var, kind) == (5, "csv:4", "d")
+
+    def test_real_variables_are_neither(self):
+        assert not is_summary_var("g1")
+        assert not is_temp_node("g1")
+
+    def test_describe_renders(self):
+        alloc = TileAllocation(tile_id=3)
+        alloc.assignment = {"a": "p0"}
+        alloc.spilled = {"b"}
+        text = alloc.describe()
+        assert "a -> p0" in text
+        assert "b -> MEMORY" in text
+
+    def test_colors_in_use(self):
+        alloc = TileAllocation(tile_id=1)
+        alloc.assignment = {"a": "p0", "b": "p1", "c": "p0"}
+        assert alloc.colors_in_use() == {"p0", "p1"}
+
+
+class TestBackEdges:
+    def test_loop_back_edge(self, loop_fn):
+        dom = compute_dominators(loop_fn)
+        edges = back_edges(loop_fn, dom)
+        assert edges == [("body", "head")]
+
+    def test_matmul_three_back_edges(self):
+        fn = matmul()
+        dom = compute_dominators(fn)
+        edges = back_edges(fn, dom)
+        assert len(edges) == 3
+        assert all(dst in ("ih", "jh", "kh") for _, dst in edges)
+
+    def test_acyclic_has_none(self, diamond_fn):
+        dom = compute_dominators(diamond_fn)
+        assert back_edges(diamond_fn, dom) == []
+
+
+class TestLoopForestExtras:
+    def test_own_blocks_of_leaf(self, loop_fn):
+        forest = build_loop_forest(loop_fn)
+        loop = forest.loops[0]
+        assert loop.own_blocks() == {"head", "body"}
+
+    def test_forest_iteration(self):
+        forest = build_loop_forest(matmul())
+        assert len(list(iter(forest))) == 3
+
+
+class TestPrinterBlocks:
+    def test_format_block(self, loop_fn):
+        text = format_block(loop_fn.blocks["head"])
+        assert text.startswith("head:")
+        assert "cmplt" in text
+        assert "-> body, done" in text
+
+    def test_format_block_no_succs(self, loop_fn):
+        text = format_block(loop_fn.blocks[loop_fn.stop_label])
+        assert "->" not in text
+
+
+class TestExecutionAccounting:
+    def test_cost_weights(self):
+        result = simulate(dot(), args={"n": 2}, arrays={"A": [1, 1], "B": [1, 1]})
+        assert result.cost(load_cost=2.0, store_cost=3.0) == 0.0
+        assert result.total_memory_refs == result.program_memory_refs
+
+    def test_steps_counted(self):
+        result = simulate(dot(), args={"n": 1}, arrays={"A": [1], "B": [1]})
+        assert result.steps == sum(result.opcode_counts.values())
+
+    def test_scratch_refs_default_zero(self):
+        result = simulate(dot(), args={"n": 1}, arrays={"A": [1], "B": [1]})
+        assert result.scratch_refs == 0
+
+
+class TestDomTreeIntervals:
+    def test_o1_dominates_matches_walk(self):
+        """The Euler-tour intervals agree with explicit idom-chain walks."""
+        fn = matmul()
+        dom = compute_dominators(fn)
+
+        def walk_dominates(a, b):
+            node = b
+            while True:
+                if node == a:
+                    return True
+                parent = dom.idom[node]
+                if parent == node:
+                    return False
+                node = parent
+
+        labels = list(dom.idom)
+        for a in labels:
+            for b in labels:
+                assert dom.dominates(a, b) == walk_dominates(a, b), (a, b)

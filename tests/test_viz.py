@@ -1,0 +1,53 @@
+"""Tests for DOT rendering."""
+
+from repro.analysis.liveness import compute_liveness
+from repro.graph.interference import build_interference
+from repro.tiles import build_tile_tree
+from repro.viz import cfg_to_dot, interference_to_dot, tile_tree_to_dot
+from repro.workloads.kernels import dot
+
+
+class TestCfgDot:
+    def test_contains_all_blocks_and_edges(self, loop_fn):
+        text = cfg_to_dot(loop_fn)
+        assert text.startswith("digraph")
+        for label in loop_fn.blocks:
+            assert f'"{label}"' in text
+        for src, dst in loop_fn.edges():
+            assert f'"{src}" -> "{dst}"' in text
+
+    def test_instrs_optional(self, loop_fn):
+        with_instrs = cfg_to_dot(loop_fn, include_instrs=True)
+        without = cfg_to_dot(loop_fn, include_instrs=False)
+        assert "cmplt" in with_instrs
+        assert "cmplt" not in without
+
+    def test_escaping(self):
+        from repro.ir.builder import FunctionBuilder
+
+        b = FunctionBuilder('we"ird')
+        b.block("one")
+        b.const("x", 1)
+        b.ret("x")
+        fn = b.finish()
+        text = cfg_to_dot(fn)
+        assert '\\"' in text
+
+
+class TestTileTreeDot:
+    def test_clusters_nest(self):
+        fn = dot()
+        tree = build_tile_tree(fn)
+        text = tile_tree_to_dot(tree)
+        assert text.count("subgraph") == len(tree.tiles())
+        assert "cluster_" in text
+        assert '"head"' in text
+
+
+class TestInterferenceDot:
+    def test_edges_and_labels(self, loop_fn):
+        graph = build_interference(loop_fn, compute_liveness(loop_fn))
+        text = interference_to_dot(graph, assignment={"i": "R0"})
+        assert text.startswith("graph")
+        assert '"i" [label="i\\nR0"]' in text
+        assert "--" in text
