@@ -11,6 +11,8 @@ check growth stays near-linear (doubling the program should far less than
 quadruple the time).
 """
 
+import json
+import os
 import time
 
 import pytest
@@ -18,13 +20,18 @@ import pytest
 from conftest import fmt_row, report
 
 from repro.allocators import ChaitinAllocator
+from repro.analysis.reference import reference_interference, reference_liveness
 from repro.core import HierarchicalAllocator, HierarchicalConfig
 from repro.machine.target import Machine
 from repro.pipeline import Workload, prepare
 from repro.tiles.construction import build_tile_tree_detailed
+from repro.workloads.generators import random_program
 from repro.workloads.kernels import sequential_loops
 
 MACHINE = Machine.simple(4)
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_analysis_speed.json"
+)
 
 
 def _time(callable_, repeats=3):
@@ -84,3 +91,64 @@ def test_allocation_scaling(benchmark):
     benchmark(lambda: HierarchicalAllocator(config).allocate(
         prepared.clone(), MACHINE
     ))
+
+
+# Quick regression gate (CI runs just this with ``-k quick``): end-to-end
+# allocation must stay within 2x of the committed baseline in
+# BENCH_analysis_speed.json.  The recorded times come from one machine;
+# the string-set reference analysis (the seed algorithm, untouched by
+# optimization work) is re-timed here and the baseline scaled by the
+# calibration ratio so the gate transfers across machines.
+QUICK_WORKLOADS = {
+    "seq_loops_100": lambda: sequential_loops(100),
+    "rand_struct_327": lambda: random_program(
+        seed=1, max_blocks=400, max_vars=40, max_depth=6, break_prob=0.05
+    ),
+}
+
+
+def _strset_analysis(fn):
+    liv = reference_liveness(fn)
+    for label in fn.blocks:
+        liv.instr_live_out(label)
+    reference_interference(fn, liv)
+
+
+def test_quick_regression_gate():
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    recorded = baseline.get("current", {}).get("end_to_end", {})
+    if not recorded:
+        pytest.skip("no committed end-to-end baseline yet")
+
+    machine = Machine.simple(8)
+    config = HierarchicalConfig()
+    widths = [16, 12, 12, 8]
+    rows = [fmt_row(["workload", "limit (ms)", "now (ms)", "ratio"], widths)]
+    failures = []
+    for name, factory in QUICK_WORKLOADS.items():
+        rec = recorded.get(name)
+        if rec is None:
+            continue
+        fn = factory()
+        cur = _time(
+            lambda: HierarchicalAllocator(config).allocate(
+                fn.clone(), machine
+            ),
+            repeats=3,
+        )
+        calib_now = _time(lambda: _strset_analysis(fn), repeats=3)
+        scale = calib_now / max(rec["calibration_strset_s"], 1e-9)
+        limit = rec["end_to_end_s"] * scale * 2.0
+        rows.append(fmt_row(
+            [name, round(limit * 1e3, 1), round(cur * 1e3, 1),
+             round(cur / max(limit, 1e-9), 2)],
+            widths,
+        ))
+        if cur > limit:
+            failures.append(
+                f"{name}: {cur * 1e3:.1f}ms exceeds 2x baseline "
+                f"({limit * 1e3:.1f}ms machine-normalized)"
+            )
+    report("E15_quick_gate", rows)
+    assert not failures, "; ".join(failures)

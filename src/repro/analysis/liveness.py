@@ -5,29 +5,85 @@ Classic backward iterative dataflow over the CFG.  Besides block-level
 (needed by interference construction) and per-edge liveness (needed to place
 spill code on tile entry/exit edges, where the paper's ``Live_e(v)`` term is
 evaluated).
+
+Internally the analysis runs over Python-int **bitsets**: variable names are
+interned into a dense :class:`~repro.perf.VarIndex` and every live set is a
+single int, so the transfer function of a block is two machine-word
+operations (``use | (out & ~def)``) instead of Python set algebra.  The
+string-facing API (frozensets keyed by label) is a façade materialized from
+the bitsets; hot callers can use the ``*_bits`` twins directly.
+Per-instruction sets are memoized per block -- tiles revisit the same blocks
+many times per coloring round -- with :meth:`Liveness.invalidate` as the
+explicit escape hatch should a caller mutate instructions in place.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.ir.function import Function
 from repro.ir.instructions import Instr
+from repro.perf.varindex import VarIndex
 
 
 class Liveness:
-    """Result of live-variable analysis on one function."""
+    """Result of live-variable analysis on one function.
+
+    ``index`` is the interning table shared by every bitset this object
+    hands out; ``live_in_bits``/``live_out_bits`` map block label to the
+    block-level bitsets.  The classic ``live_in``/``live_out`` frozenset
+    dicts are kept for compatibility and convenience.
+    """
 
     def __init__(
         self,
         fn: Function,
-        live_in: Dict[str, FrozenSet[str]],
-        live_out: Dict[str, FrozenSet[str]],
+        index: VarIndex,
+        live_in_bits: Dict[str, int],
+        live_out_bits: Dict[str, int],
     ) -> None:
         self._fn = fn
-        self.live_in = live_in
-        self.live_out = live_out
+        self.index = index
+        self.live_in_bits = live_in_bits
+        self.live_out_bits = live_out_bits
+        self.live_in: Dict[str, FrozenSet[str]] = {
+            label: index.frozenset_of(bits)
+            for label, bits in live_in_bits.items()
+        }
+        self.live_out: Dict[str, FrozenSet[str]] = {
+            label: index.frozenset_of(bits)
+            for label, bits in live_out_bits.items()
+        }
+        # Per-instruction memos, filled lazily per block label.
+        self._instr_out_bits: Dict[str, List[int]] = {}
+        self._instr_in_bits: Dict[str, List[int]] = {}
+        self._instr_out_sets: Dict[str, List[FrozenSet[str]]] = {}
+        self._instr_in_sets: Dict[str, List[FrozenSet[str]]] = {}
 
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, label: Optional[str] = None) -> None:
+        """Drop memoized per-instruction sets (for *label*, or all).
+
+        Block-level results are *not* recomputed -- a CFG mutation needs a
+        fresh :func:`compute_liveness`; this only covers in-place edits to a
+        block's instruction list that keep block-level liveness intact.
+        """
+        if label is None:
+            self._instr_out_bits.clear()
+            self._instr_in_bits.clear()
+            self._instr_out_sets.clear()
+            self._instr_in_sets.clear()
+        else:
+            self._instr_out_bits.pop(label, None)
+            self._instr_in_bits.pop(label, None)
+            self._instr_out_sets.pop(label, None)
+            self._instr_in_sets.pop(label, None)
+
+    # ------------------------------------------------------------------
+    # edge-level liveness
+    # ------------------------------------------------------------------
     def live_on_edge(self, src: str, dst: str) -> FrozenSet[str]:
         """Variables live along control edge ``src -> dst``.
 
@@ -36,39 +92,83 @@ class Liveness:
         """
         return self.live_in[dst]
 
+    def live_on_edge_bits(self, src: str, dst: str) -> int:
+        return self.live_in_bits[dst]
+
+    # ------------------------------------------------------------------
+    # instruction-level liveness
+    # ------------------------------------------------------------------
+    def instr_live_out_bits(self, label: str) -> List[int]:
+        """For each instruction in block *label*, the bitset of variables
+        live immediately *after* it (memoized)."""
+        cached = self._instr_out_bits.get(label)
+        if cached is None:
+            cached = self._scan_block(label)[0]
+        return cached
+
+    def instr_live_in_bits(self, label: str) -> List[int]:
+        """Bitsets of variables live immediately *before* each instruction
+        (memoized)."""
+        cached = self._instr_in_bits.get(label)
+        if cached is None:
+            cached = self._scan_block(label)[1]
+        return cached
+
+    def _scan_block(self, label: str) -> Tuple[List[int], List[int]]:
+        """One backward pass filling both per-instruction memo lists."""
+        block = self._fn.blocks[label]
+        index = self.index
+        live = self.live_out_bits[label]
+        n = len(block.instrs)
+        outs: List[int] = [0] * n
+        ins: List[int] = [0] * n
+        for i in range(n - 1, -1, -1):
+            instr = block.instrs[i]
+            outs[i] = live
+            if instr.defs:
+                live &= ~index.mask_of(instr.defs)
+            if instr.uses:
+                live |= index.mask_of(instr.uses)
+            ins[i] = live
+        self._instr_out_bits[label] = outs
+        self._instr_in_bits[label] = ins
+        return outs, ins
+
     def instr_live_out(self, label: str) -> List[FrozenSet[str]]:
         """For each instruction in block *label*, the set of variables live
         immediately *after* it (the set interference construction needs at
         each definition point)."""
-        block = self._fn.blocks[label]
-        live: Set[str] = set(self.live_out[label])
-        out: List[FrozenSet[str]] = [frozenset()] * len(block.instrs)
-        for i in range(len(block.instrs) - 1, -1, -1):
-            instr = block.instrs[i]
-            out[i] = frozenset(live)
-            live.difference_update(instr.defs)
-            live.update(instr.uses)
-        return out
+        cached = self._instr_out_sets.get(label)
+        if cached is None:
+            index = self.index
+            cached = [
+                index.frozenset_of(bits)
+                for bits in self.instr_live_out_bits(label)
+            ]
+            self._instr_out_sets[label] = cached
+        return cached
 
     def instr_live_in(self, label: str) -> List[FrozenSet[str]]:
         """Variables live immediately *before* each instruction."""
-        block = self._fn.blocks[label]
-        live: Set[str] = set(self.live_out[label])
-        result: List[FrozenSet[str]] = [frozenset()] * len(block.instrs)
-        for i in range(len(block.instrs) - 1, -1, -1):
-            instr = block.instrs[i]
-            live.difference_update(instr.defs)
-            live.update(instr.uses)
-            result[i] = frozenset(live)
-        return result
+        cached = self._instr_in_sets.get(label)
+        if cached is None:
+            index = self.index
+            cached = [
+                index.frozenset_of(bits)
+                for bits in self.instr_live_in_bits(label)
+            ]
+            self._instr_in_sets[label] = cached
+        return cached
 
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
     def live_through_blocks(self, labels) -> FrozenSet[str]:
         """Variables live into or out of any block in *labels*."""
-        out: Set[str] = set()
+        mask = 0
         for label in labels:
-            out.update(self.live_in[label])
-            out.update(self.live_out[label])
-        return frozenset(out)
+            mask |= self.live_in_bits[label] | self.live_out_bits[label]
+        return self.index.frozenset_of(mask)
 
 
 def block_use_def(block) -> Tuple[Set[str], Set[str]]:
@@ -83,35 +183,57 @@ def block_use_def(block) -> Tuple[Set[str], Set[str]]:
     return uses, defs
 
 
-def compute_liveness(fn: Function) -> Liveness:
-    """Iterative backward live-variable analysis."""
-    use_map: Dict[str, Set[str]] = {}
-    def_map: Dict[str, Set[str]] = {}
-    for label, block in fn.blocks.items():
-        uses, defs = block_use_def(block)
-        use_map[label] = uses
-        def_map[label] = defs
+def _block_use_def_bits(block, index: VarIndex) -> Tuple[int, int]:
+    """(upward-exposed uses, defs) of a block as bitsets."""
+    use_mask = 0
+    def_mask = 0
+    intern = index.intern
+    for instr in block.instrs:
+        for u in instr.uses:
+            bit = 1 << intern(u)
+            if not def_mask & bit:
+                use_mask |= bit
+        for d in instr.defs:
+            def_mask |= 1 << intern(d)
+    return use_mask, def_mask
 
-    live_in: Dict[str, Set[str]] = {label: set() for label in fn.blocks}
-    live_out: Dict[str, Set[str]] = {label: set() for label in fn.blocks}
+
+def compute_liveness(
+    fn: Function, index: Optional[VarIndex] = None
+) -> Liveness:
+    """Iterative backward live-variable analysis (bitset worklist).
+
+    Pass *index* to share an interning table across analyses of the same
+    function; by default a fresh one is built (deterministically: names are
+    interned in block/instruction order).
+    """
+    if index is None:
+        index = VarIndex()
+    use_map: Dict[str, int] = {}
+    def_map: Dict[str, int] = {}
+    for label, block in fn.blocks.items():
+        use_map[label], def_map[label] = _block_use_def_bits(block, index)
+
+    live_in: Dict[str, int] = {label: 0 for label in fn.blocks}
+    live_out: Dict[str, int] = {label: 0 for label in fn.blocks}
 
     # Process in reverse RPO for fast convergence; include unreachable
     # blocks afterwards so partially-built functions still analyze.
-    order = fn.rpo()
+    order = list(fn.rpo())
     order_set = set(order)
     order += [label for label in fn.blocks if label not in order_set]
     worklist = list(reversed(order))
     in_worklist = set(worklist)
     preds = fn.predecessors_map()
+    blocks = fn.blocks
 
     while worklist:
         label = worklist.pop()
         in_worklist.discard(label)
-        block = fn.blocks[label]
-        new_out: Set[str] = set()
-        for succ in block.succ_labels:
-            new_out.update(live_in[succ])
-        new_in = use_map[label] | (new_out - def_map[label])
+        new_out = 0
+        for succ in blocks[label].succ_labels:
+            new_out |= live_in[succ]
+        new_in = use_map[label] | (new_out & ~def_map[label])
         if new_out != live_out[label] or new_in != live_in[label]:
             live_out[label] = new_out
             live_in[label] = new_in
@@ -120,8 +242,4 @@ def compute_liveness(fn: Function) -> Liveness:
                     worklist.append(pred)
                     in_worklist.add(pred)
 
-    return Liveness(
-        fn,
-        {label: frozenset(s) for label, s in live_in.items()},
-        {label: frozenset(s) for label, s in live_out.items()},
-    )
+    return Liveness(fn, index, live_in, live_out)

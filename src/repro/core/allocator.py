@@ -23,11 +23,17 @@ from repro.core.config import HierarchicalConfig
 from repro.core.info import FunctionContext, build_context
 from repro.core.phase1 import allocate_tile, run_phase1
 from repro.core.phase2 import bind_tile, run_phase2
+from repro.core.schedule import (
+    resolve_workers,
+    run_phase1_scheduled,
+    run_phase2_scheduled,
+)
 from repro.core.spill_code import rewrite_program
 from repro.core.summary import MEM, TileAllocation
 from repro.ir.function import Function
 from repro.machine.rewrite import check_physical
 from repro.machine.target import Machine
+from repro.perf.timers import StageTimers
 from repro.tiles.construction import TileTreeOptions, build_tile_tree_detailed
 from repro.tiles.validate import validate_tile_tree
 
@@ -46,30 +52,39 @@ class HierarchicalAllocator(Allocator):
 
     def allocate(self, fn: Function, machine: Machine) -> AllocationOutcome:
         config = self.config
-        work = fn.clone()
-        build = build_tile_tree_detailed(
-            work,
-            TileTreeOptions(
-                conditional_tiles=config.conditional_tiles,
-                max_tile_width=config.max_tile_width,
-            ),
-        )
-        validate_tile_tree(build.tree)
-        ctx = build_context(
-            work, machine, build.tree, build.fixup, config.frequencies
-        )
+        timers = StageTimers()
+        with timers.stage("tile_tree"):
+            work = fn.clone()
+            build = build_tile_tree_detailed(
+                work,
+                TileTreeOptions(
+                    conditional_tiles=config.conditional_tiles,
+                    max_tile_width=config.max_tile_width,
+                ),
+            )
+            validate_tile_tree(build.tree)
+        with timers.stage("context"):
+            ctx = build_context(
+                work, machine, build.tree, build.fixup, config.frequencies
+            )
 
         if config.parallel:
-            allocations = _run_phase1_parallel(ctx, config)
-            _run_phase2_parallel(ctx, config, allocations)
+            with timers.stage("phase1"):
+                allocations = run_phase1_scheduled(ctx, config)
+            with timers.stage("phase2"):
+                run_phase2_scheduled(ctx, config, allocations)
         else:
-            allocations = run_phase1(ctx, config)
-            run_phase2(ctx, config, allocations)
+            with timers.stage("phase1"):
+                allocations = run_phase1(ctx, config)
+            with timers.stage("phase2"):
+                run_phase2(ctx, config, allocations)
 
-        out = rewrite_program(ctx, config, allocations)
-        check_physical(out, machine.num_registers)
+        with timers.stage("rewrite"):
+            out = rewrite_program(ctx, config, allocations)
+            check_physical(out, machine.num_registers)
 
         stats = self._gather_stats(ctx, allocations, build)
+        stats.extra["stage_times"] = timers.as_dict()
         record_spill_blocks(out, stats)
         self.last_context = ctx
         self.last_allocations = allocations
@@ -119,20 +134,27 @@ def _run_phase1_parallel(
 ) -> Dict[int, TileAllocation]:
     """Phase 1 with sibling tiles colored concurrently, deepest level first.
 
-    All tiles at one depth are mutually independent (they are never
-    ancestors of one another), and every child lies strictly deeper than
-    its parent, so level-by-level scheduling respects the postorder
-    dependency.  Results are identical to the sequential pass.
+    Level-barrier driver, kept for benchmarking against the
+    dependency-driven scheduler (:mod:`repro.core.schedule`), which the
+    allocator now uses: all tiles at one depth are mutually independent
+    (they are never ancestors of one another), and every child lies
+    strictly deeper than its parent, so level-by-level scheduling respects
+    the postorder dependency.  Results are identical to the sequential
+    pass.  The shared dicts are passed to the worker explicitly rather than
+    closed over, so the callable is self-contained.
     """
     allocations: Dict[int, TileAllocation] = {}
     levels = _tiles_by_depth(ctx)
-    with ThreadPoolExecutor() as pool:
+    with ThreadPoolExecutor(max_workers=resolve_workers(config)) as pool:
         for depth in sorted(levels, reverse=True):
             tiles = levels[depth]
             results = list(
                 pool.map(
-                    lambda tile: allocate_tile(ctx, config, tile, allocations),
+                    allocate_tile,
+                    [ctx] * len(tiles),
+                    [config] * len(tiles),
                     tiles,
+                    [allocations] * len(tiles),
                 )
             )
             for tile, alloc in zip(tiles, results):
@@ -145,14 +167,19 @@ def _run_phase2_parallel(
     config: HierarchicalConfig,
     allocations: Dict[int, TileAllocation],
 ) -> None:
-    """Phase 2 with sibling tiles bound concurrently, shallowest first."""
+    """Phase 2 with sibling tiles bound concurrently, shallowest first
+    (level-barrier driver, kept for benchmarking -- see
+    :func:`_run_phase1_parallel`)."""
     levels = _tiles_by_depth(ctx)
-    with ThreadPoolExecutor() as pool:
+    with ThreadPoolExecutor(max_workers=resolve_workers(config)) as pool:
         for depth in sorted(levels):
             tiles = levels[depth]
             list(
                 pool.map(
-                    lambda tile: bind_tile(ctx, config, tile, allocations),
+                    bind_tile,
+                    [ctx] * len(tiles),
+                    [config] * len(tiles),
                     tiles,
+                    [allocations] * len(tiles),
                 )
             )

@@ -38,7 +38,13 @@ class HierarchicalConfig:
             profile-guided allocation.
         parallel: color independent sibling subtrees with a thread pool
             (section 6's parallelism claim).  Results are identical to the
-            sequential order; this only changes scheduling.
+            sequential order; this only changes scheduling.  Uses the
+            dependency-driven scheduler of :mod:`repro.core.schedule` -- a
+            tile runs as soon as its own children (phase 1) or parent
+            (phase 2) finish, with no level-wide barriers.
+        parallel_workers: thread count for the parallel drivers; ``None``
+            accepts ``ThreadPoolExecutor``'s default sizing.  Must be >= 1
+            when set.
         max_tile_width: bound on conditional-tile width forwarded to tile
             construction.
         loop_tiles_only: alias ablation -- force ``conditional_tiles=False``
@@ -52,6 +58,7 @@ class HierarchicalConfig:
     spill_temp_strategy: str = "recolor"
     frequencies: Optional[FrequencyInfo] = None
     parallel: bool = False
+    parallel_workers: Optional[int] = None
     max_tile_width: Optional[int] = None
     #: spill-candidate ranking: "cost_over_degree" (Chaitin's ratio, the
     #: paper's implementation choice), "cost", or "degree" (section 4:
@@ -66,4 +73,8 @@ class HierarchicalConfig:
         if self.spill_heuristic not in ("cost_over_degree", "cost", "degree"):
             raise ValueError(
                 f"unknown spill_heuristic {self.spill_heuristic!r}"
+            )
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValueError(
+                f"parallel_workers must be >= 1, got {self.parallel_workers}"
             )

@@ -13,6 +13,7 @@ from repro.analysis.frequency import FrequencyInfo, estimate_frequencies
 from repro.analysis.liveness import Liveness, compute_liveness
 from repro.ir.function import Function
 from repro.machine.target import Machine
+from repro.perf.varindex import iter_bits
 from repro.tiles.fixup import FixupStats
 from repro.tiles.tile import Tile, TileTree
 
@@ -33,6 +34,17 @@ class FunctionContext:
     def_blocks: Dict[str, Set[str]] = field(default_factory=dict)
     #: label of inserted fix-up block -> the original edge it subdivides
     orig_edge: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: tile id -> OR of live-on-edge bitsets over the tile's boundary
+    _boundary_live: Dict[int, int] = field(default_factory=dict, repr=False)
+    #: tile id -> var -> summed boundary transfer frequency (section 4)
+    _boundary_transfer: Dict[int, Dict[str, float]] = field(
+        default_factory=dict, repr=False
+    )
+    #: label -> {var: defs+uses count} (the paper's ``Refs_b(v)``)
+    _ref_counts: Dict[str, Dict[str, int]] = field(
+        default_factory=dict, repr=False
+    )
+    _tile_memo_version: int = field(default=-1, repr=False)
 
     def __post_init__(self) -> None:
         for label, block in self.fn.blocks.items():
@@ -71,11 +83,67 @@ class FunctionContext:
             return False
         return bool(blocks & tile.all_blocks)
 
+    def _tile_memos_current(self) -> None:
+        version = getattr(self.fn, "cfg_version", None)
+        if version != self._tile_memo_version:
+            self._boundary_live.clear()
+            self._boundary_transfer.clear()
+            self._ref_counts.clear()
+            self._tile_memo_version = version
+
+    def block_ref_counts(self, label: str) -> Dict[str, int]:
+        """``Refs_b(v)`` for every variable referenced in block *label*
+        (memoized; one block scan instead of one per queried variable)."""
+        cached = self._ref_counts.get(label)
+        if cached is None:
+            counts: Dict[str, int] = {}
+            get = counts.get
+            for instr in self.fn.blocks[label].instrs:
+                for var in instr.defs:
+                    counts[var] = get(var, 0) + 1
+                for var in instr.uses:
+                    counts[var] = get(var, 0) + 1
+            self._ref_counts[label] = cached = counts
+        return cached
+
+    def boundary_live_mask(self, tile: Tile) -> int:
+        """Bitset (over ``liveness.index``) of variables live along any of
+        *tile*'s boundary edges (memoized per CFG version)."""
+        self._tile_memos_current()
+        mask = self._boundary_live.get(tile.tid)
+        if mask is None:
+            mask = 0
+            live_bits = self.liveness.live_on_edge_bits
+            for src, dst in self.tree.boundary_edges(tile):
+                mask |= live_bits(src, dst)
+            self._boundary_live[tile.tid] = mask
+        return mask
+
     def live_on_boundary(self, tile: Tile, var: str) -> bool:
-        for src, dst in self.tree.boundary_edges(tile):
-            if var in self.liveness.live_on_edge(src, dst):
-                return True
-        return False
+        index = self.liveness.index
+        if var not in index:
+            return False
+        return bool(self.boundary_live_mask(tile) >> index.id_of(var) & 1)
+
+    def boundary_transfer(self, tile: Tile) -> Dict[str, float]:
+        """``Transfer_t(v)`` for every variable live on *tile*'s boundary:
+        the summed frequency of boundary edges carrying it (memoized; vars
+        absent from the dict have zero transfer)."""
+        self._tile_memos_current()
+        cached = self._boundary_transfer.get(tile.tid)
+        if cached is None:
+            acc: Dict[int, float] = {}
+            live_bits = self.liveness.live_on_edge_bits
+            for src, dst in self.tree.boundary_edges(tile):
+                freq = self.edge_freq(src, dst)
+                if not freq:
+                    continue
+                for vid in iter_bits(live_bits(src, dst)):
+                    acc[vid] = acc.get(vid, 0.0) + freq
+            name_of = self.liveness.index.name_of
+            cached = {name_of(vid): total for vid, total in acc.items()}
+            self._boundary_transfer[tile.tid] = cached
+        return cached
 
     def boundary_live_sets(self, tile: Tile) -> List[FrozenSet[str]]:
         return [

@@ -35,19 +35,19 @@ def compute_pre_metrics(
     weights for the children's summary variables."""
     metrics = TileMetrics()
     own = tile.own_blocks()
-    boundary = ctx.tree.boundary_edges(tile)
+    transfers = ctx.boundary_transfer(tile)
 
+    ref_blocks_get = ctx.ref_blocks.get
+    block_freq = ctx.block_freq
+    ref_counts = ctx.block_ref_counts
     for var in visible:
         local_weight = 0.0
-        for label in ctx.ref_blocks.get(var, ()):  # only referencing blocks
+        for label in ref_blocks_get(var, ()):  # only referencing blocks
             if label in own:
-                local_weight += ctx.block_freq(label) * ctx.fn.blocks[
-                    label
-                ].ref_count(var)
-        transfer = 0.0
-        for src, dst in boundary:
-            if var in ctx.liveness.live_on_edge(src, dst):
-                transfer += ctx.edge_freq(src, dst)
+                # .get: a block can be in ref_blocks via clobbers only,
+                # which Refs_b counts as zero (defs + uses).
+                local_weight += block_freq(label) * ref_counts(label).get(var, 0)
+        transfer = transfers.get(var, 0.0)
         weight = local_weight
         for child in child_tiles:
             alloc = children[child.tid]

@@ -81,9 +81,11 @@ def allocate_tile(
     # Boundary-liveness cliques: variables simultaneously live at a tile
     # boundary conflict even when neither is defined in blocks(t).  (The
     # paper's def-point construction is complete for whole programs; per
-    # tile it needs this seeding -- see DESIGN.md section 4.)
-    for live in ctx.boundary_live_sets(tile):
-        graph.add_clique(v for v in live if v in visible)
+    # tile it needs this seeding -- see DESIGN.md section 4.)  Boundary
+    # edges sharing a destination carry identical live sets; clique
+    # insertion is idempotent, so duplicates are skipped up front.
+    for live in dict.fromkeys(ctx.boundary_live_sets(tile)):
+        graph.add_clique(live & visible)
 
     for child in children:
         child_alloc = allocations[child.tid]
@@ -98,9 +100,9 @@ def allocate_tile(
 
         child_summaries = list(child_alloc.summary_vars.values())
         child_boundary_live: Set[str] = set()
-        for live in ctx.boundary_live_sets(child):
+        for live in dict.fromkeys(ctx.boundary_live_sets(child)):
             child_boundary_live |= live
-            graph.add_clique(v for v in live if v in visible)
+            graph.add_clique(live & visible)
         # Variables live across the child without a register there conflict
         # with all of the child's summary variables (conflict source 3).
         for var in child_boundary_live:
@@ -243,28 +245,38 @@ def _build_summary(
         if color is not None and var not in alloc.spilled:
             alloc.global_regs[var] = color
 
-    # Conflict summary, derived from the tile graph's edges.
-    for a, b in alloc.graph.edges():
-        ca = alloc.assignment.get(a)
-        cb = alloc.assignment.get(b)
-        if ca is None or cb is None:
+    # Conflict summary, derived from the tile graph's edges.  Iterates the
+    # adjacency map directly (each pair once, via ``a < b``) -- equivalent
+    # to graph.edges() without the generator and dedup-set overhead.
+    assignment_get = alloc.assignment.get
+    ts_get = alloc.ts_map.get
+    global_regs = alloc.global_regs
+    for a, others in alloc.graph.adjacency().items():
+        ca = assignment_get(a)
+        if ca is None:
             continue
         a_local = a in localish
-        b_local = b in localish
-        if a_local and b_local:
-            sa, sb = alloc.ts_map.get(a), alloc.ts_map.get(b)
-            if sa and sb and sa != sb:
-                alloc.conflict_summary_summary.add(_ordered(sa, sb))
-        elif a_local != b_local:
-            g = b if a_local else a
-            l = a if a_local else b
-            if g in alloc.global_regs:
-                summary = alloc.ts_map.get(l)
-                if summary:
-                    alloc.conflict_global_summary.add((g, summary))
-        else:
-            if a in alloc.global_regs and b in alloc.global_regs:
-                alloc.conflict_global_global.add(_ordered(a, b))
+        for b in others:
+            if b < a:
+                continue
+            cb = assignment_get(b)
+            if cb is None:
+                continue
+            b_local = b in localish
+            if a_local and b_local:
+                sa, sb = ts_get(a), ts_get(b)
+                if sa and sb and sa != sb:
+                    alloc.conflict_summary_summary.add(_ordered(sa, sb))
+            elif a_local != b_local:
+                g = b if a_local else a
+                l = a if a_local else b
+                if g in global_regs:
+                    summary = ts_get(l)
+                    if summary:
+                        alloc.conflict_global_summary.add((g, summary))
+            else:
+                if a in global_regs and b in global_regs:
+                    alloc.conflict_global_global.add(_ordered(a, b))
 
     # Propagated preferences (paper section 3, special cases 1-3).
     if config.preferencing:

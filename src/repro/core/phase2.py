@@ -83,21 +83,24 @@ def bind_tile(
         binding = parent_loc(summary)
         alloc.summary_phys[summary] = binding if binding is not None else MEM
 
-    for node in alloc.graph.nodes():
+    globals_ = alloc.globals_
+    ts_get = alloc.ts_map.get
+    summary_phys_get = alloc.summary_phys.get
+    for node in alloc.graph.adjacency():
         if node in pre_spilled or is_phys(node):
             continue
-        if parent_alloc is not None and node in alloc.globals_:
+        if parent_alloc is not None and node in globals_:
             binding = parent_loc(node)
             if binding is not None and binding != MEM:
                 local_prefs[node] = binding
             continue
-        summary = alloc.ts_map.get(node)
+        summary = ts_get(node)
         if summary is not None:
-            binding = alloc.summary_phys.get(summary)
+            binding = summary_phys_get(summary)
             if binding is not None and binding != MEM:
                 local_prefs[node] = binding
 
-    precolored = {v: v for v in alloc.graph.nodes() if is_phys(v)}
+    precolored = {v: v for v in alloc.graph.adjacency() if is_phys(v)}
 
     # ------------------------------------------------------------------
     # intruders: parent-register variables live across this tile that the
@@ -106,19 +109,22 @@ def bind_tile(
     priorities: Dict[str, float] = dict(alloc.metrics.weight)
     if parent_alloc is not None:
         boundary_edges = ctx.tree.boundary_edges(tile)
-        boundary_live: Set[str] = set()
-        for src, dst in boundary_edges:
-            boundary_live |= ctx.liveness.live_on_edge(src, dst)
-        existing = set(alloc.graph.nodes())
+        boundary_live = ctx.liveness.index.frozenset_of(
+            ctx.boundary_live_mask(tile)
+        )
+        adj = alloc.graph.adjacency()
+        existing = set(adj)
         for var in sorted(boundary_live):
             if var in existing:
                 continue
             binding = parent_loc(var)
             if binding is None or binding == MEM:
                 continue
-            alloc.graph.add_node(var)
+            # Conflicts with every existing node, in bulk: one neighbour
+            # set for the intruder, one add per existing node.
+            adj[var] = set(existing)
             for other in existing:
-                alloc.graph.add_edge(var, other)
+                adj[other].add(var)
             existing.add(var)
             local_prefs[var] = binding
             # Spilling an intruder costs a store/load around the tile.

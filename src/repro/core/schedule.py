@@ -1,0 +1,105 @@
+"""Dependency-driven scheduling of tile allocation (paper section 6).
+
+"Sibling subtrees can be processed concurrently in both the bottom-up and
+top-down passes."  The previous driver exploited this with one thread-pool
+barrier per tree level: all tiles at depth *d* had to finish before any tile
+at depth *d-1* started, even though a parent only waits on its own children.
+For unbalanced trees (one deep loop nest next to many shallow conditionals)
+the deepest chain serializes everything at its level boundaries.
+
+The scheduler here tracks readiness per tile instead:
+
+* **phase 1** -- a tile becomes ready the moment its last child finishes;
+* **phase 2** -- a tile becomes ready the moment its parent finishes.
+
+Workers only compute; the coordinator thread performs every write to the
+shared ``allocations`` dict *before* submitting any tile that could read it,
+so workers never observe a partially-updated map.  Because each tile's
+computation depends only on its children's (phase 1) or parent's (phase 2)
+finished results -- never on scheduling order -- the outcome is identical to
+the sequential postorder/preorder passes; the returned dict is rebuilt in
+postorder so even its iteration order matches the sequential driver.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import HierarchicalConfig
+from repro.core.info import FunctionContext
+from repro.core.phase1 import allocate_tile
+from repro.core.phase2 import bind_tile
+from repro.core.summary import TileAllocation
+from repro.tiles.tile import Tile
+
+
+def resolve_workers(config: HierarchicalConfig) -> Optional[int]:
+    """Worker count for the pools: ``config.parallel_workers``, or ``None``
+    to accept :class:`ThreadPoolExecutor`'s default sizing."""
+    workers = getattr(config, "parallel_workers", None)
+    if workers is not None and workers < 1:
+        raise ValueError(f"parallel_workers must be >= 1, got {workers}")
+    return workers
+
+
+def run_phase1_scheduled(
+    ctx: FunctionContext, config: HierarchicalConfig
+) -> Dict[int, TileAllocation]:
+    """Bottom-up coloring with per-tile readiness (children-complete)."""
+    tree = ctx.tree
+    tiles: List[Tile] = list(tree.postorder())
+    pending_children = {tile.tid: len(tile.children) for tile in tiles}
+    allocations: Dict[int, TileAllocation] = {}
+
+    with ThreadPoolExecutor(max_workers=resolve_workers(config)) as pool:
+        futures = {
+            pool.submit(allocate_tile, ctx, config, tile, allocations): tile
+            for tile in tiles
+            if not tile.children
+        }
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            ready: List[Tile] = []
+            for future in done:
+                tile = futures.pop(future)
+                # .result() re-raises worker exceptions here, in the
+                # coordinator, cancelling the remaining futures on exit.
+                allocations[tile.tid] = future.result()
+                parent = tile.parent
+                if parent is not None:
+                    pending_children[parent.tid] -= 1
+                    if pending_children[parent.tid] == 0:
+                        ready.append(parent)
+            for tile in ready:
+                futures[
+                    pool.submit(allocate_tile, ctx, config, tile, allocations)
+                ] = tile
+
+    # Deterministic result: same key order as the sequential postorder pass.
+    return {tile.tid: allocations[tile.tid] for tile in tree.postorder()}
+
+
+def run_phase2_scheduled(
+    ctx: FunctionContext,
+    config: HierarchicalConfig,
+    allocations: Dict[int, TileAllocation],
+) -> None:
+    """Top-down binding with per-tile readiness (parent-complete)."""
+    tree = ctx.tree
+
+    with ThreadPoolExecutor(max_workers=resolve_workers(config)) as pool:
+        futures = {
+            pool.submit(bind_tile, ctx, config, tree.root, allocations): tree.root
+        }
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            ready: List[Tile] = []
+            for future in done:
+                tile = futures.pop(future)
+                future.result()
+                ready.extend(tile.children)
+            for child in ready:
+                futures[
+                    pool.submit(bind_tile, ctx, config, child, allocations)
+                ] = child

@@ -179,10 +179,14 @@ def rewrite_program(
         tile = ctx.tree.tile_of(label)
         _rewrite_block(fn.blocks[label], allocations[tile.tid], config)
 
-    # Materialize boundary code on its edges.
+    # Materialize boundary code on its edges.  all_occurrences: when a CBR's
+    # arms coincide, the edge appears twice in the successor list and the
+    # spill block must intercept both traversals.
     for (src, dst), plan in sorted(plans.items()):
         instrs = sequence_moves(plan, ctx.machine.registers, (src, dst))
-        block = fn.insert_block_on_edge(src, dst, label=fn.new_label("sp"))
+        block = fn.insert_block_on_edge(
+            src, dst, label=fn.new_label("sp"), all_occurrences=True
+        )
         block.instrs = instrs
 
     # Drop construction fix-up blocks that received no code.

@@ -80,6 +80,12 @@ def color_tile(
         parse_temp_node(name)[1] for name in temp_nodes
     }
 
+    # Stable across rounds except for newly added temps / spills; built
+    # once and updated incrementally rather than rebuilt per round.
+    priorities = dict(spec.priorities)
+    for t in temp_nodes:
+        priorities[t] = float("inf")
+
     rounds = 0
     while True:
         rounds += 1
@@ -99,22 +105,28 @@ def color_tile(
             )
             temp_nodes |= added
             vars_with_temps |= new_vars
+            for t in added:
+                priorities[t] = float("inf")
 
-        work = graph.subgraph(
-            set(graph.nodes()) - all_spilled
-        )
+        if all_spilled:
+            work = graph.subgraph(graph.adjacency().keys() - all_spilled)
+            precolored = {
+                v: c
+                for v, c in spec.precolored.items()
+                if v not in all_spilled
+            }
+        else:
+            # Nothing excluded: color the tile graph directly (color_graph
+            # never mutates its input).
+            work = graph
+            precolored = spec.precolored
         try:
             result = color_graph(
                 work,
                 k=spec.k,
                 color_order=spec.color_order,
-                priorities={
-                    **spec.priorities,
-                    **{t: float("inf") for t in temp_nodes},
-                },
-                precolored={
-                    v: c for v, c in spec.precolored.items() if v not in all_spilled
-                },
+                priorities=priorities,
+                precolored=precolored,
                 local_prefs=spec.local_prefs,
                 pref_pairs=spec.pref_pairs,
                 never_spill=spec.never_spill | temp_nodes,

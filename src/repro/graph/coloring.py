@@ -20,6 +20,7 @@ color.  Preference handling follows the paper:
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -91,11 +92,12 @@ def color_graph(
     """
     if spill_heuristic not in ("cost_over_degree", "cost", "degree"):
         raise ValueError(f"unknown spill heuristic {spill_heuristic!r}")
-    priorities = dict(priorities or {})
-    precolored = dict(precolored or {})
-    local_prefs = dict(local_prefs or {})
-    never_spill = set(never_spill or ())
-    boundary = set(boundary or ())
+    # Inputs are only read, never mutated -- hold references, don't copy.
+    priorities = priorities if priorities is not None else {}
+    precolored = precolored if precolored is not None else {}
+    local_prefs = local_prefs if local_prefs is not None else {}
+    never_spill = never_spill if never_spill is not None else frozenset()
+    boundary = boundary if boundary is not None else frozenset()
 
     partners: Dict[str, Set[str]] = {}
     for a, b in pref_pairs or ():
@@ -104,7 +106,10 @@ def color_graph(
         partners.setdefault(a, set()).add(b)
         partners.setdefault(b, set()).add(a)
 
-    adj = graph.copy_adjacency()
+    # Shallow copy only: the algorithm never mutates a neighbour set, so
+    # the sets can be shared with the graph; the dict itself is copied
+    # because missing precolored nodes get empty entries added.
+    adj: Dict[str, Set[str]] = dict(graph.adjacency())
     for var in precolored:
         if var not in adj:
             adj[var] = set()
@@ -112,40 +117,89 @@ def color_graph(
     # ------------------------------------------------------------------
     # Simplify: push nodes onto the colorable stack.
     # ------------------------------------------------------------------
-    degrees = {v: len(ns) for v, ns in adj.items()}
-    remaining = {v for v in adj if v not in precolored}
+    degrees: Dict[str, int] = {}
+    remaining: Set[str] = set()
     stack: List[str] = []
     spilled: Set[str] = set()
 
-    def spill_metric(var: str) -> float:
-        if var in never_spill:
-            return math.inf
-        degree = max(degrees[var], 1)
-        if spill_heuristic == "cost":
-            return priorities.get(var, 0.0)
-        if spill_heuristic == "degree":
-            return -degree
-        return priorities.get(var, 0.0) / degree
+    if spill_heuristic == "cost":
 
-    while remaining:
-        trivially = [v for v in remaining if degrees[v] < k]
-        if trivially:
-            # Deterministic order: lowest degree, then name.
-            var = min(trivially, key=lambda v: (degrees[v], v))
+        def spill_metric(var: str, degree: int) -> float:
+            return math.inf if var in never_spill else priorities.get(var, 0.0)
+
+    elif spill_heuristic == "degree":
+
+        def spill_metric(var: str, degree: int) -> float:
+            return math.inf if var in never_spill else -max(degree, 1)
+
+    else:
+
+        def spill_metric(var: str, degree: int) -> float:
+            if var in never_spill:
+                return math.inf
+            return priorities.get(var, 0.0) / max(degree, 1)
+
+    # Two lazy heaps drive node selection: ``low_heap`` orders the
+    # trivially-colorable nodes by (degree, name), ``spill_heap`` orders
+    # the constrained (degree >= k) nodes by (spill metric, name).  Entries
+    # go stale when a degree drops; a fresh entry is pushed on every
+    # decrement, so an entry is valid exactly when its recorded degree
+    # matches the current one.  Nodes below k never need a spill entry: a
+    # node whose degree is < k always has a valid low_heap entry, so the
+    # spill pick -- which runs only when no such entry exists -- can never
+    # select it.  Pop order is identical to the previous min() scans --
+    # lowest (degree, name) among sub-k nodes, else lowest (metric, name)
+    # overall -- at O(log) per operation instead of O(|remaining|).
+    low_heap: List[Tuple[int, str]] = []
+    spill_heap: List[Tuple[float, str, int]] = []
+    for v, ns in adj.items():
+        d = len(ns)
+        degrees[v] = d
+        if v in precolored:
+            continue
+        remaining.add(v)
+        if d < k:
+            low_heap.append((d, v))
         else:
+            spill_heap.append((spill_metric(v, d), v, d))
+    heapq.heapify(low_heap)
+    heapq.heapify(spill_heap)
+
+    heappush = heapq.heappush
+
+    def decrement_neighbors(var: str) -> None:
+        for other in adj[var]:
+            d = degrees[other] = degrees[other] - 1
+            if other in remaining:
+                if d < k:
+                    heappush(low_heap, (d, other))
+                else:
+                    heappush(spill_heap, (spill_metric(other, d), other, d))
+
+    heappop = heapq.heappop
+    while remaining:
+        var = None
+        while low_heap:
+            d, v = heappop(low_heap)
+            if v in remaining and degrees[v] == d:
+                var = v
+                break
+        if var is None:
             # All remaining nodes have >= k conflicts: pick the least
             # valuable as the next (potential) spill.
-            var = min(remaining, key=lambda v: (spill_metric(v), v))
+            while True:
+                _, v, d = heappop(spill_heap)
+                if v in remaining and degrees[v] == d:
+                    var = v
+                    break
             if pessimistic and var not in never_spill:
                 spilled.add(var)
                 remaining.discard(var)
-                for other in adj[var]:
-                    degrees[other] = degrees.get(other, 1) - 1
+                decrement_neighbors(var)
                 continue
         remaining.discard(var)
         stack.append(var)
-        for other in adj[var]:
-            degrees[other] = degrees.get(other, 1) - 1
+        decrement_neighbors(var)
 
     # ------------------------------------------------------------------
     # Select: pop and color.
@@ -163,6 +217,8 @@ def color_graph(
         }
 
     def neighbour_pref_colors(var: str) -> Set[str]:
+        if not dynamic_prefs:  # nothing to avoid, skip the scan
+            return set()
         out = set()
         for n in adj.get(var, ()):
             if n not in assignment and n in dynamic_prefs:

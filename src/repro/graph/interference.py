@@ -16,7 +16,6 @@ from repro.analysis.liveness import Liveness
 from repro.ir.function import Function
 from repro.ir.instructions import Instr, Opcode
 
-
 class InterferenceGraph:
     """Undirected conflict graph over variable names."""
 
@@ -36,11 +35,21 @@ class InterferenceGraph:
         self._adj.setdefault(b, set()).add(a)
 
     def add_clique(self, vars_: Iterable[str]) -> None:
-        vs = list(vars_)
-        for i, a in enumerate(vs):
-            self.add_node(a)
-            for b in vs[i + 1:]:
-                self.add_edge(a, b)
+        # Bulk set unions: O(k) C-level operations instead of O(k^2)
+        # add_edge calls.  Node insertion order matches the pairwise
+        # version (first occurrence wins).
+        adj = self._adj
+        members: Set[str] = set()
+        for v in vars_:
+            if v not in members:
+                members.add(v)
+                adj.setdefault(v, set())
+        if len(members) < 2:
+            return
+        for a in members:
+            s = adj[a]
+            s |= members
+            s.discard(a)
 
     def remove_node(self, var: str) -> None:
         for other in self._adj.pop(var, ()):  # pragma: no branch
@@ -86,14 +95,21 @@ class InterferenceGraph:
         return b in self._adj.get(a, ())
 
     def subgraph(self, keep: Set[str]) -> "InterferenceGraph":
+        """Induced subgraph on ``keep`` (nodes absent from the graph are
+        ignored).  Iterates only the kept nodes' adjacency lists, so a tiny
+        tile subgraph costs O(sum of kept degrees), not O(|E|)."""
         out = InterferenceGraph()
-        for var in self._adj:
-            if var in keep:
-                out.add_node(var)
-        for a, b in self.edges():
-            if a in keep and b in keep:
-                out.add_edge(a, b)
+        adj = self._adj
+        out_adj = out._adj
+        for var in keep:
+            neighbors = adj.get(var)
+            if neighbors is not None:
+                out_adj[var] = neighbors & keep
         return out
+
+    def adjacency(self) -> Dict[str, Set[str]]:
+        """The internal adjacency map -- treat as read-only."""
+        return self._adj
 
     def copy_adjacency(self) -> Dict[str, Set[str]]:
         return {v: set(ns) for v, ns in self._adj.items()}
@@ -124,41 +140,90 @@ def build_interference(
     with every relevant variable live after the instruction, with the
     classic copy exemption, and multiple definitions of one instruction
     conflict with each other.
+
+    The construction runs over the bitsets of ``liveness``: each def point
+    contributes one ``OR`` of the live-after mask into the defined
+    variable's adjacency mask, and the mask-to-set conversion happens once
+    at the end.
     """
-    graph = InterferenceGraph()
     if labels is None:
         labels = list(fn.blocks)
 
-    def keep(var: str) -> bool:
-        return relevant is None or var in relevant
+    index = liveness.index
+    intern = index.intern
+    relevant_mask: Optional[int] = (
+        None if relevant is None else index.mask_of(relevant)
+    )
+
+    node_mask = 0
+    adj: Dict[int, int] = {}
 
     for label in labels:
         block = fn.blocks[label]
-        live_out_per_instr = liveness.instr_live_out(label)
+        live_out_per_instr = liveness.instr_live_out_bits(label)
         for instr, live_after in zip(block.instrs, live_out_per_instr):
+            referenced = 0
             for var in instr.defs:
-                if keep(var):
-                    graph.add_node(var)
+                referenced |= 1 << intern(var)
             for var in instr.uses:
-                if keep(var):
-                    graph.add_node(var)
-            exempt: Set[str] = set()
-            if instr.is_copy_like:
-                exempt.add(instr.uses[0])
+                referenced |= 1 << intern(var)
             # Clobbered registers (calls) are written as a side effect:
             # they conflict with everything live across the instruction.
-            written = instr.defs + instr.clobbers
             for var in instr.clobbers:
-                if keep(var):
-                    graph.add_node(var)
+                referenced |= 1 << intern(var)
+            if relevant_mask is not None:
+                referenced &= relevant_mask
+            node_mask |= referenced
+
+            written = instr.defs + instr.clobbers
+            if not written:
+                continue
+            exempt_mask = (
+                1 << intern(instr.uses[0]) if instr.is_copy_like else 0
+            )
+            targets = live_after & ~exempt_mask
+            sibling_mask = 0
             for var in written:
-                if not keep(var):
+                sibling_mask |= 1 << intern(var)
+            if relevant_mask is not None:
+                targets &= relevant_mask
+                sibling_mask &= relevant_mask
+            for var in written:
+                vid = intern(var)
+                vbit = 1 << vid
+                if relevant_mask is not None and not (vbit & relevant_mask):
                     continue
-                for other in live_after:
-                    if other == var or other in exempt or not keep(other):
-                        continue
-                    graph.add_edge(var, other)
-                for sibling in written:
-                    if sibling != var and keep(sibling):
-                        graph.add_edge(var, sibling)
+                new = (targets | sibling_mask) & ~vbit
+                if new:
+                    adj[vid] = adj.get(vid, 0) | new
+
+    # Live-after edges were recorded def-side only; mirror them so the
+    # adjacency is symmetric (sibling cliques are already symmetric).  The
+    # bit loops are inlined -- this is the hottest mask-decoding site and
+    # generator resumption costs more than the loop body.
+    adj_get = adj.get
+    for vid in list(adj):
+        vbit = 1 << vid
+        mask = adj[vid]
+        while mask:
+            low = mask & -mask
+            oid = low.bit_length() - 1
+            adj[oid] = adj_get(oid, 0) | vbit
+            mask ^= low
+
+    graph = InterferenceGraph()
+    gadj = graph._adj
+    name_of = index.name_of
+    for vid, mask in adj.items():
+        neighbors: Set[str] = set()
+        nadd = neighbors.add
+        while mask:
+            low = mask & -mask
+            nadd(name_of(low.bit_length() - 1))
+            mask ^= low
+        gadj[name_of(vid)] = neighbors
+    while node_mask:
+        low = node_mask & -node_mask
+        gadj.setdefault(name_of(low.bit_length() - 1), set())
+        node_mask ^= low
     return graph

@@ -218,4 +218,5 @@ class FunctionBuilder:
                 if block.label not in ("stop",) and not block.succ_labels:
                     if block is not start:
                         block.succ_labels = ["stop"]
+        fn.invalidate_caches()
         return fn

@@ -20,8 +20,11 @@ class Function:
     Blocks are held in an insertion-ordered dict keyed by label.  Edges are
     derived from each block's ``succ_labels``.  Mutating helpers
     (:meth:`insert_block_on_edge`, :meth:`add_block`) keep the successor
-    lists consistent; analyses are recomputed on demand rather than cached
-    here, so mutation never leaves stale results behind.
+    lists consistent and invalidate the CFG-derived caches (:meth:`rpo`,
+    :meth:`predecessors_map`, :meth:`edges`); code that edits
+    ``succ_labels`` directly must call :meth:`invalidate_caches` itself.
+    ``cfg_version`` increments on every invalidation, so downstream caches
+    (tile boundary edges, liveness memos) can detect staleness cheaply.
     """
 
     def __init__(
@@ -37,6 +40,23 @@ class Function:
         self.start_label = start_label
         self.stop_label = stop_label
         self._label_counter = itertools.count(1)
+        #: bumped by :meth:`invalidate_caches`; external caches key on it.
+        self.cfg_version = 0
+        self._cfg_cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # CFG-derived caches
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop cached CFG queries after a structural mutation.
+
+        The mutating helpers on this class call it automatically; callers
+        that edit ``succ_labels`` in place or delete blocks directly must
+        invoke it before the next :meth:`rpo`/:meth:`predecessors_map`/
+        :meth:`edges` query.
+        """
+        self.cfg_version += 1
+        self._cfg_cache.clear()
 
     # ------------------------------------------------------------------
     # block management
@@ -45,6 +65,7 @@ class Function:
         if block.label in self.blocks:
             raise ValueError(f"duplicate block label {block.label!r}")
         self.blocks[block.label] = block
+        self.invalidate_caches()
         return block
 
     def new_label(self, prefix: str = "bb") -> str:
@@ -78,26 +99,42 @@ class Function:
         return list(self.blocks[label].succ_labels)
 
     def predecessors_map(self) -> Dict[str, List[str]]:
-        """Label -> list of predecessor labels (in deterministic order)."""
-        preds: Dict[str, List[str]] = {label: [] for label in self.blocks}
-        for block in self.blocks.values():
-            for succ in block.succ_labels:
-                preds[succ].append(block.label)
-        return preds
+        """Label -> list of predecessor labels (in deterministic order).
+
+        Cached until the next :meth:`invalidate_caches`; callers must not
+        mutate the returned structure.
+        """
+        cached = self._cfg_cache.get("preds")
+        if cached is None:
+            preds: Dict[str, List[str]] = {label: [] for label in self.blocks}
+            for block in self.blocks.values():
+                for succ in block.succ_labels:
+                    preds[succ].append(block.label)
+            self._cfg_cache["preds"] = cached = preds
+        return cached
 
     def edges(self) -> List[Tuple[str, str]]:
-        """All control flow edges as (src, dst) label pairs."""
-        out: List[Tuple[str, str]] = []
-        for block in self.blocks.values():
-            for succ in block.succ_labels:
-                out.append((block.label, succ))
-        return out
+        """All control flow edges as (src, dst) label pairs (cached; do not
+        mutate the returned list)."""
+        cached = self._cfg_cache.get("edges")
+        if cached is None:
+            out: List[Tuple[str, str]] = []
+            for block in self.blocks.values():
+                label = block.label
+                for succ in block.succ_labels:
+                    out.append((label, succ))
+            self._cfg_cache["edges"] = cached = out
+        return cached
 
     # ------------------------------------------------------------------
     # mutation helpers
     # ------------------------------------------------------------------
     def insert_block_on_edge(
-        self, src: str, dst: str, label: Optional[str] = None
+        self,
+        src: str,
+        dst: str,
+        label: Optional[str] = None,
+        all_occurrences: bool = False,
     ) -> BasicBlock:
         """Split edge ``src -> dst`` with a fresh empty block.
 
@@ -105,7 +142,9 @@ class Function:
         block is created which is executed only when this edge is traversed;
         fix-up code is placed in this block."  If the edge occurs several
         times in the successor list (a CBR whose arms coincide), only the
-        first occurrence is redirected.
+        first occurrence is redirected unless ``all_occurrences`` is set.
+        Spill-code placement must set it: code on the edge has to run on
+        *every* traversal, whichever arm the branch takes.
         """
         if label is None:
             label = self.new_label("fix")
@@ -115,7 +154,12 @@ class Function:
             idx = src_block.succ_labels.index(dst)
         except ValueError:
             raise ValueError(f"no edge {src} -> {dst}") from None
-        src_block.succ_labels[idx] = label
+        if all_occurrences:
+            src_block.succ_labels = [
+                label if s == dst else s for s in src_block.succ_labels
+            ]
+        else:
+            src_block.succ_labels[idx] = label
         self.add_block(new_block)
         return new_block
 
@@ -135,6 +179,7 @@ class Function:
                 target if s == label else s for s in other.succ_labels
             ]
         del self.blocks[label]
+        self.invalidate_caches()
 
     # ------------------------------------------------------------------
     # whole-function queries
@@ -154,7 +199,11 @@ class Function:
         return sum(len(b) for b in self.blocks.values())
 
     def rpo(self) -> List[str]:
-        """Reverse postorder over block labels from the start block."""
+        """Reverse postorder over block labels from the start block
+        (cached; do not mutate the returned list)."""
+        cached = self._cfg_cache.get("rpo")
+        if cached is not None:
+            return cached
         seen: Set[str] = set()
         order: List[str] = []
         stack: List[Tuple[str, Iterator[str]]] = []
@@ -176,6 +225,7 @@ class Function:
                 order.append(label)
                 stack.pop()
         order.reverse()
+        self._cfg_cache["rpo"] = order
         return order
 
     def reachable(self) -> Set[str]:

@@ -110,6 +110,7 @@ def inline_call(
         ]
         out.add_block(new_block)
 
+    out.invalidate_caches()
     return out
 
 

@@ -117,7 +117,10 @@ def phys_reg(index: int) -> str:
 
 def is_phys(name: str) -> bool:
     """True if *name* is a physical register name (``R<digits>``)."""
-    return _PHYS_RE.match(name) is not None
+    # Equivalent to the regex (isdecimal == Unicode Nd == ``\d``) without
+    # the per-call regex-engine cost; this predicate runs per reference in
+    # several hot loops.
+    return len(name) > 1 and name[0] == "R" and name[1:].isdecimal()
 
 
 def phys_index(name: str) -> int:
@@ -184,16 +187,20 @@ class Instr:
         from the mapping should be returned unchanged by the callable.
         The ``uid`` is preserved so analysis keyed on uids stays valid.
         """
-        return replace(
-            self,
-            defs=tuple(mapping(d) for d in self.defs),
-            uses=tuple(mapping(u) for u in self.uses),
-            uid=self.uid,
+        return Instr(
+            self.op,
+            tuple(mapping(d) for d in self.defs),
+            tuple(mapping(u) for u in self.uses),
+            self.imm,
+            self.clobbers,
+            self.uid,
         )
 
     def clone(self) -> "Instr":
         """Structural copy preserving the uid."""
-        return replace(self)
+        return Instr(
+            self.op, self.defs, self.uses, self.imm, self.clobbers, self.uid
+        )
 
     def fresh_clone(self) -> "Instr":
         """Structural copy with a brand-new uid."""

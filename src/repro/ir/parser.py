@@ -148,4 +148,5 @@ def parse_function(text: str) -> Function:
 
     if fn.start_label not in fn.blocks or fn.stop_label not in fn.blocks:
         raise IRParseError("missing start or stop block")
+    fn.invalidate_caches()
     return fn

@@ -84,6 +84,7 @@ def unroll_loop(
                     new_succs.append(succ)
             block.succ_labels = new_succs
 
+    out.invalidate_caches()
     return out
 
 

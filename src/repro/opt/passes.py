@@ -64,6 +64,7 @@ def constant_fold(fn: Function) -> Tuple[Function, bool]:
             elif op is Opcode.CBR and instr.uses[0] in consts:
                 taken = 0 if consts[instr.uses[0]] else 1
                 block.succ_labels = [block.succ_labels[taken]]
+                out.invalidate_caches()
                 folded = Instr(Opcode.BR)
 
             if folded is not None:
@@ -97,6 +98,8 @@ def _drop_unreachable(fn: Function) -> int:
     ]
     for label in doomed:
         del fn.blocks[label]
+    if doomed:
+        fn.invalidate_caches()
     return len(doomed)
 
 
@@ -198,6 +201,7 @@ def simplify_cfg(fn: Function) -> Tuple[Function, bool]:
             block.instrs.extend(successor.instrs)
             block.succ_labels = list(successor.succ_labels)
             del out.blocks[succ]
+            out.invalidate_caches()
             changed = True
             merged = True
             break

@@ -1,0 +1,13 @@
+"""Performance core: interning, bitsets and stage timing.
+
+The analysis layer (liveness, interference construction) runs over dense
+integer variable ids and Python-int bitsets instead of string sets; the
+:class:`VarIndex` interning layer maps between the two representations.
+:class:`StageTimers` records wall time per pipeline stage so benches can
+report where allocation time goes.
+"""
+
+from repro.perf.varindex import VarIndex, iter_bits, bit_count
+from repro.perf.timers import StageTimers
+
+__all__ = ["VarIndex", "iter_bits", "bit_count", "StageTimers"]

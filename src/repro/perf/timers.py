@@ -1,0 +1,51 @@
+"""Per-stage wall-clock timing for the allocation pipeline.
+
+The allocator wraps each pipeline stage (tile construction, liveness,
+phase 1, phase 2, rewrite) in :meth:`StageTimers.stage` and publishes the
+accumulated times in ``AllocStats.extra["stage_times"]`` so benches can
+report where time goes without profiling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class StageTimers:
+    """Accumulates wall time per named stage (re-entrant per stage name)."""
+
+    def __init__(self) -> None:
+        self._times: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._times[name] = self._times.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._times[name] = self._times.get(name, 0.0) + seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of stage -> accumulated seconds."""
+        with self._lock:
+            return dict(self._times)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._times.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{k}={v * 1e3:.1f}ms" for k, v in sorted(self.as_dict().items())
+        )
+        return f"<StageTimers {parts}>"

@@ -1,0 +1,110 @@
+"""Variable interning and bitset helpers.
+
+A :class:`VarIndex` assigns dense integer ids to variable names in first-seen
+order, so a set of variables becomes a single Python int with bit *i* set
+when variable *i* is a member.  Set algebra then collapses to ``&``/``|``/
+``& ~`` on machine words, which is what makes the block-level dataflow loop
+and Chaitin edge insertion cheap (see DESIGN.md, "Performance
+architecture").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of *mask*, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bit_count(mask: int) -> int:
+    """Number of set bits (members of the encoded set)."""
+    return mask.bit_count()
+
+
+class VarIndex:
+    """Bidirectional name <-> dense-id interning table.
+
+    Ids are assigned in first-intern order and never change, so any bitset
+    built against an index stays valid as more names are interned (growing
+    the index only adds higher bits).
+    """
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+        for name in names:
+            self.intern(name)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def intern(self, name: str) -> int:
+        """Id of *name*, assigning the next free id on first sight."""
+        vid = self._ids.get(name)
+        if vid is None:
+            vid = len(self._names)
+            self._ids[name] = vid
+            self._names.append(name)
+        return vid
+
+    def id_of(self, name: str) -> int:
+        """Id of an already-interned name (KeyError otherwise)."""
+        return self._ids[name]
+
+    def name_of(self, vid: int) -> str:
+        return self._names[vid]
+
+    def names(self) -> List[str]:
+        """All interned names in id order."""
+        return list(self._names)
+
+    # ------------------------------------------------------------------
+    # set <-> bitset conversion
+    # ------------------------------------------------------------------
+    def mask_of(self, names: Iterable[str]) -> int:
+        """Bitset of *names*, interning any new ones."""
+        mask = 0
+        intern = self.intern
+        for name in names:
+            mask |= 1 << intern(name)
+        return mask
+
+    def mask_of_known(self, names: Iterable[str]) -> int:
+        """Bitset of the already-interned members of *names*; unknown names
+        are skipped (they cannot be in any bitset built on this index)."""
+        mask = 0
+        ids = self._ids
+        for name in names:
+            vid = ids.get(name)
+            if vid is not None:
+                mask |= 1 << vid
+        return mask
+
+    def members(self, mask: int) -> List[str]:
+        """Names of the set bits of *mask*, in id order."""
+        # Bit loop inlined (not iter_bits): this runs once per block/instr
+        # queried and generator resumption dominates at that call volume.
+        names = self._names
+        out = []
+        append = out.append
+        while mask:
+            low = mask & -mask
+            append(names[low.bit_length() - 1])
+            mask ^= low
+        return out
+
+    def frozenset_of(self, mask: int) -> FrozenSet[str]:
+        return frozenset(self.members(mask))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VarIndex {len(self)} names>"

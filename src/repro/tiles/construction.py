@@ -250,7 +250,12 @@ def _conditional_regions(
     ]
 
     # Equivalence classes: u ~ v iff u dominates v and v post-dominates u
-    # (or vice versa).  Pairwise with union-find; scope graphs are small.
+    # (or vice versa).  The relation is transitive (dominator ancestors of
+    # a node are totally ordered, which forces u~w from u~v and v~w), so
+    # union-find only needs each node's *nearest* qualifying pdom ancestor:
+    # farther partners are reached through that ancestor's own walk.  This
+    # keeps each walk O(distance to partner) instead of visiting every
+    # qualifying pair -- quadratic on long sequential chains.
     parent_of: Dict[Hashable, Hashable] = {k: k for k in real_keys}
 
     def find(x: Hashable) -> Hashable:
@@ -264,13 +269,16 @@ def _conditional_regions(
         if ra != rb:
             parent_of[ra] = rb
 
-    for i, u in enumerate(real_keys):
-        for v in real_keys[i + 1:]:
-            if (dom.dominates(u, v) and pdom.dominates(v, u)) or (
-                dom.dominates(v, u) and pdom.dominates(u, v)
-            ):
+    real_set = set(real_keys)
+    for u in real_keys:
+        for v in pdom.walk_up(u):
+            if v is not u and v in real_set and dom.dominates(u, v):
                 union(u, v)
+                break
 
+    # Grouped by first-seen member so the class order (and therefore the
+    # candidate order) is independent of which element union-find happens
+    # to pick as representative.
     classes: Dict[Hashable, List[Hashable]] = {}
     for key in real_keys:
         classes.setdefault(find(key), []).append(key)
@@ -279,14 +287,17 @@ def _conditional_regions(
     out: List[Set[str]] = []
     for members in classes.values():
         # S'_i: members plus nodes dominated by some member and
-        # post-dominated by some member.
+        # post-dominated by some member.  The class is totally ordered by
+        # both relations, so "some member dominates key" collapses to one
+        # O(1) interval check against the dominance-topmost member
+        # (symmetrically for post-dominance).
         extended = set(members)
+        top_dom = min(members, key=dom.depth)
+        top_pdom = min(members, key=pdom.depth)
         for key in real_keys:
             if key in extended:
                 continue
-            if any(dom.dominates(m, key) for m in members) and any(
-                pdom.dominates(m, key) for m in members
-            ):
+            if dom.dominates(top_dom, key) and pdom.dominates(top_pdom, key):
                 extended.add(key)
         if len(extended) < 2:
             continue

@@ -96,6 +96,17 @@ class TileTree:
         self.fn = fn
         self.root = root
         self._smallest: Dict[str, Tile] = {}
+        #: (cfg_version, tid) -> (entry_edges, exit_edges); tiles query
+        #: their boundary many times per phase, and each uncached query
+        #: walks every CFG edge.
+        self._edge_cache: Dict[int, Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]] = {}
+        self._edge_cache_version: int = -1
+        #: position-indexed incoming-edge map (see :meth:`_edge_positions`);
+        #: depends only on the CFG, not on tile membership.
+        self._edge_pos_cache: Optional[
+            Tuple[Dict[str, List[Tuple[int, str]]], Dict[str, int]]
+        ] = None
+        self._edge_pos_version: int = -1
         self._rebuild_smallest()
 
     # ------------------------------------------------------------------
@@ -117,6 +128,10 @@ class TileTree:
         for child in tile.children:
             child.all_blocks.discard(label)
         self._smallest[label] = tile
+        # Tile membership changed: cached boundary classifications are
+        # stale even if the CFG version did not move.
+        self._edge_cache.clear()
+        self._edge_cache_version = -1
 
     # ------------------------------------------------------------------
     # traversal
@@ -169,24 +184,95 @@ class TileTree:
     # ------------------------------------------------------------------
     # edge classification (paper section 2)
     # ------------------------------------------------------------------
+    def _classified_edges(
+        self, tile: Tile
+    ) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
+        """(entry, exit) edges of *tile*, cached per CFG version."""
+        version = getattr(self.fn, "cfg_version", None)
+        if version is None:
+            # Function without cache support: classify uncached.
+            return self._classify(tile)
+        if version != self._edge_cache_version:
+            self._edge_cache.clear()
+            self._edge_cache_version = version
+        cached = self._edge_cache.get(tile.tid)
+        if cached is None:
+            cached = self._edge_cache[tile.tid] = self._classify(tile)
+        return cached
+
+    def _edge_positions(
+        self,
+    ) -> Tuple[Dict[str, List[Tuple[int, str]]], Dict[str, int]]:
+        """(incoming edges with global positions, outgoing base positions).
+
+        ``in_pos[dst]`` lists ``(position, src)`` for every edge into
+        ``dst``; ``out_base[src]`` is the global position of ``src``'s first
+        outgoing edge.  Positions follow :meth:`Function.edges` order, so
+        classification results sorted by position match an ``fn.edges()``
+        scan exactly (duplicate edges keep distinct positions).
+        """
+        version = getattr(self.fn, "cfg_version", None)
+        if (
+            self._edge_pos_cache is not None
+            and version is not None
+            and version == self._edge_pos_version
+        ):
+            return self._edge_pos_cache
+        in_pos: Dict[str, List[Tuple[int, str]]] = {}
+        out_base: Dict[str, int] = {}
+        pos = 0
+        for block in self.fn.blocks.values():
+            label = block.label
+            out_base[label] = pos
+            for succ in block.succ_labels:
+                in_pos.setdefault(succ, []).append((pos, label))
+                pos += 1
+        if version is not None:
+            self._edge_pos_cache = (in_pos, out_base)
+            self._edge_pos_version = version
+        return in_pos, out_base
+
+    def _classify(
+        self, tile: Tile
+    ) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
+        """Boundary edges of *tile*, visiting only its members' edges
+        (instead of every CFG edge) and restoring ``fn.edges()`` order by
+        sorting on global edge positions."""
+        members = tile.all_blocks
+        in_pos, out_base = self._edge_positions()
+        blocks = self.fn.blocks
+        tagged_entries: List[Tuple[int, Tuple[str, str]]] = []
+        tagged_exits: List[Tuple[int, Tuple[str, str]]] = []
+        for label in members:
+            for pos, src in in_pos.get(label, ()):
+                if src not in members:
+                    tagged_entries.append((pos, (src, label)))
+            base = out_base.get(label)
+            if base is None:
+                continue
+            for offset, succ in enumerate(blocks[label].succ_labels):
+                if succ not in members:
+                    tagged_exits.append((base + offset, (label, succ)))
+        tagged_entries.sort()
+        tagged_exits.sort()
+        return (
+            [edge for _, edge in tagged_entries],
+            [edge for _, edge in tagged_exits],
+        )
+
     def entry_edges(self, tile: Tile) -> List[Tuple[str, str]]:
-        """Edges ``(n, m)`` with ``m`` in *tile* and ``n`` outside it."""
-        out = []
-        for src, dst in self.fn.edges():
-            if dst in tile.all_blocks and src not in tile.all_blocks:
-                out.append((src, dst))
-        return out
+        """Edges ``(n, m)`` with ``m`` in *tile* and ``n`` outside it
+        (cached; do not mutate the returned list)."""
+        return self._classified_edges(tile)[0]
 
     def exit_edges(self, tile: Tile) -> List[Tuple[str, str]]:
-        """Edges ``(m, n)`` with ``m`` in *tile* and ``n`` outside it."""
-        out = []
-        for src, dst in self.fn.edges():
-            if src in tile.all_blocks and dst not in tile.all_blocks:
-                out.append((src, dst))
-        return out
+        """Edges ``(m, n)`` with ``m`` in *tile* and ``n`` outside it
+        (cached; do not mutate the returned list)."""
+        return self._classified_edges(tile)[1]
 
     def boundary_edges(self, tile: Tile) -> List[Tuple[str, str]]:
-        return self.entry_edges(tile) + self.exit_edges(tile)
+        entries, exits = self._classified_edges(tile)
+        return entries + exits
 
     def boundary_block_count(self, tile: Tile) -> int:
         """The paper's ``Z_t``: blocks that are destinations of entry edges

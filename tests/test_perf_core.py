@@ -1,0 +1,361 @@
+"""Tests for the performance core (repro.perf) and its consumers.
+
+Covers the interning layer and bitset helpers, the stage timers, the
+CFG-query caches and their invalidation, equality of the bitset analyses
+with the preserved string-set reference implementations on random
+structured programs, determinism of the dependency-driven parallel
+scheduler, and the duplicated-CBR-arm spill-placement regression.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.reference import reference_interference, reference_liveness
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.core.allocator import _run_phase1_parallel, _run_phase2_parallel
+from repro.graph.interference import InterferenceGraph, build_interference
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import format_function
+from repro.machine.simulator import simulate
+from repro.machine.target import Machine
+from repro.perf import StageTimers, VarIndex, bit_count, iter_bits
+from repro.pipeline import compile_function
+from repro.workloads.generators import random_program, random_workload
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestVarIndex:
+    def test_intern_assigns_dense_stable_ids(self):
+        idx = VarIndex()
+        assert idx.intern("a") == 0
+        assert idx.intern("b") == 1
+        assert idx.intern("a") == 0  # stable on re-intern
+        assert len(idx) == 2
+        assert idx.names() == ["a", "b"]
+
+    def test_roundtrip_mask_frozenset(self):
+        idx = VarIndex(["x", "y", "z"])
+        mask = idx.mask_of(["z", "x"])
+        assert idx.frozenset_of(mask) == frozenset({"x", "z"})
+        assert idx.members(mask) == ["x", "z"]  # id order
+
+    def test_mask_of_interns_new_names(self):
+        idx = VarIndex()
+        mask = idx.mask_of(["p", "q"])
+        assert bit_count(mask) == 2
+        assert "p" in idx and "q" in idx
+
+    def test_mask_of_known_skips_unknown(self):
+        idx = VarIndex(["a"])
+        mask = idx.mask_of_known(["a", "nope"])
+        assert idx.frozenset_of(mask) == frozenset({"a"})
+        assert "nope" not in idx
+
+    def test_growth_keeps_old_bitsets_valid(self):
+        idx = VarIndex(["a", "b"])
+        old = idx.mask_of(["a", "b"])
+        idx.intern("c")
+        assert idx.frozenset_of(old) == frozenset({"a", "b"})
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+
+
+class TestStageTimers:
+    def test_accumulates_per_stage(self):
+        timers = StageTimers()
+        with timers.stage("a"):
+            pass
+        with timers.stage("a"):
+            pass
+        timers.add("b", 0.5)
+        times = timers.as_dict()
+        assert set(times) == {"a", "b"}
+        assert times["a"] >= 0.0
+        assert times["b"] == pytest.approx(0.5)
+        assert timers.total() == pytest.approx(sum(times.values()))
+
+    def test_stage_records_on_exception(self):
+        timers = StageTimers()
+        with pytest.raises(RuntimeError):
+            with timers.stage("boom"):
+                raise RuntimeError("x")
+        assert "boom" in timers.as_dict()
+
+
+class TestFunctionCfgCaches:
+    def _fn(self):
+        b = FunctionBuilder("f", params=["n"])
+        b.block("one")
+        b.const("x", 1)
+        b.br("two")
+        b.block("two")
+        b.add("y", "x", "n")
+        b.ret("y")
+        return b.finish()
+
+    def test_queries_are_cached(self):
+        fn = self._fn()
+        assert fn.rpo() is fn.rpo()
+        assert fn.predecessors_map() is fn.predecessors_map()
+        assert fn.edges() is fn.edges()
+
+    def test_mutation_invalidates(self):
+        fn = self._fn()
+        before_edges = fn.edges()
+        version = fn.cfg_version
+        fn.insert_block_on_edge("one", "two")
+        assert fn.cfg_version > version
+        assert fn.edges() is not before_edges
+        assert ("one", "two") not in fn.edges()
+
+    def test_allocators_see_fresh_cfg_after_invalidate(self):
+        fn = self._fn()
+        fn.rpo()
+        new = fn.insert_block_on_edge("one", "two")
+        assert new.label in fn.rpo()
+
+
+class TestInsertBlockAllOccurrences:
+    def _cbr_same_target(self):
+        b = FunctionBuilder("g", params=["c"])
+        b.block("top")
+        b.cbr("c", "join", "join")
+        b.block("join")
+        b.ret("c")
+        return b.finish()
+
+    def test_default_redirects_first_arm_only(self):
+        fn = self._cbr_same_target()
+        new = fn.insert_block_on_edge("top", "join")
+        assert fn.blocks["top"].succ_labels == [new.label, "join"]
+
+    def test_all_occurrences_redirects_both_arms(self):
+        fn = self._cbr_same_target()
+        new = fn.insert_block_on_edge("top", "join", all_occurrences=True)
+        assert fn.blocks["top"].succ_labels == [new.label, new.label]
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self):
+        g = InterferenceGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "d")
+        g.add_node("e")
+        sub = g.subgraph({"b", "c", "e"})
+        assert sorted(sub.nodes()) == ["b", "c", "e"]
+        assert sub.interferes("b", "c")
+        assert not sub.interferes("b", "a")
+        assert sub.degree("e") == 0
+
+    def test_subgraph_ignores_absent_nodes(self):
+        g = InterferenceGraph()
+        g.add_edge("a", "b")
+        sub = g.subgraph({"a", "zz"})
+        assert sub.nodes() == ["a"]
+
+    def test_subgraph_does_not_alias_adjacency(self):
+        g = InterferenceGraph()
+        g.add_edge("a", "b")
+        sub = g.subgraph({"a", "b"})
+        sub.remove_node("a")
+        assert g.interferes("a", "b")
+
+
+@given(seed=SEEDS)
+@COMMON
+def test_bitset_liveness_equals_reference(seed):
+    """The bitset dataflow produces exactly the frozensets of the seed's
+    string-set implementation, block- and instruction-level."""
+    fn = random_program(seed)
+    fast = compute_liveness(fn)
+    ref = reference_liveness(fn)
+    assert fast.live_in == ref.live_in
+    assert fast.live_out == ref.live_out
+    for label in fn.blocks:
+        assert fast.instr_live_out(label) == ref.instr_live_out(label)
+        assert fast.instr_live_in(label) == ref.instr_live_in(label)
+
+
+@given(seed=SEEDS)
+@COMMON
+def test_bitset_interference_equals_reference(seed):
+    fn = random_program(seed)
+    fast = build_interference(fn, compute_liveness(fn))
+    ref = reference_interference(fn, reference_liveness(fn))
+    assert sorted(fast.nodes()) == sorted(ref.nodes())
+    assert sorted(fast.edges()) == sorted(ref.edges())
+
+
+@given(seed=SEEDS)
+@COMMON
+def test_bitset_interference_equals_reference_restricted(seed):
+    """Equality must also hold for tile-style restricted construction
+    (subset of blocks, relevant-variable filter)."""
+    fn = random_program(seed)
+    labels = sorted(fn.blocks)[: max(1, len(fn.blocks) // 2)]
+    fast_lv = compute_liveness(fn)
+    ref_lv = reference_liveness(fn)
+    relevant = set()
+    for label in labels:
+        relevant |= fn.blocks[label].variables()
+    relevant = set(sorted(relevant)[: max(1, len(relevant) // 2)])
+    fast = build_interference(fn, fast_lv, labels=labels, relevant=relevant)
+    ref = reference_interference(fn, ref_lv, labels=labels, relevant=relevant)
+    assert sorted(fast.nodes()) == sorted(ref.nodes())
+    assert sorted(fast.edges()) == sorted(ref.edges())
+
+
+def _normalized_phys(tree, fn, allocations):
+    """Per-tile physical locations keyed by postorder position, with the
+    process-global counters inside summary/temp node names (tile ids,
+    instruction uids) rewritten to build-local positions so results from
+    separate builds compare equal."""
+    import re
+
+    tidmap = {tile.tid: pos for pos, tile in enumerate(tree.postorder())}
+    uidmap = {}
+    for block in fn.blocks.values():
+        for instr in block.instrs:
+            uidmap.setdefault(instr.uid, len(uidmap))
+
+    def norm(name):
+        if name.startswith("ts:"):
+            _, tid, color = name.split(":", 2)
+            color = re.sub(
+                r"^t(\d+)\.", lambda m: f"t{tidmap[int(m.group(1))]}.", color
+            )
+            return f"ts:{tidmap[int(tid)]}:{color}"
+        if name.startswith("tmp:"):
+            _, uid, rest = name.split(":", 2)
+            return f"tmp:{uidmap[int(uid)]}:{rest}"
+        return name
+
+    return {
+        tidmap[tid]: dict(
+            sorted((norm(var), loc) for var, loc in alloc.phys.items())
+        )
+        for tid, alloc in allocations.items()
+    }
+
+
+def _allocate_text(fn, config, registers=4):
+    allocator = HierarchicalAllocator(config)
+    out = allocator.allocate(fn, Machine.simple(registers))
+    phys = _normalized_phys(
+        allocator.last_context.tree,
+        allocator.last_context.fn,
+        allocator.last_allocations,
+    )
+    return format_function(out.allocated_fn), phys
+
+
+@given(seed=SEEDS, registers=st.sampled_from([2, 3, 4, 6]))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_parallel_allocation_identical_to_sequential(seed, registers):
+    """The dependency-driven scheduler must reproduce the sequential
+    output byte for byte: same rewritten program, same per-tile physical
+    locations."""
+    text_seq, phys_seq = _allocate_text(
+        random_program(seed), HierarchicalConfig(), registers
+    )
+    text_par, phys_par = _allocate_text(
+        random_program(seed),
+        HierarchicalConfig(parallel=True, parallel_workers=3),
+        registers,
+    )
+    assert text_seq == text_par
+    assert phys_seq == phys_par
+
+
+@given(seed=SEEDS)
+@COMMON
+def test_level_barrier_driver_matches_scheduler(seed):
+    """The retained level-barrier driver stays equivalent (it is the bench
+    baseline for the dependency-driven scheduler)."""
+    from repro.core.info import build_context
+    from repro.tiles.construction import build_tile_tree_detailed
+
+    fn = random_program(seed)
+    config = HierarchicalConfig()
+
+    work_a = fn.clone()
+    build_a = build_tile_tree_detailed(work_a)
+    ctx_a = build_context(work_a, Machine.simple(4), build_a.tree,
+                          build_a.fixup, None)
+    alloc_a = _run_phase1_parallel(ctx_a, config)
+    _run_phase2_parallel(ctx_a, config, alloc_a)
+
+    from repro.core.schedule import run_phase1_scheduled, run_phase2_scheduled
+
+    work_b = fn.clone()
+    build_b = build_tile_tree_detailed(work_b)
+    ctx_b = build_context(work_b, Machine.simple(4), build_b.tree,
+                          build_b.fixup, None)
+    alloc_b = run_phase1_scheduled(ctx_b, config)
+    run_phase2_scheduled(ctx_b, config, alloc_b)
+
+    phys_a = _normalized_phys(ctx_a.tree, ctx_a.fn, alloc_a)
+    phys_b = _normalized_phys(ctx_b.tree, ctx_b.fn, alloc_b)
+    assert phys_a == phys_b
+
+
+class TestDuplicatedEdgeSpillRegression:
+    """Boundary spill code must intercept *every* traversal of an edge
+    whose CBR arms coincide (regression: a store planned on such an edge
+    previously landed on the first arm only, so the false arm reloaded
+    from a never-stored slot)."""
+
+    def test_optimized_program_seed_501_allocates(self):
+        from repro.opt import optimize
+        from repro.pipeline import Workload
+
+        w = random_workload(501)
+        out = optimize(w.fn)
+        workload = Workload(out, w.args, w.arrays, name="opt")
+        result = compile_function(
+            workload, HierarchicalAllocator(), Machine.simple(3)
+        )
+        assert result.allocated_run.returned == result.reference_run.returned
+
+    def test_spill_block_on_duplicated_edge_covers_both_arms(self):
+        """Direct check on the rewritten CFG: after allocation under heavy
+        pressure, no CBR may keep a bare arm to a block that the other arm
+        reaches through a spill block carrying stores."""
+        from repro.opt import optimize
+        from repro.pipeline import Workload
+
+        w = random_workload(501)
+        out = optimize(w.fn)
+        workload = Workload(out, w.args, w.arrays, name="opt")
+        result = compile_function(
+            workload, HierarchicalAllocator(), Machine.simple(3)
+        )
+        fn = result.fn
+        for label, block in fn.blocks.items():
+            succ = block.succ_labels
+            if len(succ) == 2 and succ[0] != succ[1]:
+                # If one arm goes through a fix-up block into X and the
+                # other goes to X directly, the fix-up block must be empty
+                # (otherwise one path skips mandatory boundary code).
+                for a, b in ((succ[0], succ[1]), (succ[1], succ[0])):
+                    via = fn.blocks[a]
+                    if (
+                        len(via.succ_labels) == 1
+                        and via.succ_labels[0] == b
+                        and a.startswith("sp.")
+                    ):
+                        assert not via.instrs, (
+                            f"spill block {a} bypassed by {label}->{b}"
+                        )
