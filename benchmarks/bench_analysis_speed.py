@@ -23,6 +23,7 @@ future PRs have a perf trajectory to compare against.
 
 import json
 import os
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -94,6 +95,15 @@ def _load_baseline():
 
 
 def _save_baseline(data):
+    # Allocation output is seed-independent (see tests/determinism), but
+    # *timings* can still drift with the hash salt (dict/set layouts), so
+    # every refresh records the interpreter's hash-randomization state.
+    # Run under PYTHONHASHSEED=0 (as CI does) for comparable baselines.
+    data.setdefault("current", {})["environment"] = {
+        "python_hashseed": os.environ.get("PYTHONHASHSEED", "random"),
+        "hash_randomization": bool(sys.flags.hash_randomization),
+        "python_version": ".".join(str(v) for v in sys.version_info[:3]),
+    }
     with open(BASELINE_PATH, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")

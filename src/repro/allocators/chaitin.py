@@ -82,7 +82,7 @@ class ChaitinAllocator(Allocator):
             pref_pairs = _copy_pairs(current)
             from repro.ir.instructions import is_phys
 
-            precolored = {v: v for v in graph.nodes() if is_phys(v)}
+            precolored = {v: v for v in sorted(graph.nodes()) if is_phys(v)}
             result = color_graph(
                 graph,
                 k=machine.num_registers,

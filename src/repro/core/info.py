@@ -44,6 +44,10 @@ class FunctionContext:
     _ref_counts: Dict[str, Dict[str, int]] = field(
         default_factory=dict, repr=False
     )
+    #: var -> ``ref_blocks[var]`` as a sorted tuple (lazy memo)
+    _ref_blocks_sorted: Dict[str, Tuple[str, ...]] = field(
+        default_factory=dict, repr=False
+    )
     _tile_memo_version: int = field(default=-1, repr=False)
 
     def __post_init__(self) -> None:
@@ -65,6 +69,17 @@ class FunctionContext:
         out: Set[str] = set()
         for label in labels:
             out |= self.fn.blocks[label].variables()
+        return out
+
+    def ref_blocks_sorted(self, var: str) -> Tuple[str, ...]:
+        """``ref_blocks[var]`` in canonical (sorted) order.  Memoized: a
+        global variable is visible in many tiles, and the metrics pass
+        must walk its referencing blocks in a hash-independent order
+        every time -- sort once per variable, not once per tile."""
+        out = self._ref_blocks_sorted.get(var)
+        if out is None:
+            out = tuple(sorted(self.ref_blocks.get(var, ())))
+            self._ref_blocks_sorted[var] = out
         return out
 
     def referenced_in_subtree(self, tile: Tile, var: str) -> bool:

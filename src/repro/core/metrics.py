@@ -37,12 +37,18 @@ def compute_pre_metrics(
     own = tile.own_blocks()
     transfers = ctx.boundary_transfer(tile)
 
-    ref_blocks_get = ctx.ref_blocks.get
+    ref_blocks_sorted = ctx.ref_blocks_sorted
     block_freq = ctx.block_freq
     ref_counts = ctx.block_ref_counts
-    for var in visible:
+    # Both loops run in canonical order: ``visible`` and the ref-block
+    # sets are hash-ordered, and float addition is not associative --
+    # summing frequencies in set order can shift the result by an ULP,
+    # which is enough to flip a spill tie-break between processes.
+    # (Sorting an already-canonical list, as phase 1 passes, is a cheap
+    # no-op scan; the ref-block order is memoized on the context.)
+    for var in sorted(visible):
         local_weight = 0.0
-        for label in ref_blocks_get(var, ()):  # only referencing blocks
+        for label in ref_blocks_sorted(var):  # only referencing blocks
             if label in own:
                 # .get: a block can be in ref_blocks via clobbers only,
                 # which Refs_b counts as zero (defs + uses).

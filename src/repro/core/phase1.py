@@ -75,7 +75,12 @@ def allocate_tile(
     # interference graph
     # ------------------------------------------------------------------
     graph = build_interference(ctx.fn, ctx.liveness, labels=sorted(own), relevant=visible)
-    for var in visible:
+    # Sorted once, reused below: node insertion order is the canonical
+    # order for every downstream dict walk (subgraphs, phase-2
+    # precoloring), so it must not inherit the hash-salted iteration
+    # order of ``visible``.
+    ordered_visible = sorted(visible)
+    for var in ordered_visible:
         graph.add_node(var)
 
     # Boundary-liveness cliques: variables simultaneously live at a tile
@@ -91,11 +96,13 @@ def allocate_tile(
         child_alloc = allocations[child.tid]
         for summary in child_alloc.summary_vars.values():
             graph.add_node(summary)
-        for g, summary in child_alloc.conflict_global_summary:
+        # The conflict summaries are sets of pairs -- iterate them sorted
+        # so edge (and therefore node) insertion order is canonical.
+        for g, summary in sorted(child_alloc.conflict_global_summary):
             graph.add_edge(g, summary)
-        for g1, g2 in child_alloc.conflict_global_global:
+        for g1, g2 in sorted(child_alloc.conflict_global_global):
             graph.add_edge(g1, g2)
-        for s1, s2 in child_alloc.conflict_summary_summary:
+        for s1, s2 in sorted(child_alloc.conflict_summary_summary):
             graph.add_edge(s1, s2)
 
         child_summaries = list(child_alloc.summary_vars.values())
@@ -105,7 +112,7 @@ def allocate_tile(
             graph.add_clique(live & visible)
         # Variables live across the child without a register there conflict
         # with all of the child's summary variables (conflict source 3).
-        for var in child_boundary_live:
+        for var in sorted(child_boundary_live):
             if var in visible and var not in child_alloc.global_regs:
                 for summary in child_summaries:
                     graph.add_edge(var, summary)
@@ -125,16 +132,17 @@ def allocate_tile(
             pref_pairs.extend(child_alloc.summary_prefs_up)
 
     # Variables that *are* physical register names carry a hard linkage
-    # requirement (they were produced by call lowering).
-    precolored = {v: v for v in visible if is_phys(v)}
+    # requirement (they were produced by call lowering).  Canonical order:
+    # the precolored map seeds the coloring engine's color-reuse list.
+    precolored = {v: v for v in ordered_visible if is_phys(v)}
 
     # ------------------------------------------------------------------
     # metrics and forced spills
     # ------------------------------------------------------------------
     alloc.metrics = compute_pre_metrics(
-        ctx, tile, visible, allocations, children
+        ctx, tile, ordered_visible, allocations, children
     )
-    for var in sorted(visible):
+    for var in ordered_visible:
         if var in precolored:
             continue
         if not_worth_a_register(alloc.metrics, var):
@@ -185,7 +193,7 @@ def allocate_tile(
         alloc.metrics,
         alloc.assignment,
         alloc.spilled,
-        [v for v in visible],
+        ordered_visible,
     )
     return alloc
 
@@ -240,7 +248,7 @@ def _build_summary(
         alloc.ts_map[node] = alloc.summary_vars[color]
 
     # Globals holding registers here.
-    for var in alloc.globals_:
+    for var in sorted(alloc.globals_):
         color = alloc.assignment.get(var)
         if color is not None and var not in alloc.spilled:
             alloc.global_regs[var] = color

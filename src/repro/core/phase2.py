@@ -100,7 +100,9 @@ def bind_tile(
             if binding is not None and binding != MEM:
                 local_prefs[node] = binding
 
-    precolored = {v: v for v in alloc.graph.adjacency() if is_phys(v)}
+    # Sorted: the precolored map seeds the coloring engine's color-reuse
+    # list, whose order is outcome-relevant.
+    precolored = {v: v for v in sorted(alloc.graph.adjacency()) if is_phys(v)}
 
     # ------------------------------------------------------------------
     # intruders: parent-register variables live across this tile that the

@@ -230,15 +230,17 @@ def _add_temp_nodes(
             live_out_regs = {
                 v for v in live_out[idx] if v in node_set and v not in all_spilled
             }
+            # Sorted: the union is a set, and edge insertion order decides
+            # node order for nodes first seen here.
             for temp in use_temps:
                 graph.add_node(temp)
-                for other in live_in_regs | set(use_temps) | set(peer_use):
+                for other in sorted(live_in_regs | set(use_temps) | set(peer_use)):
                     if other != temp:
                         graph.add_edge(temp, other)
                 added.add(temp)
             for temp in def_temps:
                 graph.add_node(temp)
-                for other in live_out_regs | set(def_temps) | set(peer_def):
+                for other in sorted(live_out_regs | set(def_temps) | set(peer_def)):
                     if other != temp:
                         graph.add_edge(temp, other)
                 added.add(temp)

@@ -1,0 +1,296 @@
+"""Cross-process reproducibility fingerprints for the allocation pipeline.
+
+The allocator promises bit-identical output regardless of Python's
+per-process string-hash salt (``PYTHONHASHSEED``), the number of parallel
+workers, or the platform.  This module is the proof harness:
+
+* :func:`allocation_fingerprint` compiles one workload end-to-end and
+  condenses everything observable -- the allocated program text, the set
+  of spilled variables, and the simulator's dynamic cost counters -- into
+  a small JSON-friendly dict;
+* the ``fingerprint`` CLI command prints those dicts for a list of
+  workloads, so a *fresh interpreter* can be asked for its view;
+* the ``check`` CLI command re-runs ``fingerprint`` in subprocesses under
+  several distinct ``PYTHONHASHSEED`` values and worker counts and fails
+  loudly on any divergence.
+
+``tests/determinism/``, ``benchmarks/bench_determinism.py`` and the CI
+determinism gate all drive the same code paths, so "deterministic" means
+one thing everywhere.
+
+Fingerprints are comparable only between runs that process the *same
+workload list in the same order*: tile ids come from a process-global
+counter, so the absolute ids (which appear in no output, but seed the
+per-tile pseudo-color namespaces) depend on how many tiles were built
+earlier in the process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.ir.function import Function
+from repro.ir.printer import format_function
+from repro.machine.target import Machine
+from repro.pipeline import Workload, compile_function
+from repro.workloads.generators import random_program
+from repro.workloads.kernels import sequential_loops
+
+#: Hash seeds the ``check`` command uses by default -- three distinct
+#: salts (0 disables randomization; the others are arbitrary but fixed).
+DEFAULT_HASH_SEEDS: Tuple[str, ...] = ("0", "1", "12345")
+
+#: Worker settings the ``check`` command uses by default: 0 means the
+#: sequential driver, anything else the dependency-driven scheduler.
+DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (0, 4)
+
+_ARRAYS = {
+    "A": [3, -1, 4, 1, -5, 9, 2, -6],
+    "B": [0] * 8,
+    "C": [2, 7, 1, 8, 2, 8, 1, 8],
+}
+_ARGS = {"n": 6}
+
+
+def _bench_workloads() -> List[Tuple[str, Callable[[], Function]]]:
+    """The bench workload set (mirrors ``bench_analysis_speed.WORKLOADS``,
+    including the 428-block random program)."""
+    return [
+        ("seq_loops_100", lambda: sequential_loops(100)),
+        ("rand_struct_327", lambda: random_program(
+            seed=1, max_blocks=400, max_vars=40, max_depth=6, break_prob=0.05
+        )),
+        ("seq_loops_200", lambda: sequential_loops(200)),
+        ("rand_struct_428", lambda: random_program(
+            seed=3, max_blocks=800, max_vars=48, max_depth=7, break_prob=0.04
+        )),
+    ]
+
+
+def workload_names() -> List[str]:
+    return [name for name, _ in _bench_workloads()]
+
+
+def build_workload(name: str) -> Workload:
+    """A runnable :class:`Workload` for one bench workload name."""
+    for candidate, factory in _bench_workloads():
+        if candidate == name:
+            return Workload(factory(), dict(_ARGS), dict(_ARRAYS), name=name)
+    raise ValueError(
+        f"unknown workload {name!r}; choose from {workload_names()}"
+    )
+
+
+def allocation_fingerprint(
+    workload: Workload,
+    config: Optional[HierarchicalConfig] = None,
+    machine: Optional[Machine] = None,
+) -> Dict[str, object]:
+    """Compile *workload* end-to-end and fingerprint the result.
+
+    The fingerprint covers everything the determinism guarantee promises:
+    the full allocated program text (assignments *and* inserted spill
+    code, hashed), the spilled-variable set, and the simulator's dynamic
+    cost counters.  ``compile_function`` also verifies the allocated
+    program differentially against the original, so a fingerprint is only
+    produced for a *correct* allocation.
+    """
+    machine = machine or Machine.simple(8)
+    allocator = HierarchicalAllocator(config or HierarchicalConfig())
+    result = compile_function(workload, allocator, machine)
+    text = format_function(result.fn)
+    return {
+        "workload": workload.label(),
+        "blocks": len(result.fn.blocks),
+        "program_sha256": hashlib.sha256(text.encode()).hexdigest(),
+        "spilled": sorted(result.stats.spilled_vars),
+        "costs": {
+            "spill_loads": result.allocated_run.spill_loads,
+            "spill_stores": result.allocated_run.spill_stores,
+            "moves": result.allocated_run.register_moves,
+            "program_refs": result.allocated_run.program_memory_refs,
+        },
+    }
+
+
+def _config_for(workers: int) -> HierarchicalConfig:
+    if workers <= 0:
+        return HierarchicalConfig()
+    return HierarchicalConfig(parallel=True, parallel_workers=workers)
+
+
+def fingerprint_workloads(
+    names: Sequence[str],
+    workers: int = 0,
+    registers: int = 8,
+) -> Dict[str, Dict[str, object]]:
+    """Fingerprints for *names*, in order, under one allocator config."""
+    machine = Machine.simple(registers)
+    config = _config_for(workers)
+    return {
+        name: allocation_fingerprint(
+            build_workload(name), config=config, machine=machine
+        )
+        for name in names
+    }
+
+
+# ----------------------------------------------------------------------
+# subprocess plumbing
+# ----------------------------------------------------------------------
+def _src_pythonpath() -> str:
+    """PYTHONPATH that makes ``import repro`` work in a child process."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    return src + (os.pathsep + existing if existing else "")
+
+
+def fingerprint_in_subprocess(
+    names: Sequence[str],
+    hash_seed: str,
+    workers: int = 0,
+    registers: int = 8,
+) -> Dict[str, Dict[str, object]]:
+    """Run ``fingerprint`` in a fresh interpreter under *hash_seed*."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = _src_pythonpath()
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.determinism",
+        "fingerprint",
+        "--workloads",
+        ",".join(names),
+        "--workers",
+        str(workers),
+        "--registers",
+        str(registers),
+    ]
+    proc = subprocess.run(
+        cmd, env=env, capture_output=True, text=True, timeout=600
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"fingerprint subprocess failed (seed={hash_seed}, "
+            f"workers={workers}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def cross_process_check(
+    names: Sequence[str],
+    hash_seeds: Sequence[str] = DEFAULT_HASH_SEEDS,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    registers: int = 8,
+) -> List[str]:
+    """Compare fingerprints across every (hash seed, workers) combination.
+
+    Returns a list of human-readable mismatch descriptions; empty means
+    every combination produced bit-identical results.
+    """
+    runs: Dict[Tuple[str, int], Dict[str, Dict[str, object]]] = {}
+    for seed in hash_seeds:
+        for workers in worker_counts:
+            runs[(seed, workers)] = fingerprint_in_subprocess(
+                names, seed, workers=workers, registers=registers
+            )
+
+    baseline_key = (hash_seeds[0], worker_counts[0])
+    baseline = runs[baseline_key]
+    problems: List[str] = []
+    for key, run in runs.items():
+        if key == baseline_key:
+            continue
+        for name in names:
+            if run[name] != baseline[name]:
+                problems.append(
+                    f"{name}: seed={key[0]} workers={key[1]} diverges from "
+                    f"seed={baseline_key[0]} workers={baseline_key[1]}:\n"
+                    f"  baseline: {json.dumps(baseline[name], sort_keys=True)}\n"
+                    f"  got:      {json.dumps(run[name], sort_keys=True)}"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _parse_names(spec: str) -> List[str]:
+    if spec == "all":
+        return workload_names()
+    return [part for part in spec.split(",") if part]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.determinism",
+        description="allocation reproducibility fingerprints",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fp = sub.add_parser("fingerprint", help="print fingerprints as JSON")
+    fp.add_argument("--workloads", default="all")
+    fp.add_argument("--workers", type=int, default=0)
+    fp.add_argument("--registers", type=int, default=8)
+
+    ck = sub.add_parser(
+        "check",
+        help="compare fingerprints across hash seeds and worker counts",
+    )
+    ck.add_argument("--workloads", default="all")
+    ck.add_argument(
+        "--seeds", default=",".join(DEFAULT_HASH_SEEDS),
+        help="comma-separated PYTHONHASHSEED values",
+    )
+    ck.add_argument(
+        "--workers", default=",".join(str(w) for w in DEFAULT_WORKER_COUNTS),
+        help="comma-separated worker counts (0 = sequential driver)",
+    )
+    ck.add_argument("--registers", type=int, default=8)
+
+    args = parser.parse_args(argv)
+    names = _parse_names(args.workloads)
+
+    if args.command == "fingerprint":
+        prints = fingerprint_workloads(
+            names, workers=args.workers, registers=args.registers
+        )
+        json.dump(prints, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+
+    seeds = [s for s in args.seeds.split(",") if s]
+    workers = [int(w) for w in args.workers.split(",") if w != ""]
+    problems = cross_process_check(
+        names, hash_seeds=seeds, worker_counts=workers,
+        registers=args.registers,
+    )
+    combos = len(seeds) * len(workers)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(
+            f"FAIL: {len(problems)} divergence(s) across {combos} "
+            f"(seed, workers) combinations",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: {len(names)} workload(s) bit-identical across {combos} "
+        f"(seed, workers) combinations"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

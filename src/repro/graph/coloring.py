@@ -205,10 +205,12 @@ def color_graph(
     # Select: pop and color.
     # ------------------------------------------------------------------
     assignment: Dict[str, str] = dict(precolored)
+    # Seed the reuse list in sorted color order: ``_pick`` returns the
+    # first non-forbidden entry, so the list order is outcome-relevant and
+    # must not inherit the caller's dict iteration order.
     used: List[str] = []
-    for color in precolored.values():
-        if color not in used:
-            used.append(color)
+    if precolored:
+        used.extend(sorted(set(precolored.values())))
     dynamic_prefs = dict(local_prefs)
 
     def forbidden_for(var: str) -> Set[str]:
@@ -254,15 +256,19 @@ def color_graph(
                 take(var, pref)
                 continue
 
-        # 2. A partner's color, when one is already colored.
-        partner_colors = [
-            assignment[p]
-            for p in partners.get(var, ())
-            if p in assignment and assignment[p] not in forbidden
-        ]
-        if partner_colors:
-            take(var, partner_colors[0])
-            continue
+        # 2. A partner's color, when one is already colored.  Partners are
+        # held in a set, so iterate them sorted: element [0] is taken.
+        # (Most nodes have no partners -- skip the sort entirely then.)
+        var_partners = partners.get(var)
+        if var_partners:
+            partner_colors = [
+                assignment[p]
+                for p in sorted(var_partners)
+                if p in assignment and assignment[p] not in forbidden
+            ]
+            if partner_colors:
+                take(var, partner_colors[0])
+                continue
 
         avoid = neighbour_pref_colors(var)
 

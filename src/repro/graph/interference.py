@@ -36,14 +36,18 @@ class InterferenceGraph:
 
     def add_clique(self, vars_: Iterable[str]) -> None:
         # Bulk set unions: O(k) C-level operations instead of O(k^2)
-        # add_edge calls.  Node insertion order matches the pairwise
-        # version (first occurrence wins).
+        # add_edge calls.  Callers routinely pass sets (boundary live
+        # sets), so nodes not seen before are inserted in sorted order --
+        # node order feeds downstream tie-breaks and must not depend on
+        # hash salt.  Existing nodes keep their position, so the sort
+        # covers only the (usually empty) set of new members.
         adj = self._adj
-        members: Set[str] = set()
-        for v in vars_:
-            if v not in members:
-                members.add(v)
-                adj.setdefault(v, set())
+        members: Set[str] = set(vars_)
+        new = [v for v in members if v not in adj]
+        if new:
+            new.sort()
+            for v in new:
+                adj[v] = set()
         if len(members) < 2:
             return
         for a in members:
@@ -80,9 +84,11 @@ class InterferenceGraph:
         return len(self._adj.get(var, ()))
 
     def edges(self) -> Iterator[Tuple[str, str]]:
+        # Neighbour sets are iterated sorted so the yield order depends
+        # only on node insertion order, never on the hash salt.
         seen = set()
         for a, others in self._adj.items():
-            for b in others:
+            for b in sorted(others):
                 key = (a, b) if a <= b else (b, a)
                 if key not in seen:
                     seen.add(key)
@@ -96,14 +102,18 @@ class InterferenceGraph:
 
     def subgraph(self, keep: Set[str]) -> "InterferenceGraph":
         """Induced subgraph on ``keep`` (nodes absent from the graph are
-        ignored).  Iterates only the kept nodes' adjacency lists, so a tiny
-        tile subgraph costs O(sum of kept degrees), not O(|E|)."""
+        ignored).  Costs O(|V|) plus one set intersection per kept node;
+        node order follows this graph's (canonical) insertion order."""
         out = InterferenceGraph()
         adj = self._adj
         out_adj = out._adj
-        for var in keep:
-            neighbors = adj.get(var)
-            if neighbors is not None:
+        # ``keep`` is usually a freshly-built (hash-ordered) set, so it
+        # must not drive the iteration.  Walking ``self._adj`` instead
+        # inherits this graph's insertion order, which construction keeps
+        # canonical -- the induced graph's node order (and everything
+        # keyed off it downstream) is then canonical without a sort.
+        for var, neighbors in adj.items():
+            if var in keep:
                 out_adj[var] = neighbors & keep
         return out
 

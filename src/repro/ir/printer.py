@@ -60,7 +60,10 @@ def format_function(fn) -> str:
     """Multi-line textual form of a whole function, blocks in RPO."""
     header = f"func {fn.name}({', '.join(fn.params)}) start={fn.start_label} stop={fn.stop_label}"
     order = fn.rpo()
-    leftover = [label for label in fn.blocks if label not in set(order)]
+    # Unreachable blocks follow the RPO body in sorted order so the text
+    # never depends on block-dict insertion history.
+    reachable = set(order)
+    leftover = sorted(label for label in fn.blocks if label not in reachable)
     parts = [header]
     for label in order + leftover:
         parts.append(format_block(fn.blocks[label]))

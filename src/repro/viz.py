@@ -26,7 +26,8 @@ def _escape(text: str) -> str:
 def cfg_to_dot(fn: Function, include_instrs: bool = True) -> str:
     """The control flow graph as a DOT digraph."""
     lines = [f'digraph "{_escape(fn.name)}" {{', "  node [shape=box];"]
-    for label, block in fn.blocks.items():
+    for label in sorted(fn.blocks):
+        block = fn.blocks[label]
         if include_instrs:
             from repro.ir.printer import format_instr
 
@@ -37,7 +38,7 @@ def cfg_to_dot(fn: Function, include_instrs: bool = True) -> str:
         else:
             text = _escape(label)
         lines.append(f'  "{_escape(label)}" [label="{text}"];')
-    for src, dst in fn.edges():
+    for src, dst in sorted(fn.edges()):
         lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}";')
     lines.append("}")
     return "\n".join(lines)
@@ -61,7 +62,7 @@ def tile_tree_to_dot(tree: TileTree) -> str:
         lines.append(f"{pad}}}")
 
     emit(tree.root, 1)
-    for src, dst in tree.fn.edges():
+    for src, dst in sorted(tree.fn.edges()):
         lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}";')
     lines.append("}")
     return "\n".join(lines)

@@ -4,8 +4,16 @@ Covers the interning layer and bitset helpers, the stage timers, the
 CFG-query caches and their invalidation, equality of the bitset analyses
 with the preserved string-set reference implementations on random
 structured programs, determinism of the dependency-driven parallel
-scheduler, and the duplicated-CBR-arm spill-placement regression.
+scheduler -- both within one process and across processes with different
+``PYTHONHASHSEED`` values -- and the duplicated-CBR-arm spill-placement
+regression.
 """
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -309,6 +317,72 @@ def test_level_barrier_driver_matches_scheduler(seed):
     phys_a = _normalized_phys(ctx_a.tree, ctx_a.fn, alloc_a)
     phys_b = _normalized_phys(ctx_b.tree, ctx_b.fn, alloc_b)
     assert phys_a == phys_b
+
+
+_CROSS_PROCESS_SCRIPT = """
+import hashlib, json, sys
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.ir.printer import format_function
+from repro.machine.target import Machine
+from repro.workloads.generators import random_program
+
+seed, registers, workers = (int(a) for a in sys.argv[1:4])
+if workers == 0:
+    config = HierarchicalConfig()
+else:
+    config = HierarchicalConfig(parallel=True, parallel_workers=workers)
+out = HierarchicalAllocator(config).allocate(
+    random_program(seed), Machine.simple(registers)
+)
+text = format_function(out.fn)
+print(json.dumps({
+    "sha": hashlib.sha256(text.encode()).hexdigest(),
+    "spilled": sorted(out.stats.spilled_vars),
+}))
+"""
+
+
+class TestCrossProcessDeterminism:
+    """Allocation must be bit-identical across *processes*: Python salts
+    string hashes per process, so any decision leaking set/dict iteration
+    order diverges here even though within-process runs agree."""
+
+    HASH_SEEDS = ("0", "1", "12345")
+
+    @staticmethod
+    def _run(program_seed, registers, workers, hash_seed):
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        prior = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = src + (os.pathsep + prior if prior else "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _CROSS_PROCESS_SCRIPT,
+             str(program_seed), str(registers), str(workers)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout)
+
+    @pytest.mark.parametrize("program_seed,registers", [(7, 3), (501, 4)])
+    def test_output_identical_across_hash_seeds_and_workers(
+        self, program_seed, registers
+    ):
+        runs = {
+            (hash_seed, workers): self._run(
+                program_seed, registers, workers, hash_seed
+            )
+            for hash_seed in self.HASH_SEEDS
+            for workers in (0, 3)
+        }
+        baseline = runs[(self.HASH_SEEDS[0], 0)]
+        for key, run in runs.items():
+            assert run == baseline, (
+                f"program seed {program_seed}: (PYTHONHASHSEED={key[0]}, "
+                f"workers={key[1]}) produced different allocation output"
+            )
 
 
 class TestDuplicatedEdgeSpillRegression:

@@ -90,6 +90,78 @@ class TestSequenceMoves:
     def test_empty_plan(self):
         assert sequence_moves(EdgePlan(), REGS, ("x", "y")) == []
 
+    @staticmethod
+    def _exec(instrs, env):
+        """Interpret a fix-up sequence on concrete register values."""
+        slots = {}
+        for i in instrs:
+            if i.op is Opcode.MOVE:
+                env[i.defs[0]] = env[i.uses[0]]
+            elif i.op is Opcode.SPILL_ST:
+                slots[i.imm] = env[i.uses[0]]
+            else:
+                env[i.defs[0]] = slots[i.imm]
+        return env
+
+    def test_pure_cycle_breaks_via_idle_register(self):
+        """A 3-cycle with one idle register must resolve with moves only:
+        save one value into the idle register, never touch memory."""
+        plan = EdgePlan(
+            moves=[("R0", "R1"), ("R1", "R2"), ("R2", "R0")],
+            busy={"R0", "R1", "R2"},
+        )
+        instrs = sequence_moves(plan, REGS, ("x", "y"))
+        assert all(i.op is Opcode.MOVE for i in instrs)
+        assert len(instrs) == 4  # save into idle reg + three cycle moves
+        assert instrs[0].defs == ("R3",)  # the only idle register
+        env = self._exec(instrs, {"R0": 0, "R1": 1, "R2": 2, "R3": 99})
+        assert (env["R0"], env["R1"], env["R2"]) == (1, 2, 0)
+
+    def test_three_cycle_without_free_register_bounces_once(self):
+        """Worst case: every register is live across the edge, so one value
+        bounces through memory and the rest of the cycle chains."""
+        plan = EdgePlan(
+            moves=[("R0", "R1"), ("R1", "R2"), ("R2", "R0")],
+            busy={"R0", "R1", "R2"},
+        )
+        instrs = sequence_moves(plan, ["R0", "R1", "R2"], ("x", "y"))
+        stores = [i for i in instrs if i.op is Opcode.SPILL_ST]
+        loads = [i for i in instrs if i.op is Opcode.SPILL_LD]
+        assert len(stores) == 1 and len(loads) == 1
+        assert stores[0].imm.startswith("cycle:x->y:")
+        assert loads[0].imm == stores[0].imm
+        # The bounce store must precede the load that consumes the slot.
+        assert instrs.index(stores[0]) < instrs.index(loads[0])
+        env = self._exec(instrs, {"R0": 0, "R1": 1, "R2": 2})
+        assert (env["R0"], env["R1"], env["R2"]) == (1, 2, 0)
+
+    def test_cycle_break_never_clobbers_a_busy_register(self):
+        """The idle register used to break a cycle must not hold a value
+        live across the edge (here R2 carries 77 straight through)."""
+        plan = EdgePlan(
+            moves=[("R0", "R1"), ("R1", "R0")],
+            busy={"R0", "R1", "R2"},
+        )
+        instrs = sequence_moves(plan, REGS, ("x", "y"))
+        assert all(i.op is Opcode.MOVE for i in instrs)
+        assert all(i.defs[0] != "R2" for i in instrs)
+        env = self._exec(instrs, {"R0": 10, "R1": 20, "R2": 77, "R3": 0})
+        assert (env["R0"], env["R1"], env["R2"]) == (20, 10, 77)
+
+    def test_disjoint_cycles_without_free_registers_use_distinct_slots(self):
+        """Two simultaneous swap cycles with zero idle registers: each
+        bounce gets its own slot and both swaps complete correctly."""
+        plan = EdgePlan(
+            moves=[("R0", "R1"), ("R1", "R0"), ("R2", "R3"), ("R3", "R2")],
+            busy={"R0", "R1", "R2", "R3"},
+        )
+        instrs = sequence_moves(plan, REGS, ("x", "y"))
+        stores = [i for i in instrs if i.op is Opcode.SPILL_ST]
+        assert len(stores) == 2
+        assert len({i.imm for i in stores}) == 2  # distinct bounce slots
+        env = self._exec(instrs, {"R0": 1, "R1": 2, "R2": 3, "R3": 4})
+        assert (env["R0"], env["R1"], env["R2"], env["R3"]) == (2, 1, 4, 3)
+
 
 class TestBoundaryPlans:
     def _plans(self, registers=4, config=None):
