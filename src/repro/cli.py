@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands over textual IR files (the format of
+Four subcommands over textual IR files (the format of
 :mod:`repro.ir.printer`):
 
 * ``run`` -- execute a program in the simulator and report results and
@@ -9,11 +9,17 @@ Three subcommands over textual IR files (the format of
 * ``allocate`` -- run an allocator and print the rewritten program plus
   statistics; optionally verify against the original and use profile-guided
   frequencies.
+* ``trace`` -- run the hierarchical allocator with structured tracing and
+  render the per-tile decision report (section-4 metrics per candidate,
+  the four boundary cases per edge); optionally dump the raw event stream
+  as JSONL and/or the scheduler timings as a ``chrome://tracing`` file.
 
-Example::
+Examples::
 
     python -m repro allocate prog.ir --allocator hierarchical \
         --registers 4 --arg n=8 --array A=1,2,3,4,5,6,7,8 --verify
+    python -m repro trace examples/programs/figure1.ir --registers 4 \
+        --jsonl events.jsonl --chrome sched.json --workers 4
 """
 
 from __future__ import annotations
@@ -33,8 +39,15 @@ from repro.core import HierarchicalAllocator, HierarchicalConfig
 from repro.ir import format_function, parse_function, validate_function
 from repro.machine.simulator import simulate
 from repro.machine.target import Machine
-from repro.pipeline import Workload, compile_function
+from repro.pipeline import Workload, compile_function, prepare
 from repro.tiles import build_tile_tree
+from repro.trace import (
+    AllocationTracer,
+    ChromeTraceSink,
+    JSONLSink,
+    MemorySink,
+)
+from repro.trace.report import render_report, render_schedule_summary
 
 ALLOCATORS = {
     "hierarchical": HierarchicalAllocator,
@@ -162,6 +175,54 @@ def cmd_allocate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    fn = _load(args.file, args.lang)
+    machine = Machine.simple(args.registers)
+
+    memory = MemorySink()
+    sinks: List[object] = [memory]
+    if args.jsonl:
+        sinks.append(JSONLSink(args.jsonl))
+    if args.chrome:
+        sinks.append(ChromeTraceSink(args.chrome))
+    tracer = AllocationTracer(sinks)
+
+    workers = args.workers
+    config = HierarchicalConfig(
+        parallel=workers > 0,
+        parallel_workers=workers if workers > 0 else None,
+    )
+    allocator = HierarchicalAllocator(config, tracer=tracer)
+    # Same preparation as ``allocate`` (web renaming), but no simulation:
+    # the report describes allocation decisions, not dynamic costs.
+    allocator.allocate(prepare(fn), machine)
+    tracer.close()
+
+    ctx = allocator.last_context
+    print(
+        render_report(
+            memory.events,
+            counters=tracer.counters(),
+            tree_text=ctx.tree.format(),
+            title=f"Allocation trace: {fn.name} "
+                  f"({args.registers} registers)",
+        ),
+        file=out,
+        end="",
+    )
+    if args.timings:
+        print("\n## Stage timings\n", file=out)
+        print(render_schedule_summary(memory.events), file=out)
+    if args.jsonl:
+        print(f"\n[events written to {args.jsonl}]", file=out)
+    if args.chrome:
+        print(
+            f"\n[chrome://tracing timeline written to {args.chrome}]",
+            file=out,
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -204,6 +265,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the scalar/CFG optimization passes before allocation",
     )
     alloc_p.set_defaults(func=cmd_allocate)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="trace a hierarchical allocation and print the per-tile "
+        "decision report",
+    )
+    trace_p.add_argument("file", help="IR or MiniLang file (or - for stdin)")
+    trace_p.add_argument(
+        "--lang", choices=["auto", "ir", "minilang"], default="auto",
+        help="input language (auto-detected by default)",
+    )
+    trace_p.add_argument("--registers", type=int, default=4)
+    trace_p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run the dependency-driven parallel scheduler with N workers "
+        "(0 = sequential); the chrome trace shows one row per worker",
+    )
+    trace_p.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also write the raw event stream as JSON Lines",
+    )
+    trace_p.add_argument(
+        "--chrome", metavar="PATH",
+        help="also write stage/tile timings in Chrome trace-event format "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    trace_p.add_argument(
+        "--timings", action="store_true",
+        help="append a stage/worker timing summary to the report",
+    )
+    trace_p.set_defaults(func=cmd_trace)
     return parser
 
 

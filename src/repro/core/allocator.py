@@ -36,6 +36,7 @@ from repro.machine.target import Machine
 from repro.perf.timers import StageTimers
 from repro.tiles.construction import TileTreeOptions, build_tile_tree_detailed
 from repro.tiles.validate import validate_tile_tree
+from repro.trace.tracer import NULL_TRACER, NullTracer
 
 
 class HierarchicalAllocator(Allocator):
@@ -43,8 +44,16 @@ class HierarchicalAllocator(Allocator):
 
     name = "hierarchical"
 
-    def __init__(self, config: Optional[HierarchicalConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[HierarchicalConfig] = None,
+        tracer: Optional[NullTracer] = None,
+    ) -> None:
         self.config = config or HierarchicalConfig()
+        #: structured-event recorder (see :mod:`repro.trace`); the shared
+        #: null tracer by default, so untraced allocation pays only
+        #: ``tracer.enabled`` checks.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: populated by :meth:`allocate` for introspection by examples,
         #: tests and benches.
         self.last_context: Optional[FunctionContext] = None
@@ -52,8 +61,9 @@ class HierarchicalAllocator(Allocator):
 
     def allocate(self, fn: Function, machine: Machine) -> AllocationOutcome:
         config = self.config
+        tracer = self.tracer
         timers = StageTimers()
-        with timers.stage("tile_tree"):
+        with timers.stage("tile_tree", tracer):
             work = fn.clone()
             build = build_tile_tree_detailed(
                 work,
@@ -63,23 +73,24 @@ class HierarchicalAllocator(Allocator):
                 ),
             )
             validate_tile_tree(build.tree)
-        with timers.stage("context"):
+        with timers.stage("context", tracer):
             ctx = build_context(
-                work, machine, build.tree, build.fixup, config.frequencies
+                work, machine, build.tree, build.fixup, config.frequencies,
+                tracer=tracer,
             )
 
         if config.parallel:
-            with timers.stage("phase1"):
+            with timers.stage("phase1", tracer):
                 allocations = run_phase1_scheduled(ctx, config)
-            with timers.stage("phase2"):
+            with timers.stage("phase2", tracer):
                 run_phase2_scheduled(ctx, config, allocations)
         else:
-            with timers.stage("phase1"):
+            with timers.stage("phase1", tracer):
                 allocations = run_phase1(ctx, config)
-            with timers.stage("phase2"):
+            with timers.stage("phase2", tracer):
                 run_phase2(ctx, config, allocations)
 
-        with timers.stage("rewrite"):
+        with timers.stage("rewrite", tracer):
             out = rewrite_program(ctx, config, allocations)
             check_physical(out, machine.num_registers)
 

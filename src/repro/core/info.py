@@ -16,6 +16,7 @@ from repro.machine.target import Machine
 from repro.perf.varindex import iter_bits
 from repro.tiles.fixup import FixupStats
 from repro.tiles.tile import Tile, TileTree
+from repro.trace.tracer import NULL_TRACER, NullTracer
 
 
 @dataclass
@@ -34,6 +35,10 @@ class FunctionContext:
     def_blocks: Dict[str, Set[str]] = field(default_factory=dict)
     #: label of inserted fix-up block -> the original edge it subdivides
     orig_edge: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: structured-event recorder threaded through both phases; the shared
+    #: :data:`~repro.trace.tracer.NULL_TRACER` keeps untraced runs free
+    #: (call sites guard on ``tracer.enabled``).
+    tracer: NullTracer = field(default=NULL_TRACER, repr=False)
     #: tile id -> OR of live-on-edge bitsets over the tile's boundary
     _boundary_live: Dict[int, int] = field(default_factory=dict, repr=False)
     #: tile id -> var -> summed boundary transfer frequency (section 4)
@@ -204,6 +209,7 @@ def build_context(
     tree: TileTree,
     fixup: FixupStats,
     frequencies: Optional[FrequencyInfo],
+    tracer: Optional[NullTracer] = None,
 ) -> FunctionContext:
     """Assemble a :class:`FunctionContext` (liveness and frequency included)."""
     liveness = compute_liveness(fn)
@@ -216,5 +222,6 @@ def build_context(
         freq=freq,
         fixup=fixup,
         orig_edge=dict(fixup.orig_edge),
+        tracer=tracer if tracer is not None else NULL_TRACER,
     )
     return ctx

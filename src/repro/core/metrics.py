@@ -12,6 +12,18 @@ Assuming unit cost to load or store a variable::
 parent pays for overriding this tile's decision, and feed the parent's own
 ``Weight``.  A variable with ``Transfer + Weight < 0`` is "not worth a
 register" in this tile regardless of the parent's choice.
+
+Invariants callers rely on:
+
+* :func:`compute_pre_metrics` walks variables and their referencing blocks
+  in canonical (sorted) order -- float addition is not associative, so any
+  other order can shift a sum by an ULP and flip a spill tie-break between
+  processes (the determinism guarantee depends on this).
+* ``compute_pre_metrics`` requires every child tile's metrics to be
+  finalized first (``Reg``/``Mem`` feed the parent's ``Weight``): phase 1
+  must call :func:`finalize_metrics` before the parent tile is processed.
+* ``transfer``/``weight`` lookups default to ``0.0`` for unknown
+  variables; phase 2 relies on that for intruder variables it adds late.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from typing import Dict, Iterable, List, Mapping, Set
 from repro.core.info import FunctionContext
 from repro.core.summary import TileAllocation, TileMetrics
 from repro.tiles.tile import Tile
+from repro.trace.events import CandidateMetrics
 
 
 def compute_pre_metrics(
@@ -102,6 +115,24 @@ def finalize_metrics(
         else:
             metrics.reg[var] = 0.0
             metrics.mem[var] = transfer
+
+
+def snapshot_candidates(
+    metrics: TileMetrics, candidates: Iterable[str]
+) -> Dict[str, CandidateMetrics]:
+    """Freeze the section-4 values of *candidates* into trace-event form
+    (one immutable :class:`CandidateMetrics` per variable) so emitted
+    events stay valid after the metrics dicts are extended by phase 2."""
+    return {
+        var: CandidateMetrics(
+            local_weight=metrics.local_weight.get(var, 0.0),
+            transfer=metrics.transfer.get(var, 0.0),
+            weight=metrics.weight.get(var, 0.0),
+            reg=metrics.reg.get(var, 0.0),
+            mem=metrics.mem.get(var, 0.0),
+        )
+        for var in candidates
+    }
 
 
 def not_worth_a_register(metrics: TileMetrics, var: str) -> bool:

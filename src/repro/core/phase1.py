@@ -13,6 +13,21 @@ Each tile, visited in postorder:
    re-coloring with operand temporaries as needed, and
 6. condenses its local allocation into tile summary variables and the
    conflict/preference summary for its parent.
+
+Invariants callers rely on:
+
+* :func:`allocate_tile` requires every child's :class:`TileAllocation` to
+  be present in *allocations* (postorder discipline); the parallel
+  scheduler preserves this by submitting a tile only after its last child
+  finishes.
+* a tile's returned allocation is complete and immutable from the
+  parent's perspective: summary variables, conflict summaries and
+  finalized ``Reg``/``Mem`` metrics never change once returned.
+* every hash-order-sensitive walk (visible set, conflict summaries,
+  ref-block sums) runs in canonical sorted order -- the bit-determinism
+  guarantee (``repro.determinism``) rests on this.
+* tracing via ``ctx.tracer`` is observational; the event stream never
+  feeds back into any decision.
 """
 
 from __future__ import annotations
@@ -25,6 +40,7 @@ from repro.core.metrics import (
     compute_pre_metrics,
     finalize_metrics,
     not_worth_a_register,
+    snapshot_candidates,
 )
 from repro.core.summary import (
     TileAllocation,
@@ -36,6 +52,7 @@ from repro.core.tilecolor import TileColoringSpec, color_tile
 from repro.graph.interference import InterferenceGraph, build_interference
 from repro.ir.instructions import Opcode, is_phys
 from repro.tiles.tile import Tile
+from repro.trace.events import SpillDecision, TileColored
 
 
 def run_phase1(
@@ -139,6 +156,7 @@ def allocate_tile(
     # ------------------------------------------------------------------
     # metrics and forced spills
     # ------------------------------------------------------------------
+    tracer = ctx.tracer
     alloc.metrics = compute_pre_metrics(
         ctx, tile, ordered_visible, allocations, children
     )
@@ -147,6 +165,13 @@ def allocate_tile(
             continue
         if not_worth_a_register(alloc.metrics, var):
             alloc.forced_memory.add(var)
+            if tracer.enabled:
+                tracer.emit(SpillDecision(
+                    tile_id=tile.tid, phase="phase1", var=var,
+                    reason="not_worth_a_register",
+                    weight=alloc.metrics.weight.get(var, 0.0),
+                    transfer=alloc.metrics.transfer.get(var, 0.0),
+                ))
 
     # ------------------------------------------------------------------
     # color
@@ -173,6 +198,8 @@ def allocate_tile(
         pre_spilled=set(alloc.forced_memory),
         make_temps=not reserve,
         spill_heuristic=config.spill_heuristic,
+        phase="phase1",
+        transfer_costs=alloc.metrics.transfer,
     )
     outcome = color_tile(ctx, tile, graph, spec)
 
@@ -195,6 +222,18 @@ def allocate_tile(
         alloc.spilled,
         ordered_visible,
     )
+    if tracer.enabled:
+        tracer.emit(TileColored(
+            tile_id=tile.tid, phase="phase1", kind=tile.kind,
+            blocks=tuple(sorted(own)),
+            rounds=outcome.rounds,
+            assignment=dict(alloc.assignment),
+            spilled=tuple(sorted(alloc.spilled)),
+            used_colors=tuple(outcome.used_colors),
+            candidates=snapshot_candidates(
+                alloc.metrics, sorted(alloc.metrics.weight)
+            ),
+        ))
     return alloc
 
 

@@ -16,6 +16,18 @@ Visiting tiles in preorder, each tile recolors its interference graph with
 
 Spill/transfer code between the tile and its parent is planned later by
 :mod:`repro.core.spill_code` from the recorded per-tile locations.
+
+Invariants callers rely on:
+
+* :func:`bind_tile` requires the parent's ``phys`` map to be complete
+  (preorder discipline); the parallel scheduler submits a tile only after
+  its parent finishes.
+* after ``bind_tile`` returns, ``alloc.phys`` maps *every* node the
+  rewrite stage can encounter in the tile -- visible variables, operand
+  temporaries, intruders -- to a physical register or :data:`MEM`.
+* phase-1 spill decisions are never undone: a variable spilled bottom-up
+  stays in ``pre_spilled`` here ("spill decisions are never undone").
+* tracing via ``ctx.tracer`` is observational only.
 """
 
 from __future__ import annotations
@@ -28,6 +40,8 @@ from repro.core.summary import MEM, TileAllocation, is_summary_var, is_temp_node
 from repro.core.tilecolor import TileColoringSpec, color_tile
 from repro.ir.instructions import is_phys
 from repro.tiles.tile import Tile
+from repro.core.metrics import snapshot_candidates
+from repro.trace.events import PseudoBound, SpillDecision, TileColored
 
 
 def run_phase2(
@@ -61,6 +75,7 @@ def bind_tile(
     # demotion pre-pass (spill decisions are never undone, so these join
     # the spilled set before coloring and get operand temporaries)
     # ------------------------------------------------------------------
+    tracer = ctx.tracer
     pre_spilled: Set[str] = set(alloc.spilled)
     if parent_alloc is not None and config.demotion:
         for var in sorted(alloc.globals_):
@@ -71,6 +86,12 @@ def bind_tile(
                 transfer = alloc.metrics.transfer.get(var, 0.0)
                 if weight <= transfer:
                     pre_spilled.add(var)
+                    if tracer.enabled:
+                        tracer.emit(SpillDecision(
+                            tile_id=tile.tid, phase="phase2", var=var,
+                            reason="demotion",
+                            weight=weight, transfer=transfer,
+                        ))
 
     # ------------------------------------------------------------------
     # preferences from the parent's bindings
@@ -82,6 +103,11 @@ def bind_tile(
     for color, summary in alloc.summary_vars.items():
         binding = parent_loc(summary)
         alloc.summary_phys[summary] = binding if binding is not None else MEM
+        if tracer.enabled:
+            tracer.emit(PseudoBound(
+                tile_id=tile.tid, pseudo=color, summary=summary,
+                binding=alloc.summary_phys[summary],
+            ))
 
     globals_ = alloc.globals_
     ts_get = alloc.ts_map.get
@@ -157,6 +183,8 @@ def bind_tile(
         pre_spilled=pre_spilled,
         make_temps=not reserve,
         spill_heuristic=config.spill_heuristic,
+        phase="phase2",
+        transfer_costs=alloc.metrics.transfer,
     )
     outcome = color_tile(ctx, tile, alloc.graph, spec)
 
@@ -168,3 +196,15 @@ def bind_tile(
     for node in outcome.spilled:
         phys[node] = MEM
     alloc.phys = phys
+    if tracer.enabled:
+        tracer.emit(TileColored(
+            tile_id=tile.tid, phase="phase2", kind=tile.kind,
+            blocks=tuple(sorted(tile.own_blocks())),
+            rounds=outcome.rounds,
+            assignment={n: c for n, c in phys.items() if c != MEM},
+            spilled=tuple(sorted(n for n, c in phys.items() if c == MEM)),
+            used_colors=tuple(outcome.used_colors),
+            candidates=snapshot_candidates(
+                alloc.metrics, sorted(alloc.metrics.weight)
+            ),
+        ))

@@ -19,10 +19,17 @@ computation depends only on its children's (phase 1) or parent's (phase 2)
 finished results -- never on scheduling order -- the outcome is identical to
 the sequential postorder/preorder passes; the returned dict is rebuilt in
 postorder so even its iteration order matches the sequential driver.
+
+With tracing enabled each scheduled tile task additionally emits a
+:class:`~repro.trace.events.StageTiming` (category ``"tile"``) carrying the
+worker-thread name, which the Chrome trace sink lays out as one row per
+worker -- the ``chrome://tracing`` view of scheduler utilisation.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Callable, Dict, List, Optional
 
@@ -32,6 +39,32 @@ from repro.core.phase1 import allocate_tile
 from repro.core.phase2 import bind_tile
 from repro.core.summary import TileAllocation
 from repro.tiles.tile import Tile
+from repro.trace.events import StageTiming
+
+
+def _traced_task(task, ctx: FunctionContext, phase: str):
+    """Wrap a tile task so each run emits a per-tile ``StageTiming`` with
+    its worker-thread name; returns *task* unchanged when tracing is off
+    (the hot path pays nothing)."""
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        return task
+
+    def run(ctx, config, tile, allocations):
+        start = time.perf_counter()
+        try:
+            return task(ctx, config, tile, allocations)
+        finally:
+            tracer.emit(StageTiming(
+                name=f"{phase}:tile{tile.tid}",
+                category="tile",
+                start=start,
+                duration=time.perf_counter() - start,
+                thread=threading.current_thread().name,
+                tile_id=tile.tid,
+            ))
+
+    return run
 
 
 def resolve_workers(config: HierarchicalConfig) -> Optional[int]:
@@ -51,10 +84,11 @@ def run_phase1_scheduled(
     tiles: List[Tile] = list(tree.postorder())
     pending_children = {tile.tid: len(tile.children) for tile in tiles}
     allocations: Dict[int, TileAllocation] = {}
+    task = _traced_task(allocate_tile, ctx, "phase1")
 
     with ThreadPoolExecutor(max_workers=resolve_workers(config)) as pool:
         futures = {
-            pool.submit(allocate_tile, ctx, config, tile, allocations): tile
+            pool.submit(task, ctx, config, tile, allocations): tile
             for tile in tiles
             if not tile.children
         }
@@ -73,7 +107,7 @@ def run_phase1_scheduled(
                         ready.append(parent)
             for tile in ready:
                 futures[
-                    pool.submit(allocate_tile, ctx, config, tile, allocations)
+                    pool.submit(task, ctx, config, tile, allocations)
                 ] = tile
 
     # Deterministic result: same key order as the sequential postorder pass.
@@ -87,10 +121,11 @@ def run_phase2_scheduled(
 ) -> None:
     """Top-down binding with per-tile readiness (parent-complete)."""
     tree = ctx.tree
+    task = _traced_task(bind_tile, ctx, "phase2")
 
     with ThreadPoolExecutor(max_workers=resolve_workers(config)) as pool:
         futures = {
-            pool.submit(bind_tile, ctx, config, tree.root, allocations): tree.root
+            pool.submit(task, ctx, config, tree.root, allocations): tree.root
         }
         while futures:
             done, _ = wait(futures, return_when=FIRST_COMPLETED)
@@ -101,5 +136,5 @@ def run_phase2_scheduled(
                 ready.extend(tile.children)
             for child in ready:
                 futures[
-                    pool.submit(bind_tile, ctx, config, child, allocations)
+                    pool.submit(task, ctx, config, child, allocations)
                 ] = child

@@ -26,6 +26,7 @@ from repro.ir.function import Function
 from repro.ir.instructions import Instr, Opcode, is_phys
 from repro.machine.rewrite import spill_slot
 from repro.tiles.tile import Tile
+from repro.trace.events import BoundaryAction
 
 
 @dataclass
@@ -50,6 +51,7 @@ def plan_boundary_code(
     """Compute the :class:`EdgePlan` for every tile-crossing edge."""
     plans: Dict[Tuple[str, str], EdgePlan] = {}
     tree = ctx.tree
+    tracer = ctx.tracer
     for src, dst in ctx.fn.edges():
         t_src = tree.tile_of(src)
         t_dst = tree.tile_of(dst)
@@ -72,9 +74,10 @@ def plan_boundary_code(
             for loc in (lp, lc):
                 if loc != MEM:
                     plan.busy.add(loc)
+            store_avoided = False
             if lp == lc:
-                continue  # No Change (or same register throughout)
-            if entering:
+                pass  # No Change (or same register throughout)
+            elif entering:
                 if lp != MEM and lc == MEM:       # Spill
                     plan.stores.append((spill_slot(var), lp))
                 elif lp != MEM and lc != MEM:     # Transfer
@@ -94,9 +97,33 @@ def plan_boundary_code(
                         child_tile, var
                     ):
                         plan.stores.append((spill_slot(var), lc))
+                    else:
+                        store_avoided = True
+            if tracer.enabled:
+                action = _boundary_case(lp, lc)
+                tracer.emit(BoundaryAction(
+                    edge=(src, dst),
+                    parent_tile=parent.tid, child_tile=child.tid,
+                    entering=entering, var=var, action=action,
+                    parent_loc=lp, child_loc=lc,
+                    store_avoided=store_avoided,
+                ))
+                tracer.count(f"boundary.{action}")
         if not plan.empty():
             plans[(src, dst)] = plan
     return plans
+
+
+def _boundary_case(parent_loc: str, child_loc: str) -> str:
+    """Name the paper's section-3 case for one (parent, child) location
+    pair: Spill, Transfer, Reload, or No Change."""
+    if parent_loc == child_loc:
+        return "no_change"
+    if parent_loc != MEM and child_loc == MEM:
+        return "spill"
+    if parent_loc != MEM and child_loc != MEM:
+        return "transfer"
+    return "reload"
 
 
 def sequence_moves(

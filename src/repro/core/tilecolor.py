@@ -7,6 +7,20 @@ added to the graph as local variables with *infinite spill cost* and the
 tile is recolored -- "our method avoids the need to iterate [the whole
 allocation]" because the iteration stays inside one small tile graph and the
 temporaries' one-instruction live ranges keep them trivially colorable.
+
+Invariants callers rely on:
+
+* ``graph`` is mutated only by *adding* temp nodes and their conflicts --
+  existing nodes and edges are never removed, so phase 2 can recolor the
+  same graph object that phase 1 colored.
+* spill decisions are monotone: once a variable enters the spilled set (a
+  caller's ``pre_spilled`` or a coloring round), no later round removes it
+  ("spill decisions are never undone").
+* every spilled variable with references in the tile's own blocks has a
+  colored operand temporary per reference in the returned assignment
+  (``make_temps=True``), which the rewrite stage looks up by name.
+* tracing (``ctx.tracer``) is observational only; enabling it cannot
+  change the outcome.
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ from repro.core.summary import (
 from repro.graph.coloring import ColoringResult, NoColorForRequiredNode, color_graph
 from repro.graph.interference import InterferenceGraph
 from repro.tiles.tile import Tile
+from repro.trace.events import PreferenceApplied, SpillDecision
 
 #: Recolor rounds per tile before giving up (each round only adds temps for
 #: newly spilled variables, so a handful suffices).
@@ -50,6 +65,10 @@ class TileColoringSpec:
     make_temps: bool = True
     #: spill-candidate ranking (see graph.coloring.color_graph).
     spill_heuristic: str = "cost_over_degree"
+    #: which allocation phase this run belongs to (trace events only).
+    phase: str = "phase1"
+    #: ``Transfer_t(v)`` per variable, for spill-decision events only.
+    transfer_costs: Mapping[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -74,6 +93,14 @@ def color_tile(
     references get temporaries immediately.
     """
     own_labels = sorted(tile.own_blocks())
+    tracer = ctx.tracer
+    trace_hook = None
+    if tracer.enabled:
+        def trace_hook(var: str, color: str, kind: str) -> None:
+            tracer.emit(PreferenceApplied(
+                tile_id=tile.tid, phase=spec.phase,
+                var=var, color=color, kind=kind,
+            ))
     all_spilled: Set[str] = set(spec.pre_spilled)
     temp_nodes: Set[str] = {n for n in graph.nodes() if is_temp_node(n)}
     vars_with_temps: Set[str] = {  # real vars whose references have temps
@@ -132,6 +159,7 @@ def color_tile(
                 never_spill=spec.never_spill | temp_nodes,
                 boundary=spec.boundary,
                 spill_heuristic=spec.spill_heuristic,
+                trace_hook=trace_hook,
             )
         except NoColorForRequiredNode as exc:
             # Extreme pressure: an unspillable node (operand temporary) has
@@ -150,6 +178,13 @@ def color_tile(
             victim = min(
                 victims, key=lambda n: (spec.priorities.get(n, 0.0), n)
             )
+            if tracer.enabled:
+                tracer.emit(SpillDecision(
+                    tile_id=tile.tid, phase=spec.phase, var=victim,
+                    reason="pressure_victim",
+                    weight=spec.priorities.get(victim, 0.0),
+                    transfer=spec.transfer_costs.get(victim, 0.0),
+                ))
             all_spilled.add(victim)
             continue
         if not result.spilled:
@@ -160,6 +195,16 @@ def color_tile(
                 rounds=rounds,
                 used_colors=result.used_colors,
             )
+        if tracer.enabled:
+            # result.spilled excludes all_spilled (those never entered the
+            # work graph), so each spill is reported exactly once.
+            for var in sorted(result.spilled):
+                tracer.emit(SpillDecision(
+                    tile_id=tile.tid, phase=spec.phase, var=var,
+                    reason="no_color",
+                    weight=spec.priorities.get(var, 0.0),
+                    transfer=spec.transfer_costs.get(var, 0.0),
+                ))
         all_spilled |= result.spilled
         if not spec.make_temps:
             # Reserve strategy: no recoloring needed, spilled references

@@ -16,6 +16,20 @@ color.  Preference handling follows the paper:
   "separate from any other color already used subject to the constraint of
   using only ||R|| colors" so the top-down phase retains freedom to bind
   local and global colors independently.
+
+Invariants callers rely on:
+
+* :func:`color_graph` never mutates its inputs -- the graph, priority,
+  precolored and preference mappings are only read, so a caller may pass
+  the same graph through repeated recoloring rounds.
+* the outcome is a pure function of the inputs: node selection is driven
+  by (degree, name) / (metric, name) heaps and the color-reuse list is
+  seeded in sorted order, so no decision inherits hash-salted iteration
+  order (the cross-process determinism gate depends on this).
+* nodes in ``never_spill`` either receive a color or raise
+  :class:`NoColorForRequiredNode`; they are never silently spilled.
+* the optional ``trace_hook`` is strictly observational (it receives
+  preference outcomes and must not feed anything back).
 """
 
 from __future__ import annotations
@@ -62,6 +76,7 @@ def color_graph(
     boundary: Optional[Set[str]] = None,
     pessimistic: bool = False,
     spill_heuristic: str = "cost_over_degree",
+    trace_hook: Optional[Callable[[str, str, str], None]] = None,
 ) -> ColoringResult:
     """Color *graph* with at most *k* distinct colors.
 
@@ -89,6 +104,10 @@ def color_graph(
             ``"cost"`` (pure benefit, Bernstein-style single criterion), or
             ``"degree"`` (most-constraining node first).  The paper notes
             "our algorithm could easily use either method".
+        trace_hook: observational callback ``(node, color, kind)`` invoked
+            when a preference is honored -- ``kind`` is ``"local"`` for a
+            local-preference hit, ``"partner"`` for an inherited partner
+            color (see :mod:`repro.trace`).
     """
     if spill_heuristic not in ("cost_over_degree", "cost", "degree"):
         raise ValueError(f"unknown spill heuristic {spill_heuristic!r}")
@@ -254,6 +273,8 @@ def color_graph(
         if pref is not None and pref not in forbidden:
             if pref in used or len(used) < k:
                 take(var, pref)
+                if trace_hook is not None:
+                    trace_hook(var, pref, "local")
                 continue
 
         # 2. A partner's color, when one is already colored.  Partners are
@@ -268,6 +289,8 @@ def color_graph(
             ]
             if partner_colors:
                 take(var, partner_colors[0])
+                if trace_hook is not None:
+                    trace_hook(var, partner_colors[0], "partner")
                 continue
 
         avoid = neighbour_pref_colors(var)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 
 class StageTimers:
@@ -22,7 +22,9 @@ class StageTimers:
         self._lock = threading.Lock()
 
     @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
+    def stage(self, name: str, tracer=None) -> Iterator[None]:
+        """Time one stage; with an enabled *tracer*, also emit the interval
+        as a :class:`~repro.trace.events.StageTiming` event."""
         start = time.perf_counter()
         try:
             yield
@@ -30,6 +32,16 @@ class StageTimers:
             elapsed = time.perf_counter() - start
             with self._lock:
                 self._times[name] = self._times.get(name, 0.0) + elapsed
+            if tracer is not None and tracer.enabled:
+                from repro.trace.events import StageTiming
+
+                tracer.emit(StageTiming(
+                    name=name,
+                    category="pipeline",
+                    start=start,
+                    duration=elapsed,
+                    thread=threading.current_thread().name,
+                ))
 
     def add(self, name: str, seconds: float) -> None:
         with self._lock:

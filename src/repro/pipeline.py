@@ -8,6 +8,9 @@ harness consumes.
 
 from __future__ import annotations
 
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -18,6 +21,25 @@ from repro.ir.validate import validate_function
 from repro.machine.rewrite import remove_self_moves
 from repro.machine.simulator import ExecutionResult, SimulationError, simulate
 from repro.machine.target import Machine
+from repro.trace.events import StageTiming
+from repro.trace.tracer import NULL_TRACER, NullTracer
+
+
+@contextmanager
+def _stage(tracer: NullTracer, name: str):
+    """Emit one pipeline-level :class:`StageTiming`; free when disabled."""
+    if not tracer.enabled:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        tracer.emit(StageTiming(
+            name=name, category="pipeline", start=start,
+            duration=time.perf_counter() - start,
+            thread=threading.current_thread().name,
+        ))
 
 
 @dataclass
@@ -91,6 +113,7 @@ def compile_function(
     verify: bool = True,
     optimize: bool = False,
     max_steps: int = 2_000_000,
+    tracer: Optional[NullTracer] = None,
 ) -> CompileResult:
     """Allocate registers for a workload and verify + measure the result.
 
@@ -99,26 +122,41 @@ def compile_function(
     :class:`~repro.machine.simulator.SimulationError`.  With *optimize* the
     standard scalar/CFG cleanups run before allocation (the differential
     check still compares against the unoptimized original).
-    """
-    fn = prepare(workload.fn, rename=rename, optimize=optimize)
-    reference = simulate(
-        workload.fn,
-        args=workload.args,
-        arrays=workload.arrays,
-        max_steps=max_steps,
-    )
 
-    outcome = allocator.allocate(fn, machine)
-    remove_self_moves(outcome.fn)
-    validate_function(outcome.fn, allow_unreachable=True)
+    *tracer* (see :mod:`repro.trace`) records pipeline stage timings here
+    and, when the allocator carries no tracer of its own, is handed to it
+    so per-tile allocation events land in the same stream.
+    """
+    trace = tracer if tracer is not None else NULL_TRACER
+    if (
+        trace.enabled
+        and getattr(allocator, "tracer", None) is not None
+        and not allocator.tracer.enabled
+    ):
+        allocator.tracer = trace
+    with _stage(trace, "pipeline:prepare"):
+        fn = prepare(workload.fn, rename=rename, optimize=optimize)
+    with _stage(trace, "pipeline:reference_run"):
+        reference = simulate(
+            workload.fn,
+            args=workload.args,
+            arrays=workload.arrays,
+            max_steps=max_steps,
+        )
+
+    with _stage(trace, "pipeline:allocate"):
+        outcome = allocator.allocate(fn, machine)
+        remove_self_moves(outcome.fn)
+        validate_function(outcome.fn, allow_unreachable=True)
 
     allocated_args = _map_args(outcome.fn, fn, workload.args)
-    allocated = simulate(
-        outcome.fn,
-        args=allocated_args,
-        arrays=workload.arrays,
-        max_steps=max_steps,
-    )
+    with _stage(trace, "pipeline:allocated_run"):
+        allocated = simulate(
+            outcome.fn,
+            args=allocated_args,
+            arrays=workload.arrays,
+            max_steps=max_steps,
+        )
     if verify:
         if reference.returned != allocated.returned:
             raise SimulationError(

@@ -1,0 +1,64 @@
+"""Structured allocation tracing (zero-cost when disabled).
+
+The allocator's decisions -- who got which register, why a variable
+spilled, how each boundary edge was treated -- become an inspectable event
+stream:
+
+* :mod:`repro.trace.events` -- the frozen dataclass event vocabulary;
+* :mod:`repro.trace.tracer` -- :class:`AllocationTracer` plus the no-op
+  :data:`NULL_TRACER` default that keeps untraced allocations free;
+* :mod:`repro.trace.sinks` -- in-memory, JSON Lines and Chrome
+  trace-event sinks;
+* :mod:`repro.trace.report` -- the per-tile decision report used by the
+  ``trace`` CLI subcommand and ``docs/gen_walkthrough.py``.
+
+Typical use::
+
+    from repro.trace import AllocationTracer, MemorySink
+
+    sink = MemorySink()
+    allocator = HierarchicalAllocator(tracer=AllocationTracer([sink]))
+    allocator.allocate(fn, machine)
+    spilled = sink.of_type(SpillDecision)
+"""
+
+from repro.trace.events import (
+    BOUNDARY_ACTIONS,
+    SPILL_REASONS,
+    BoundaryAction,
+    CandidateMetrics,
+    PreferenceApplied,
+    PseudoBound,
+    SpillDecision,
+    StageTiming,
+    TileColored,
+)
+from repro.trace.sinks import (
+    ChromeTraceSink,
+    JSONLSink,
+    MemorySink,
+    event_to_dict,
+)
+from repro.trace.report import render_report, render_schedule_summary
+from repro.trace.tracer import NULL_TRACER, AllocationTracer, NullTracer
+
+__all__ = [
+    "render_report",
+    "render_schedule_summary",
+    "AllocationTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MemorySink",
+    "JSONLSink",
+    "ChromeTraceSink",
+    "event_to_dict",
+    "BoundaryAction",
+    "CandidateMetrics",
+    "PreferenceApplied",
+    "PseudoBound",
+    "SpillDecision",
+    "StageTiming",
+    "TileColored",
+    "BOUNDARY_ACTIONS",
+    "SPILL_REASONS",
+]

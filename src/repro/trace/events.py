@@ -1,0 +1,152 @@
+"""Structured allocation-trace events.
+
+Every observable decision the hierarchical allocator makes is describable
+by one of the frozen dataclasses below.  Events are plain data: no methods
+beyond what dataclasses provide, every field JSON-serializable through
+:func:`dataclasses.asdict`, so any sink (in-memory list, JSONL file,
+Chrome trace viewer) can consume the same stream.
+
+Determinism contract: with the exception of :class:`StageTiming` (wall
+times and thread names are inherently run-specific), every event is a pure
+function of the input program and configuration -- the allocation pipeline
+is bit-deterministic (see ``repro.determinism``), so the filtered event
+stream is too.  Golden-trace tests rely on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+#: Reasons a :class:`SpillDecision` can carry, in the order the pipeline
+#: can produce them for one variable.
+SPILL_REASONS = (
+    "not_worth_a_register",  # section-4 rule: transfer + weight < 0
+    "no_color",              # optimistic coloring found no color
+    "pressure_victim",       # evicted so an operand temporary could color
+    "demotion",              # phase-2 rule: parent in memory, weight <= transfer
+)
+
+#: The paper's four boundary cases (section 3, "Inserting Spill Code").
+BOUNDARY_ACTIONS = ("spill", "transfer", "reload", "no_change")
+
+
+@dataclass(frozen=True)
+class CandidateMetrics:
+    """The five section-4 quantities for one allocation candidate."""
+
+    local_weight: float
+    transfer: float
+    weight: float
+    reg: float
+    mem: float
+
+
+@dataclass(frozen=True)
+class TileColored:
+    """One tile finished coloring (phase 1) or binding (phase 2).
+
+    ``candidates`` carries the section-4 metrics for every variable that
+    was visible in the tile, keyed by name; ``assignment`` maps colored
+    nodes to their pseudo (phase 1) or physical (phase 2) register.
+    """
+
+    tile_id: int
+    phase: str  # "phase1" | "phase2"
+    kind: str   # tile provenance: "root" / "body" / "loop" / "cond"
+    blocks: Tuple[str, ...]
+    rounds: int
+    assignment: Mapping[str, str]
+    spilled: Tuple[str, ...]
+    used_colors: Tuple[str, ...]
+    candidates: Mapping[str, CandidateMetrics]
+
+
+@dataclass(frozen=True)
+class SpillDecision:
+    """A variable was sent to memory, and why.
+
+    ``weight`` / ``transfer`` are the section-4 values that justified the
+    decision (``Weight_t(v)`` and ``Transfer_t(v)``); for coloring spills
+    ``weight`` is the priority the spill heuristic ranked the node by.
+    """
+
+    tile_id: int
+    phase: str
+    var: str
+    reason: str  # one of SPILL_REASONS
+    weight: float
+    transfer: float
+
+
+@dataclass(frozen=True)
+class BoundaryAction:
+    """Treatment of one live variable on one tile-boundary edge.
+
+    ``action`` names the paper case derived from the two locations:
+    parent-register/child-memory is a Spill, two distinct registers a
+    Transfer, parent-memory/child-register a Reload, identical locations
+    No Change.  ``store_avoided`` marks the Reload exit half whose store
+    was skipped because nothing in the subtile defines the variable ("the
+    spill is unnecessary because v was never modified in the loop").
+    """
+
+    edge: Tuple[str, str]
+    parent_tile: int
+    child_tile: int
+    entering: bool  # True: edge enters the child tile; False: exits it
+    var: str
+    action: str  # one of BOUNDARY_ACTIONS
+    parent_loc: str  # physical register or the MEM sentinel
+    child_loc: str
+    store_avoided: bool = False
+
+
+@dataclass(frozen=True)
+class PreferenceApplied:
+    """The coloring engine honored a preference.
+
+    ``kind`` is ``"local"`` when the node took its local preference color
+    (parent binding, linkage register) and ``"partner"`` when it inherited
+    an already-colored preference partner's color (copy elimination).
+    """
+
+    tile_id: int
+    phase: str
+    var: str
+    color: str
+    kind: str  # "local" | "partner"
+
+
+@dataclass(frozen=True)
+class PseudoBound:
+    """Phase 2 bound one of a tile's pseudo registers to its final home.
+
+    ``pseudo`` is the phase-1 color, ``summary`` the tile summary variable
+    that represented it in the parent, ``binding`` the physical register
+    the parent gave that summary variable (or the MEM sentinel).
+    """
+
+    tile_id: int
+    pseudo: str
+    summary: str
+    binding: str
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock interval of one pipeline stage or per-tile task.
+
+    ``start`` is a ``time.perf_counter`` value -- meaningful only relative
+    to other events of the same process.  ``category`` is ``"pipeline"``
+    for whole-allocation stages and ``"tile"`` for per-tile scheduler
+    tasks; the latter carry the worker ``thread`` name, which is what the
+    Chrome trace sink lays out as rows.
+    """
+
+    name: str
+    category: str  # "pipeline" | "tile"
+    start: float
+    duration: float
+    thread: str = ""
+    tile_id: Optional[int] = None

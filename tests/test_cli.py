@@ -140,3 +140,58 @@ class TestMiniLangInput:
         code, text = run_cli(["tiles", str(path)])
         assert code == 0
         assert "loop" in text
+
+
+class TestTrace:
+    @pytest.fixture
+    def figure1_file(self, tmp_path):
+        from repro.workloads.figure1 import figure1
+
+        path = tmp_path / "figure1.ir"
+        path.write_text(format_function(figure1()))
+        return str(path)
+
+    def test_report_shows_metrics_and_cases(self, figure1_file):
+        code, text = run_cli(["trace", figure1_file, "--registers", "4"])
+        assert code == 0
+        assert "## Tile tree" in text
+        for column in ("Local_weight", "Transfer", "Weight", "Reg", "Mem"):
+            assert column in text
+        # All four section-5 cases are named in the case totals line.
+        for case in ("spill", "transfer", "reload", "no_change"):
+            assert case in text
+        assert "Case totals:" in text
+        assert "## Counters" in text
+
+    def test_jsonl_output(self, figure1_file, tmp_path):
+        import json
+
+        jsonl = tmp_path / "events.jsonl"
+        code, text = run_cli([
+            "trace", figure1_file, "--registers", "4",
+            "--jsonl", str(jsonl),
+        ])
+        assert code == 0
+        lines = jsonl.read_text().strip().splitlines()
+        assert lines
+        types = {json.loads(line)["type"] for line in lines}
+        assert "TileColored" in types and "BoundaryAction" in types
+
+    def test_parallel_with_chrome_and_timings(self, figure1_file, tmp_path):
+        import json
+
+        chrome = tmp_path / "sched.json"
+        code, text = run_cli([
+            "trace", figure1_file, "--registers", "4",
+            "--workers", "2", "--chrome", str(chrome), "--timings",
+        ])
+        assert code == 0
+        assert "## Stage timings" in text
+        doc = json.loads(chrome.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_trace_does_not_require_inputs(self, figure1_file):
+        # Unlike run/allocate, trace only allocates -- no simulation, so
+        # no --arg is needed.
+        code, text = run_cli(["trace", figure1_file])
+        assert code == 0
