@@ -58,7 +58,9 @@ def test_parallel_equals_sequential(benchmark):
     seq = compile_function(workload, HierarchicalAllocator(), MACHINE)
     par = compile_function(
         workload,
-        HierarchicalAllocator(HierarchicalConfig(parallel=True)),
+        HierarchicalAllocator(
+            HierarchicalConfig(parallel=True, parallel_min_tiles=1)
+        ),
         MACHINE,
     )
     assert seq.spill_refs == par.spill_refs
@@ -70,7 +72,9 @@ def test_parallel_equals_sequential(benchmark):
 
     benchmark(lambda: compile_function(
         workload,
-        HierarchicalAllocator(HierarchicalConfig(parallel=True)),
+        HierarchicalAllocator(
+            HierarchicalConfig(parallel=True, parallel_min_tiles=1)
+        ),
         MACHINE,
     ))
 

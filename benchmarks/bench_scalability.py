@@ -152,3 +152,47 @@ def test_quick_regression_gate():
             )
     report("E15_quick_gate", rows)
     assert not failures, "; ".join(failures)
+
+
+def test_quick_parallel_fallback_gate():
+    """The production parallel config must never lose to sequential.
+
+    On these tile counts (~100-200 tiles) thread-based tile parallelism
+    loses to the GIL, so ``should_parallelize`` auto-falls back to the
+    sequential driver and the only cost left is the threshold check
+    itself.  Gate: parallel config <= 1.05x sequential on the quick
+    workloads (run by CI's perf gate via ``-k quick``).
+    """
+    machine = Machine.simple(8)
+    seq_cfg = HierarchicalConfig()
+    par_cfg = HierarchicalConfig(parallel=True, parallel_workers=4)
+    widths = [16, 12, 12, 8]
+    rows = [fmt_row(["workload", "seq (ms)", "par (ms)", "ratio"], widths)]
+    failures = []
+    for name, factory in QUICK_WORKLOADS.items():
+        fn = factory()
+        seq = _time(
+            lambda: HierarchicalAllocator(seq_cfg).allocate(
+                fn.clone(), machine
+            ),
+            repeats=5,
+        )
+        par = _time(
+            lambda: HierarchicalAllocator(par_cfg).allocate(
+                fn.clone(), machine
+            ),
+            repeats=5,
+        )
+        ratio = par / max(seq, 1e-9)
+        rows.append(fmt_row(
+            [name, round(seq * 1e3, 1), round(par * 1e3, 1),
+             round(ratio, 3)],
+            widths,
+        ))
+        if par > seq * 1.05:
+            failures.append(
+                f"{name}: parallel config {par * 1e3:.1f}ms > "
+                f"1.05x sequential {seq * 1e3:.1f}ms"
+            )
+    report("E15_quick_parallel_fallback", rows)
+    assert not failures, "; ".join(failures)

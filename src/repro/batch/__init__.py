@@ -1,0 +1,56 @@
+"""Batch allocation: process-parallel multi-function driver + result cache.
+
+The scaling axis the paper's section-6 parallelism claim actually pays on
+in Python is *across functions*: one process per worker, one function per
+task, and -- for repeated traffic -- no allocation at all when a
+content-addressed cache already holds the result.
+
+Public surface:
+
+* :class:`~repro.batch.engine.BatchEngine` -- persistent pool + cache;
+  :func:`repro.pipeline.allocate_module` is the one-call wrapper.
+* :class:`~repro.core.config.BatchConfig` -- the orchestration knobs
+  (``batch_workers`` / ``cache_dir`` / ``cache_policy`` / ...).
+* :class:`~repro.batch.cache.AllocationCache` -- in-memory LRU over an
+  optional on-disk store.
+* :mod:`~repro.batch.serialize` -- the stable, versioned record format
+  and the fingerprint / invalidation keys.
+* :mod:`~repro.batch.module` -- module sources (directories of IR or
+  MiniLang files, deterministic synthetic modules).
+"""
+
+from repro.batch.cache import AllocationCache, CacheStats
+from repro.batch.engine import (
+    BatchEngine,
+    BatchResult,
+    BatchStats,
+    ModuleAllocation,
+)
+from repro.batch.module import load_module_dir, synthetic_module
+from repro.batch.serialize import (
+    FORMAT_VERSION,
+    AllocationRecord,
+    cache_key,
+    code_version,
+    function_fingerprint,
+    invalidation_key,
+)
+from repro.core.config import BatchConfig
+
+__all__ = [
+    "AllocationCache",
+    "AllocationRecord",
+    "BatchConfig",
+    "BatchEngine",
+    "BatchResult",
+    "BatchStats",
+    "CacheStats",
+    "FORMAT_VERSION",
+    "ModuleAllocation",
+    "cache_key",
+    "code_version",
+    "function_fingerprint",
+    "invalidation_key",
+    "load_module_dir",
+    "synthetic_module",
+]

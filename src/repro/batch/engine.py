@@ -1,0 +1,354 @@
+"""The batch allocation engine (multi-function driver).
+
+One :class:`BatchEngine` owns a persistent ``ProcessPoolExecutor`` and an
+:class:`~repro.batch.cache.AllocationCache` and pushes whole *modules*
+(lists of :class:`~repro.pipeline.Workload`) through allocation:
+
+1. every function is fingerprinted (canonical-program sha256) and looked
+   up in the cache -- hits skip allocation entirely;
+2. misses are **deduplicated by cache key** (identical functions in one
+   module are computed once) and fanned out over the pool, or computed
+   inline when ``batch_workers == 0``; either way the *canonical
+   printed form* is what gets allocated -- the same text the
+   fingerprint hashes -- so a record is a pure function of its content
+   address (in-memory block order, which canonical text does not
+   capture, can otherwise steer tie-breaks);
+3. results are merged by **submission index**, never completion order,
+   and inserted into the cache in submission order -- so the result list,
+   the cache's LRU state, and the trace stream are all deterministic
+   functions of the input module (completion order only shifts wall
+   times).
+
+The parallelism axis is deliberately *across functions and processes*:
+each worker allocates sequentially (one function at a time, GIL-free
+relative to its siblings), which is where the real multi-core win lives
+-- intra-function thread scheduling loses under the GIL (see
+``schedule.should_parallelize``).
+
+Determinism: workers inherit ``PYTHONHASHSEED`` (set in ``os.environ``
+before the pool starts, so both fork and spawn children see it), and the
+allocation itself is bit-deterministic across hash seeds and processes
+(PR-2 guarantee, enforced by ``repro.determinism check`` -- which covers
+this engine via its ``--batch`` mode), so cached and freshly-computed
+records are interchangeable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.batch.cache import AllocationCache
+from repro.batch.serialize import (
+    AllocationRecord,
+    UncacheableConfigError,
+    cache_key,
+    function_fingerprint,
+    invalidation_key,
+    record_from_dict,
+)
+from repro.batch.worker import compute_record, run_task, worker_init
+from repro.core import HierarchicalConfig
+from repro.core.config import BatchConfig
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+from repro.machine.target import Machine
+from repro.perf.timers import StageTimers
+from repro.trace.events import BatchTask, CacheHit, CacheMiss
+from repro.trace.tracer import NULL_TRACER, NullTracer
+
+
+@dataclass
+class BatchResult:
+    """One function's outcome in submission order."""
+
+    name: str
+    fingerprint: str
+    record: AllocationRecord
+    cached: bool
+    source: str  # "memory" | "disk" | "computed"
+    worker: str  # "worker-<i>" | "inline" | "cache"
+    duration: float
+
+
+@dataclass
+class BatchStats:
+    """Aggregate accounting for one engine (cumulative across modules)."""
+
+    functions: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    wall_s: float = 0.0
+    stage_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def functions_per_sec(self) -> float:
+        return self.functions / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "functions": self.functions,
+            "computed": self.computed,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "wall_s": round(self.wall_s, 4),
+            "functions_per_sec": round(self.functions_per_sec, 2),
+        }
+
+
+@dataclass
+class ModuleAllocation:
+    """What :func:`repro.pipeline.allocate_module` returns: per-function
+    results in submission order plus the engine's aggregate stats."""
+
+    results: List[BatchResult]
+    stats: BatchStats
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index) -> BatchResult:
+        return self.results[index]
+
+
+def _src_path() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class BatchEngine:
+    """Process-parallel multi-function allocator with a content-addressed
+    cache.  Use as a context manager (the pool is a held resource)::
+
+        with BatchEngine(batch=BatchConfig(batch_workers=4)) as engine:
+            module = engine.allocate_module(workloads)
+    """
+
+    def __init__(
+        self,
+        config: Optional[HierarchicalConfig] = None,
+        machine: Optional[Machine] = None,
+        batch: Optional[BatchConfig] = None,
+        tracer: Optional[NullTracer] = None,
+    ) -> None:
+        self.batch = batch or BatchConfig()
+        self.config = config or HierarchicalConfig()
+        self.machine = machine or Machine.simple(self.batch.registers)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = BatchStats()
+        self.timers = StageTimers()
+
+        if self.batch.cache_policy == "off":
+            self.cache: Optional[AllocationCache] = None
+        else:
+            self.cache = AllocationCache(
+                capacity=self.batch.cache_capacity,
+                cache_dir=(
+                    self.batch.cache_dir
+                    if self.batch.cache_policy == "disk"
+                    else None
+                ),
+            )
+        try:
+            self._invalidation = invalidation_key(self.config, self.machine)
+        except UncacheableConfigError:
+            # Profile-guided configs can't be content-addressed; run with
+            # the cache disabled rather than risk stale hits.
+            self.cache = None
+            self._invalidation = ""
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._epoch = time.time()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "BatchEngine":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def start(self) -> None:
+        """Spin up the persistent worker pool (no-op when workers == 0 or
+        the pool already exists)."""
+        if self.batch.batch_workers > 0 and self._pool is None:
+            # Propagated into children regardless of start method; the
+            # fingerprints they produce are hash-seed-independent anyway
+            # (the determinism gate proves it), this keeps the whole
+            # environment reproducible for grandchildren too.
+            hash_seed = os.environ.get("PYTHONHASHSEED")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.batch.batch_workers,
+                initializer=worker_init,
+                initargs=(
+                    _src_path(),
+                    hash_seed,
+                    self.config,
+                    self.machine,
+                    self.batch.simulate,
+                ),
+            )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate_module(self, workloads: Sequence) -> ModuleAllocation:
+        """Allocate every workload, returning results in submission order."""
+        tracer = self.tracer
+        t0 = time.time()
+
+        # 1. fingerprint + cache lookup, in submission order.
+        entries: List[Tuple[str, str, str, object]] = []
+        results: List[Optional[BatchResult]] = [None] * len(workloads)
+        miss_groups: Dict[str, List[int]] = {}
+        for index, workload in enumerate(workloads):
+            name = workload.label()
+            text = format_function(workload.fn)
+            fingerprint = function_fingerprint(workload.fn)
+            key = cache_key(fingerprint, self._invalidation)
+            entries.append((name, text, fingerprint, workload))
+            record = None
+            cached_source = None
+            if self.cache is not None:
+                cached_source = self.cache.source_of(key)
+                if cached_source is not None:
+                    # May still return None for a torn disk entry (the
+                    # get() then counts the miss itself).
+                    record = self.cache.get(key)
+            if record is not None:
+                if tracer.enabled:
+                    tracer.emit(CacheHit(
+                        function=name, fingerprint=fingerprint,
+                        source=cached_source,
+                    ))
+                results[index] = BatchResult(
+                    name=name, fingerprint=fingerprint, record=record,
+                    cached=True, source=cached_source, worker="cache",
+                    duration=0.0,
+                )
+            else:
+                if self.cache is not None and cached_source is None:
+                    self.cache.stats.misses += 1
+                if tracer.enabled:
+                    tracer.emit(CacheMiss(
+                        function=name, fingerprint=fingerprint,
+                    ))
+                miss_groups.setdefault(key, []).append(index)
+
+        # 2. compute misses -- one task per distinct key, submission order.
+        computed: Dict[str, Tuple[AllocationRecord, Dict[str, object]]] = {}
+        ordered_keys = list(miss_groups)
+        if ordered_keys:
+            if self._pool is None and self.batch.batch_workers > 0:
+                self.start()
+            if self._pool is not None:
+                tasks = []
+                for task_index, key in enumerate(ordered_keys):
+                    first = miss_groups[key][0]
+                    name, text, fingerprint, workload = entries[first]
+                    tasks.append((
+                        task_index, name, fingerprint, text,
+                        dict(workload.args),
+                        {k: list(v) for k, v in workload.arrays.items()},
+                    ))
+                # map() yields in submission order regardless of which
+                # worker finishes first -- the deterministic merge.
+                for task_index, record_dict, timing in self._pool.map(
+                    run_task, tasks
+                ):
+                    key = ordered_keys[task_index]
+                    record = record_from_dict(record_dict)
+                    computed[key] = (record, timing)
+                    self.timers.merge(timing.get("stage_times", {}))
+            else:
+                for key in ordered_keys:
+                    first = miss_groups[key][0]
+                    name, text, fingerprint, workload = entries[first]
+                    start = time.time()
+                    # Allocate the canonical (parsed-back) form, exactly
+                    # as pool workers do: a record must be a pure
+                    # function of the content address, and block *dict
+                    # order* -- which canonical text does not capture --
+                    # can otherwise steer tie-breaks.
+                    record, stage_times = compute_record(
+                        name, parse_function(text), self.config,
+                        self.machine,
+                        args=workload.args, arrays=workload.arrays,
+                        simulate=self.batch.simulate,
+                        fingerprint=fingerprint,
+                    )
+                    computed[key] = (record, {
+                        "start": start,
+                        "duration": time.time() - start,
+                        "pid": os.getpid(),
+                    })
+                    self.timers.merge(stage_times)
+
+        # 3. merge + cache insert, in submission order.
+        pids: Dict[int, int] = {}
+        for key in ordered_keys:
+            record, timing = computed[key]
+            pid = int(timing.get("pid", os.getpid()))
+            if self._pool is not None:
+                worker = f"worker-{pids.setdefault(pid, len(pids))}"
+            else:
+                worker = "inline"
+            duration = float(timing.get("duration", 0.0))
+            if self.cache is not None:
+                self.cache.put(key, record)
+            for index in miss_groups[key]:
+                name, _, fingerprint, _ = entries[index]
+                results[index] = BatchResult(
+                    name=name, fingerprint=fingerprint, record=record,
+                    cached=False, source="computed", worker=worker,
+                    duration=duration,
+                )
+            if tracer.enabled:
+                tracer.emit(BatchTask(
+                    function=record.function, fingerprint=record.fingerprint,
+                    worker=worker,
+                    start=float(timing.get("start", t0)) - self._epoch,
+                    duration=duration, cached=False,
+                ))
+        if tracer.enabled:
+            for result in results:
+                if result is not None and result.cached:
+                    tracer.emit(BatchTask(
+                        function=result.name, fingerprint=result.fingerprint,
+                        worker="cache", start=t0 - self._epoch,
+                        duration=0.0, cached=True,
+                    ))
+
+        wall = time.time() - t0
+        done: List[BatchResult] = [r for r in results if r is not None]
+        assert len(done) == len(workloads)
+        self.stats.functions += len(done)
+        self.stats.computed += len(ordered_keys)
+        self.stats.cache_hits += sum(1 for r in done if r.cached)
+        self.stats.cache_misses += len(workloads) - sum(
+            1 for r in done if r.cached
+        )
+        if self.cache is not None:
+            self.stats.evictions = self.cache.stats.evictions
+            self.stats.disk_hits = self.cache.stats.disk_hits
+        self.stats.wall_s += wall
+        self.stats.stage_times = self.timers.as_dict()
+        return ModuleAllocation(results=done, stats=self.stats)

@@ -1,0 +1,107 @@
+"""Module sources for the batch engine.
+
+A *module* is just an ordered list of :class:`~repro.pipeline.Workload`:
+
+* :func:`load_module_dir` -- every ``.ir`` / ``.ml`` file in a directory
+  (sorted by filename, so the submission order -- and with it the cache
+  LRU state and result order -- is reproducible across runs and
+  machines);
+* :func:`synthetic_module` -- a deterministic generated module of
+  arbitrary size, used by ``benchmarks/bench_batch.py`` and the batch
+  mode of ``repro.determinism`` (every function comes with runnable
+  inputs so dynamic costs are simulated and verified).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.ir.parser import parse_function
+from repro.ir.validate import validate_function
+
+#: File extensions the directory loader recognizes.
+MODULE_EXTENSIONS = (".ir", ".ml")
+
+
+def load_module_dir(
+    path: str,
+    args: Optional[Mapping[str, Any]] = None,
+    arrays: Optional[Mapping[str, Sequence[Any]]] = None,
+) -> List:
+    """Workloads for every IR/MiniLang file under *path* (sorted names).
+
+    *args* / *arrays*, when given, are attached to every workload (the
+    CLI's ``--arg`` / ``--array`` flags); without them the batch engine
+    allocates statically (no simulation)."""
+    from repro.pipeline import Workload
+
+    if not os.path.isdir(path):
+        raise FileNotFoundError(f"not a module directory: {path}")
+    workloads = []
+    for filename in sorted(os.listdir(path)):
+        ext = os.path.splitext(filename)[1]
+        if ext not in MODULE_EXTENSIONS:
+            continue
+        full = os.path.join(path, filename)
+        with open(full, encoding="utf-8") as fh:
+            text = fh.read()
+        if ext == ".ml":
+            from repro.minilang import compile_source
+
+            fn = compile_source(text)
+        else:
+            fn = parse_function(text)
+        validate_function(fn)
+        workloads.append(Workload(
+            fn,
+            dict(args or {}),
+            {k: list(v) for k, v in (arrays or {}).items()},
+            name=os.path.splitext(filename)[0],
+        ))
+    if not workloads:
+        raise FileNotFoundError(
+            f"no {'/'.join(MODULE_EXTENSIONS)} files in {path}"
+        )
+    return workloads
+
+
+def synthetic_module(count: int, seed: int = 0) -> List:
+    """A deterministic module of *count* runnable functions.
+
+    Cycles through the kernel workloads and structured random programs
+    (seeded from *seed* + position, so two calls with equal arguments
+    produce textually identical modules -- the property the cache bench
+    and determinism batch mode rely on)."""
+    from repro.pipeline import Workload
+    from repro.workloads.generators import random_program
+    from repro.workloads.kernels import all_kernel_workloads
+
+    kernels = all_kernel_workloads()
+    workloads: List = []
+    for position in range(count):
+        if position % 3 == 0 and position // 3 < len(kernels):
+            base = kernels[position // 3]
+            workloads.append(Workload(
+                base.fn, dict(base.args), dict(base.arrays),
+                name=f"{position:03d}_{base.label()}",
+            ))
+            continue
+        fn_seed = seed * 100_003 + position
+        fn = random_program(
+            seed=fn_seed,
+            max_blocks=40 + (position % 5) * 12,
+            max_vars=12 + (position % 4) * 6,
+            max_depth=3 + (position % 3),
+            break_prob=0.04 if position % 2 else 0.0,
+            name=f"m{position}",
+        )
+        arrays: Dict[str, List[int]] = {
+            "A": [((position * 7 + i * 3) % 17) - 8 for i in range(8)],
+            "B": [0] * 8,
+        }
+        workloads.append(Workload(
+            fn, {"n": 1 + position % 7}, arrays,
+            name=f"{position:03d}_{fn.name}",
+        ))
+    return workloads

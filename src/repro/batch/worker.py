@@ -1,0 +1,194 @@
+"""Process-pool worker for the batch engine.
+
+Everything here is top-level and picklable.  A worker is initialized once
+per process with the allocator/machine configuration
+(:func:`worker_init`), then receives ``(index, name, text, args, arrays)``
+tasks and returns ``(index, record_dict, timing_dict)`` -- the function
+travels as its canonical IR text (lossless round-trip through
+``format_function``/``parse_function``), never as a pickled object graph,
+so the wire format is as stable as the cache format.
+
+:func:`compute_record` is the single implementation of "allocate one
+function and condense the result into an :class:`AllocationRecord`"; the
+engine calls it inline when running without a pool, so pooled, inline and
+cached results are constructed identically (bit-identical, per the
+determinism gate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+import time
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.batch.serialize import (
+    FORMAT_VERSION,
+    AllocationRecord,
+    function_fingerprint,
+    normalize_returned,
+    record_to_dict,
+)
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.core.summary import is_summary_var, is_temp_node
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+from repro.machine.target import Machine
+
+
+def compute_record(
+    name: str,
+    fn: Function,
+    config: HierarchicalConfig,
+    machine: Machine,
+    args: Optional[Mapping[str, Any]] = None,
+    arrays: Optional[Mapping[str, Sequence[Any]]] = None,
+    simulate: bool = True,
+    fingerprint: Optional[str] = None,
+) -> Tuple[AllocationRecord, Dict[str, float]]:
+    """Allocate *fn* and condense the outcome into a cacheable record.
+
+    With *simulate* and inputs present, the full pipeline runs (reference
+    run, allocation, allocated run, differential verification) and the
+    record carries the dynamic cost counters; otherwise the function is
+    allocated and validated statically and ``costs`` is ``None``.
+    Returns the record plus the allocator's per-stage wall times (which
+    the engine aggregates across workers; never part of the record).
+    """
+    from repro.pipeline import Workload, compile_function, prepare
+
+    fingerprint = fingerprint or function_fingerprint(fn)
+    args = dict(args or {})
+    arrays = {k: list(v) for k, v in (arrays or {}).items()}
+    run_simulation = simulate and bool(args or arrays)
+
+    costs: Optional[Dict[str, int]] = None
+    returned: Optional[int] = None
+    if run_simulation:
+        result = compile_function(
+            Workload(fn, args, arrays, name=name),
+            HierarchicalAllocator(config),
+            machine,
+        )
+        outcome = result.outcome
+        costs = {
+            "spill_loads": result.allocated_run.spill_loads,
+            "spill_stores": result.allocated_run.spill_stores,
+            "moves": result.allocated_run.register_moves,
+            "program_refs": result.allocated_run.program_memory_refs,
+        }
+        returned = normalize_returned(result.allocated_run.returned)
+        allocations = outcome.stats.extra.get("allocations")
+        ctx = outcome.stats.extra.get("context")
+    else:
+        from repro.ir.validate import validate_function
+        from repro.machine.rewrite import remove_self_moves
+
+        prepared = prepare(fn)
+        allocator = HierarchicalAllocator(config)
+        outcome = allocator.allocate(prepared, machine)
+        remove_self_moves(outcome.fn)
+        validate_function(outcome.fn, allow_unreachable=True)
+        allocations = allocator.last_allocations
+        ctx = allocator.last_context
+
+    text = format_function(outcome.fn)
+    stage_times = dict(outcome.stats.extra.get("stage_times", {}))
+    record = AllocationRecord(
+        version=FORMAT_VERSION,
+        function=name,
+        fingerprint=fingerprint,
+        blocks=len(outcome.fn.blocks),
+        allocated_sha256=hashlib.sha256(text.encode()).hexdigest(),
+        allocated_text=text,
+        spilled=tuple(sorted(outcome.stats.spilled_vars)),
+        bindings=_final_bindings(ctx, allocations),
+        static_costs={
+            "spill_loads": outcome.stats.static_spill_loads,
+            "spill_stores": outcome.stats.static_spill_stores,
+            "moves": outcome.stats.static_moves,
+        },
+        costs=costs,
+        returned=returned,
+    )
+    return record, stage_times
+
+
+def _final_bindings(ctx, allocations) -> Tuple[Tuple[str, str], ...]:
+    """Per-tile final bindings of real variables, as ``("t<i>:<var>",
+    location)`` pairs where ``<i>`` is the tile's *postorder index* --
+    process-global tile ids differ between worker processes, postorder
+    indices do not."""
+    if ctx is None or allocations is None:
+        return ()
+    pairs = []
+    for index, tile in enumerate(ctx.tree.postorder()):
+        alloc = allocations.get(tile.tid)
+        if alloc is None:
+            continue
+        phys = getattr(alloc, "phys", None) or {}
+        for node in sorted(phys):
+            if is_summary_var(node) or is_temp_node(node):
+                continue
+            pairs.append((f"t{index}:{node}", phys[node]))
+    return tuple(pairs)
+
+
+# ----------------------------------------------------------------------
+# pool plumbing
+# ----------------------------------------------------------------------
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def worker_init(
+    src_path: str,
+    hash_seed: Optional[str],
+    config: HierarchicalConfig,
+    machine: Machine,
+    simulate: bool,
+) -> None:
+    """Per-process initializer: make ``import repro`` work regardless of
+    start method, pin ``PYTHONHASHSEED`` for any grandchildren, and stash
+    the shared configuration once instead of per task."""
+    if src_path and src_path not in sys.path:
+        sys.path.insert(0, src_path)
+    if hash_seed is not None:
+        os.environ["PYTHONHASHSEED"] = hash_seed
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["machine"] = machine
+    _WORKER_STATE["simulate"] = simulate
+
+
+def run_task(
+    task: Tuple[int, str, str, str, Dict[str, Any], Dict[str, list]],
+) -> Tuple[int, Dict[str, object], Dict[str, object]]:
+    """Allocate one function in a pool process.
+
+    *task* is ``(index, name, fingerprint, text, args, arrays)``; the
+    return value is ``(index, record_dict, timing)`` with ``timing``
+    carrying wall-clock ``start``/``duration`` (``time.time()``, shared
+    across processes on one machine), the worker ``pid``, and the
+    allocator's per-stage times for aggregation.
+    """
+    index, name, fingerprint, text, args, arrays = task
+    start = time.time()
+    fn = parse_function(text)
+    record, stage_times = compute_record(
+        name,
+        fn,
+        _WORKER_STATE["config"],
+        _WORKER_STATE["machine"],
+        args=args,
+        arrays=arrays,
+        simulate=_WORKER_STATE["simulate"],
+        fingerprint=fingerprint,
+    )
+    timing = {
+        "start": start,
+        "duration": time.time() - start,
+        "pid": os.getpid(),
+        "stage_times": stage_times,
+    }
+    return index, record_to_dict(record), timing

@@ -13,6 +13,11 @@ Four subcommands over textual IR files (the format of
   render the per-tile decision report (section-4 metrics per candidate,
   the four boundary cases per edge); optionally dump the raw event stream
   as JSONL and/or the scheduler timings as a ``chrome://tracing`` file.
+* ``batch`` -- allocate every IR/MiniLang file in a directory through the
+  batch engine: content-addressed allocation cache (in-memory LRU,
+  optionally persistent with ``--cache``) in front of a process pool
+  (``--workers``); ``--stats`` prints hits/misses/evictions and
+  functions/sec, ``--chrome`` writes the per-worker timeline.
 
 Examples::
 
@@ -20,6 +25,8 @@ Examples::
         --registers 4 --arg n=8 --array A=1,2,3,4,5,6,7,8 --verify
     python -m repro trace examples/programs/figure1.ir --registers 4 \
         --jsonl events.jsonl --chrome sched.json --workers 4
+    python -m repro batch examples/programs --workers 4 \
+        --cache /tmp/alloc-cache --stats
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from repro.allocators import (
 from repro.analysis.frequency import frequencies_from_profile
 from repro.core import HierarchicalAllocator, HierarchicalConfig
 from repro.ir import format_function, parse_function, validate_function
-from repro.machine.simulator import simulate
+from repro.machine.simulator import SimulationError, simulate
 from repro.machine.target import Machine
 from repro.pipeline import Workload, compile_function, prepare
 from repro.tiles import build_tile_tree
@@ -223,6 +230,77 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace, out) -> int:
+    from repro.batch import BatchConfig, BatchEngine, load_module_dir
+
+    workloads = load_module_dir(
+        args.dir, args=_parse_kv(args.arg), arrays=_parse_arrays(args.array)
+    )
+    policy = args.policy
+    if args.cache and policy == "memory":
+        policy = "disk"
+    batch = BatchConfig(
+        batch_workers=args.workers,
+        cache_dir=args.cache,
+        cache_policy=policy,
+        registers=args.registers,
+        simulate=not args.no_simulate,
+    )
+
+    sinks: List[object] = []
+    if args.jsonl:
+        sinks.append(JSONLSink(args.jsonl))
+    if args.chrome:
+        sinks.append(ChromeTraceSink(args.chrome))
+    tracer = AllocationTracer(sinks) if sinks else None
+
+    try:
+        with BatchEngine(batch=batch, tracer=tracer) as engine:
+            module = engine.allocate_module(workloads)
+    except SimulationError as exc:
+        raise SystemExit(
+            f"simulation failed: {exc}\n"
+            "(--arg/--array apply to every function in the module; use "
+            "--no-simulate for static allocation of mixed-signature "
+            "modules)"
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+    for result in module:
+        record = result.record
+        line = (
+            f"{result.name}: blocks={record.blocks} "
+            f"spilled={len(record.spilled)} "
+            f"static[loads={record.static_costs['spill_loads']} "
+            f"stores={record.static_costs['spill_stores']} "
+            f"moves={record.static_costs['moves']}]"
+        )
+        if record.costs is not None:
+            line += (
+                f" dynamic[spill_refs="
+                f"{record.costs['spill_loads'] + record.costs['spill_stores']}"
+                f" moves={record.costs['moves']}]"
+            )
+        line += f" [{'cache:' + result.source if result.cached else result.worker}]"
+        print(line, file=out)
+
+    if args.stats:
+        stats = module.stats.as_dict()
+        print("# batch stats", file=out)
+        for key in ("functions", "computed", "hits", "misses",
+                    "evictions", "disk_hits", "wall_s",
+                    "functions_per_sec"):
+            print(f"#   {key}: {stats[key]}", file=out)
+    if args.jsonl:
+        print(f"# [events written to {args.jsonl}]", file=out)
+    if args.chrome:
+        print(f"# [chrome://tracing timeline written to {args.chrome}]",
+              file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -296,6 +374,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a stage/worker timing summary to the report",
     )
     trace_p.set_defaults(func=cmd_trace)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="allocate a directory of functions through the batch engine "
+        "(process pool + content-addressed allocation cache)",
+    )
+    batch_p.add_argument("dir", help="directory of .ir / .ml files")
+    batch_p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for cache misses (0 = allocate in-process)",
+    )
+    batch_p.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="persistent cache directory (implies --policy disk)",
+    )
+    batch_p.add_argument(
+        "--policy", choices=["memory", "disk", "off"], default="memory",
+        help="cache policy (default: in-memory LRU; 'disk' needs --cache)",
+    )
+    batch_p.add_argument("--registers", type=int, default=8)
+    batch_p.add_argument(
+        "--arg", action="append", default=[], metavar="NAME=INT",
+        help="scalar argument attached to every function (repeatable)",
+    )
+    batch_p.add_argument(
+        "--array", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="array input attached to every function (repeatable)",
+    )
+    batch_p.add_argument(
+        "--no-simulate", action="store_true",
+        help="skip the simulator even when inputs are given "
+        "(static allocation only)",
+    )
+    batch_p.add_argument(
+        "--stats", action="store_true",
+        help="print cache hit/miss/eviction counts and functions/sec",
+    )
+    batch_p.add_argument(
+        "--jsonl", metavar="PATH",
+        help="write CacheHit/CacheMiss/BatchTask events as JSON Lines",
+    )
+    batch_p.add_argument(
+        "--chrome", metavar="PATH",
+        help="write the per-worker batch timeline in Chrome trace-event "
+        "format",
+    )
+    batch_p.set_defaults(func=cmd_batch)
     return parser
 
 

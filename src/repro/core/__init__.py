@@ -10,13 +10,14 @@ Public surface:
 """
 
 from repro.core.allocator import HierarchicalAllocator
-from repro.core.config import HierarchicalConfig
+from repro.core.config import BatchConfig, HierarchicalConfig
 from repro.core.scratch import hierarchy_cost, promote_to_scratch
 from repro.core.summary import TileAllocation, MEM
 
 __all__ = [
     "HierarchicalAllocator",
     "HierarchicalConfig",
+    "BatchConfig",
     "TileAllocation",
     "MEM",
     "promote_to_scratch",

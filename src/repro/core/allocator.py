@@ -27,6 +27,7 @@ from repro.core.schedule import (
     resolve_workers,
     run_phase1_scheduled,
     run_phase2_scheduled,
+    should_parallelize,
 )
 from repro.core.spill_code import rewrite_program
 from repro.core.summary import MEM, TileAllocation
@@ -79,7 +80,12 @@ class HierarchicalAllocator(Allocator):
                 tracer=tracer,
             )
 
-        if config.parallel:
+        # Small trees fall back to the sequential driver even with
+        # ``parallel=True``: the thread pool cannot recover its overhead
+        # under the GIL (see ``schedule.should_parallelize``).  Output is
+        # identical either way -- only the schedule differs.
+        use_scheduler = should_parallelize(config, len(build.tree))
+        if use_scheduler:
             with timers.stage("phase1", tracer):
                 allocations = run_phase1_scheduled(ctx, config)
             with timers.stage("phase2", tracer):
@@ -96,6 +102,9 @@ class HierarchicalAllocator(Allocator):
 
         stats = self._gather_stats(ctx, allocations, build)
         stats.extra["stage_times"] = timers.as_dict()
+        stats.extra["driver"] = (
+            "dep_parallel" if use_scheduler else "sequential"
+        )
         record_spill_blocks(out, stats)
         self.last_context = ctx
         self.last_allocations = allocations

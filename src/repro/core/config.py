@@ -45,6 +45,14 @@ class HierarchicalConfig:
         parallel_workers: thread count for the parallel drivers; ``None``
             accepts ``ThreadPoolExecutor``'s default sizing.  Must be >= 1
             when set.
+        parallel_min_tiles: with ``parallel`` on, tile trees smaller than
+            this fall back to the sequential driver (identical output --
+            only the schedule changes).  ``None`` picks the automatic
+            threshold ``max(2 * workers, PARALLEL_AUTO_MIN_TILES)``: on
+            CPython the GIL-bound thread scheduler loses ~10-20% on
+            100-200-tile trees (bench E16 ``drivers``), so small trees
+            gain nothing from the pool.  Set ``1`` to force the scheduler
+            (the determinism matrix and driver benches do).
         max_tile_width: bound on conditional-tile width forwarded to tile
             construction.
         loop_tiles_only: alias ablation -- force ``conditional_tiles=False``
@@ -59,6 +67,7 @@ class HierarchicalConfig:
     frequencies: Optional[FrequencyInfo] = None
     parallel: bool = False
     parallel_workers: Optional[int] = None
+    parallel_min_tiles: Optional[int] = None
     max_tile_width: Optional[int] = None
     #: spill-candidate ranking: "cost_over_degree" (Chaitin's ratio, the
     #: paper's implementation choice), "cost", or "degree" (section 4:
@@ -77,4 +86,64 @@ class HierarchicalConfig:
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError(
                 f"parallel_workers must be >= 1, got {self.parallel_workers}"
+            )
+        if self.parallel_min_tiles is not None and self.parallel_min_tiles < 1:
+            raise ValueError(
+                f"parallel_min_tiles must be >= 1, got {self.parallel_min_tiles}"
+            )
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Knobs for the batch allocation engine (:mod:`repro.batch`).
+
+    These control *orchestration only* -- how many functions are allocated
+    at once and whether results are reused -- never what the allocator
+    decides for any single function, so they are kept apart from
+    :class:`HierarchicalConfig` (whose semantic fields form the cache
+    invalidation key; see :mod:`repro.batch.serialize`).
+
+    Attributes:
+        batch_workers: worker *processes* for cache misses.  ``0`` allocates
+            in-process (no pool) -- the right choice for one-off runs; the
+            pool only pays off across many functions.
+        cache_dir: directory for the persistent content-addressed store.
+            Required for ``cache_policy="disk"``.
+        cache_policy: ``"memory"`` (in-memory LRU, the default), ``"disk"``
+            (LRU in front of an on-disk store under *cache_dir*), or
+            ``"off"`` (every function is recomputed).
+        cache_capacity: maximum in-memory LRU entries before eviction.
+        registers: machine size functions are allocated for (the machine is
+            part of the invalidation key).
+        simulate: run the allocated program on the workload's inputs and
+            record the dynamic cost counters in the cached record (also
+            verifies the allocation differentially, as the pipeline does).
+            Workloads without inputs are allocated statically either way.
+    """
+
+    batch_workers: int = 0
+    cache_dir: Optional[str] = None
+    cache_policy: str = "memory"
+    cache_capacity: int = 1024
+    registers: int = 8
+    simulate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cache_policy not in ("memory", "disk", "off"):
+            raise ValueError(
+                f"unknown cache_policy {self.cache_policy!r}"
+            )
+        if self.cache_policy == "disk" and not self.cache_dir:
+            raise ValueError("cache_policy='disk' requires cache_dir")
+        if self.batch_workers < 0:
+            raise ValueError(
+                f"batch_workers must be >= 0, got {self.batch_workers}"
+            )
+        if self.cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+        if self.registers < 1:
+            raise ValueError(
+                f"registers must be >= 1, got {self.registers}"
             )

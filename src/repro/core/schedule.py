@@ -28,6 +28,7 @@ worker -- the ``chrome://tracing`` view of scheduler utilisation.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
@@ -67,6 +68,14 @@ def _traced_task(task, ctx: FunctionContext, phase: str):
     return run
 
 
+#: Auto-fallback floor: below this many tiles the thread scheduler cannot
+#: recover its submit/wait/lock overhead on CPython (tile coloring is pure
+#: Python, so the GIL serializes the actual work; measured in bench E16's
+#: ``drivers`` table, the dependency-driven pool *loses* 10-20% to the
+#: sequential driver on every 100-200-tile bench workload).
+PARALLEL_AUTO_MIN_TILES = 256
+
+
 def resolve_workers(config: HierarchicalConfig) -> Optional[int]:
     """Worker count for the pools: ``config.parallel_workers``, or ``None``
     to accept :class:`ThreadPoolExecutor`'s default sizing."""
@@ -74,6 +83,34 @@ def resolve_workers(config: HierarchicalConfig) -> Optional[int]:
     if workers is not None and workers < 1:
         raise ValueError(f"parallel_workers must be >= 1, got {workers}")
     return workers
+
+
+def effective_min_tiles(config: HierarchicalConfig) -> int:
+    """The tile-count threshold below which ``parallel=True`` still runs
+    the sequential driver.
+
+    ``config.parallel_min_tiles`` when set; otherwise
+    ``max(2 * workers, PARALLEL_AUTO_MIN_TILES)`` -- two tiles per worker
+    is the minimum width at which the pool can even be busy, and the auto
+    floor covers the measured regression range (the scheduler only pays
+    off on trees large enough that coordination is a rounding error).
+    """
+    threshold = getattr(config, "parallel_min_tiles", None)
+    if threshold is not None:
+        return threshold
+    workers = resolve_workers(config)
+    if workers is None:
+        # ThreadPoolExecutor's default sizing.
+        workers = min(32, (os.cpu_count() or 1) + 4)
+    return max(2 * workers, PARALLEL_AUTO_MIN_TILES)
+
+
+def should_parallelize(config: HierarchicalConfig, tile_count: int) -> bool:
+    """Whether the allocator should use the dependency-driven scheduler
+    for a tree of *tile_count* tiles (output is identical either way)."""
+    if not getattr(config, "parallel", False):
+        return False
+    return tile_count >= effective_min_tiles(config)
 
 
 def run_phase1_scheduled(

@@ -123,23 +123,92 @@ def allocation_fingerprint(
 def _config_for(workers: int) -> HierarchicalConfig:
     if workers <= 0:
         return HierarchicalConfig()
-    return HierarchicalConfig(parallel=True, parallel_workers=workers)
+    # parallel_min_tiles=1 forces the dependency-driven scheduler even on
+    # trees below the auto-fallback threshold -- the determinism matrix
+    # exists to prove the *scheduler* is deterministic, so it must not be
+    # quietly replaced by the sequential driver.
+    return HierarchicalConfig(
+        parallel=True, parallel_workers=workers, parallel_min_tiles=1
+    )
+
+
+def batch_fingerprints(
+    names: Sequence[str],
+    batch_workers: int = 0,
+    registers: int = 8,
+) -> Dict[str, Dict[str, object]]:
+    """Cold- and warm-cache batch-engine fingerprints for *names*.
+
+    Runs the module twice through one :class:`~repro.batch.BatchEngine`
+    (first pass computes -- in worker processes when ``batch_workers > 0``
+    -- and fills the content-addressed cache; second pass must be served
+    entirely from it) and returns, per workload, the determinism
+    fingerprint of both passes.  Raises if the warm pass missed the cache
+    or any record diverged, so a passing ``check`` really does cover the
+    cached path bit-for-bit.
+    """
+    from repro.batch import BatchConfig, BatchEngine
+
+    workloads = [build_workload(name) for name in names]
+    batch = BatchConfig(batch_workers=batch_workers, registers=registers)
+    with BatchEngine(batch=batch) as engine:
+        cold = engine.allocate_module(workloads)
+        warm = engine.allocate_module(workloads)
+
+    out: Dict[str, Dict[str, object]] = {}
+    for name, c, w in zip(names, cold, warm):
+        if c.cached:
+            raise RuntimeError(f"{name}: cold batch pass hit the cache")
+        if not w.cached:
+            raise RuntimeError(f"{name}: warm batch pass missed the cache")
+        if c.record != w.record:
+            raise RuntimeError(
+                f"{name}: cached record diverges from computed record"
+            )
+        out[name] = {
+            "cold": c.record.fingerprint_dict(),
+            "warm": w.record.fingerprint_dict(),
+        }
+    return out
 
 
 def fingerprint_workloads(
     names: Sequence[str],
     workers: int = 0,
     registers: int = 8,
+    batch_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, object]]:
-    """Fingerprints for *names*, in order, under one allocator config."""
+    """Fingerprints for *names*, in order, under one allocator config.
+
+    With *batch_workers* set (``>= 0``), each workload's dict also
+    carries a ``"batch"`` section -- the cold/warm batch-engine
+    fingerprints -- after asserting the cold batch result is identical to
+    the directly-computed fingerprint, so ``check`` compares cached,
+    pooled and direct allocations across all its (seed, workers) combos.
+    """
     machine = Machine.simple(registers)
     config = _config_for(workers)
-    return {
+    prints = {
         name: allocation_fingerprint(
             build_workload(name), config=config, machine=machine
         )
         for name in names
     }
+    if batch_workers is not None:
+        batched = batch_fingerprints(
+            names, batch_workers=batch_workers, registers=registers
+        )
+        for name in names:
+            if batched[name]["cold"] != prints[name]:
+                raise RuntimeError(
+                    f"{name}: batch-engine fingerprint diverges from the "
+                    f"direct pipeline:\n"
+                    f"  direct: {json.dumps(prints[name], sort_keys=True)}\n"
+                    f"  batch:  "
+                    f"{json.dumps(batched[name]['cold'], sort_keys=True)}"
+                )
+            prints[name]["batch"] = batched[name]
+    return prints
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +228,7 @@ def fingerprint_in_subprocess(
     hash_seed: str,
     workers: int = 0,
     registers: int = 8,
+    batch_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Run ``fingerprint`` in a fresh interpreter under *hash_seed*."""
     env = dict(os.environ)
@@ -176,6 +246,8 @@ def fingerprint_in_subprocess(
         "--registers",
         str(registers),
     ]
+    if batch_workers is not None:
+        cmd += ["--batch", str(batch_workers)]
     proc = subprocess.run(
         cmd, env=env, capture_output=True, text=True, timeout=600
     )
@@ -192,8 +264,14 @@ def cross_process_check(
     hash_seeds: Sequence[str] = DEFAULT_HASH_SEEDS,
     worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
     registers: int = 8,
+    batch_workers: Optional[int] = None,
 ) -> List[str]:
     """Compare fingerprints across every (hash seed, workers) combination.
+
+    With *batch_workers* set, each subprocess additionally pushes the
+    module through the batch engine twice (cold compute + warm cache) and
+    the batch fingerprints join the comparison -- one divergent cached
+    byte anywhere in the matrix fails the check.
 
     Returns a list of human-readable mismatch descriptions; empty means
     every combination produced bit-identical results.
@@ -202,7 +280,8 @@ def cross_process_check(
     for seed in hash_seeds:
         for workers in worker_counts:
             runs[(seed, workers)] = fingerprint_in_subprocess(
-                names, seed, workers=workers, registers=registers
+                names, seed, workers=workers, registers=registers,
+                batch_workers=batch_workers,
             )
 
     baseline_key = (hash_seeds[0], worker_counts[0])
@@ -242,6 +321,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     fp.add_argument("--workloads", default="all")
     fp.add_argument("--workers", type=int, default=0)
     fp.add_argument("--registers", type=int, default=8)
+    fp.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="also fingerprint via the batch engine (cold + warm cache) "
+        "with N pool workers (0 = in-process)",
+    )
 
     ck = sub.add_parser(
         "check",
@@ -257,13 +341,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated worker counts (0 = sequential driver)",
     )
     ck.add_argument("--registers", type=int, default=8)
+    ck.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="include batch-engine cold/warm cache fingerprints (N pool "
+        "workers, 0 = in-process) in every combination",
+    )
 
     args = parser.parse_args(argv)
     names = _parse_names(args.workloads)
 
     if args.command == "fingerprint":
         prints = fingerprint_workloads(
-            names, workers=args.workers, registers=args.registers
+            names, workers=args.workers, registers=args.registers,
+            batch_workers=args.batch,
         )
         json.dump(prints, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
@@ -273,7 +363,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     workers = [int(w) for w in args.workers.split(",") if w != ""]
     problems = cross_process_check(
         names, hash_seeds=seeds, worker_counts=workers,
-        registers=args.registers,
+        registers=args.registers, batch_workers=args.batch,
     )
     combos = len(seeds) * len(workers)
     if problems:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Mapping, Optional
 
 
 class StageTimers:
@@ -46,6 +46,17 @@ class StageTimers:
     def add(self, name: str, seconds: float) -> None:
         with self._lock:
             self._times[name] = self._times.get(name, 0.0) + seconds
+
+    def merge(self, times: "Mapping[str, float]") -> None:
+        """Fold another stage -> seconds mapping into this one.
+
+        The batch engine (:mod:`repro.batch.engine`) aggregates the
+        per-stage times its worker processes report, so one
+        :class:`StageTimers` summarizes where a whole module's allocation
+        time went."""
+        with self._lock:
+            for name, seconds in times.items():
+                self._times[name] = self._times.get(name, 0.0) + seconds
 
     def as_dict(self) -> Dict[str, float]:
         """Snapshot of stage -> accumulated seconds."""

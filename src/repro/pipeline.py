@@ -198,6 +198,36 @@ def _canonical_arrays(arrays):
     }
 
 
+def allocate_module(
+    workloads: Sequence[Workload],
+    config=None,
+    machine: Optional[Machine] = None,
+    batch=None,
+    tracer: Optional[NullTracer] = None,
+):
+    """Allocate a whole module (many functions) through the batch engine.
+
+    The multi-function counterpart of :func:`compile_function`: functions
+    are fingerprinted and served from the content-addressed allocation
+    cache when possible; misses fan out over a persistent process pool
+    (``batch.batch_workers``) and merge back in submission order, so the
+    returned :class:`~repro.batch.engine.ModuleAllocation` is a
+    deterministic function of the input module.  See :mod:`repro.batch`
+    for the engine, cache and serialization layers, and
+    :class:`~repro.core.config.BatchConfig` for the knobs.
+
+    For repeated batches against one cache/pool, hold a
+    :class:`~repro.batch.engine.BatchEngine` open instead of calling this
+    in a loop (each call here builds and tears down its own engine).
+    """
+    from repro.batch.engine import BatchEngine
+
+    with BatchEngine(
+        config=config, machine=machine, batch=batch, tracer=tracer
+    ) as engine:
+        return engine.allocate_module(workloads)
+
+
 def compare_allocators(
     workload: Workload,
     allocators: Sequence[Allocator],

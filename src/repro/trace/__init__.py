@@ -25,7 +25,10 @@ Typical use::
 from repro.trace.events import (
     BOUNDARY_ACTIONS,
     SPILL_REASONS,
+    BatchTask,
     BoundaryAction,
+    CacheHit,
+    CacheMiss,
     CandidateMetrics,
     PreferenceApplied,
     PseudoBound,
@@ -52,7 +55,10 @@ __all__ = [
     "JSONLSink",
     "ChromeTraceSink",
     "event_to_dict",
+    "BatchTask",
     "BoundaryAction",
+    "CacheHit",
+    "CacheMiss",
     "CandidateMetrics",
     "PreferenceApplied",
     "PseudoBound",

@@ -134,6 +134,48 @@ class PseudoBound:
 
 
 @dataclass(frozen=True)
+class CacheHit:
+    """The batch engine served one function from the allocation cache.
+
+    ``source`` says which layer answered: ``"memory"`` for the in-process
+    LRU, ``"disk"`` for the persistent content-addressed store.
+    ``fingerprint`` is the canonical-program sha256 of the *input*
+    function (the content address; see :mod:`repro.batch.serialize`).
+    """
+
+    function: str
+    fingerprint: str
+    source: str  # "memory" | "disk"
+
+
+@dataclass(frozen=True)
+class CacheMiss:
+    """No cached allocation existed for one function; it will be computed."""
+
+    function: str
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One function's trip through the batch engine.
+
+    ``worker`` names where the allocation ran: ``"worker-<i>"`` for a
+    pool process, ``"inline"`` for the coordinator process, ``"cache"``
+    when a cache hit made computation unnecessary.  ``start`` is seconds
+    since the batch run began (wall clock, comparable across worker
+    processes); the Chrome sink lays these out as one row per worker.
+    """
+
+    function: str
+    fingerprint: str
+    worker: str
+    start: float
+    duration: float
+    cached: bool
+
+
+@dataclass(frozen=True)
 class StageTiming:
     """Wall-clock interval of one pipeline stage or per-tile task.
 

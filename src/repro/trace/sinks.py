@@ -24,7 +24,7 @@ import json
 from dataclasses import asdict, is_dataclass
 from typing import Dict, IO, Iterator, List, Optional, Type, Union
 
-from repro.trace.events import StageTiming
+from repro.trace.events import BatchTask, StageTiming
 
 
 def event_to_dict(event: object) -> Dict[str, object]:
@@ -78,27 +78,31 @@ class ChromeTraceSink:
     Complete events (``"ph": "X"``) are laid out with one trace ``tid``
     per worker-thread name (plus thread-name metadata events), which is
     exactly the view that shows the dependency-driven scheduler keeping
-    its workers busy.  Non-timing events are ignored -- pair this sink
-    with a :class:`MemorySink` or :class:`JSONLSink` for the rest.
+    its workers busy.  :class:`~repro.trace.events.BatchTask` events get
+    the same treatment with one row per batch *worker process* (their
+    ``start`` values are already relative to the batch run, a different
+    clock than ``StageTiming``'s ``perf_counter``, so the two families
+    are normalized independently).  Other events are ignored -- pair this
+    sink with a :class:`MemorySink` or :class:`JSONLSink` for the rest.
     """
 
     def __init__(self, target: Union[str, IO[str]]) -> None:
         self._target = target
         self._timings: List[StageTiming] = []
+        self._tasks: List[BatchTask] = []
 
     def handle(self, event: object) -> None:
         if isinstance(event, StageTiming):
             self._timings.append(event)
+        elif isinstance(event, BatchTask):
+            self._tasks.append(event)
 
     def trace_events(self) -> List[Dict[str, object]]:
         """The Chrome trace-event records for everything collected so far."""
         tids: Dict[str, int] = {}
         records: List[Dict[str, object]] = []
-        if not self._timings:
-            return records
-        origin = min(t.start for t in self._timings)
-        for timing in self._timings:
-            thread = timing.thread or "main"
+
+        def row(thread: str) -> int:
             if thread not in tids:
                 tids[thread] = len(tids)
                 records.append({
@@ -108,20 +112,41 @@ class ChromeTraceSink:
                     "tid": tids[thread],
                     "args": {"name": thread},
                 })
-            records.append({
-                "name": timing.name,
-                "cat": timing.category,
-                "ph": "X",
-                "pid": 0,
-                "tid": tids[thread],
-                "ts": (timing.start - origin) * 1e6,   # microseconds
-                "dur": timing.duration * 1e6,
-                "args": (
-                    {"tile": timing.tile_id}
-                    if timing.tile_id is not None
-                    else {}
-                ),
-            })
+            return tids[thread]
+
+        if self._timings:
+            origin = min(t.start for t in self._timings)
+            for timing in self._timings:
+                records.append({
+                    "name": timing.name,
+                    "cat": timing.category,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": row(timing.thread or "main"),
+                    "ts": (timing.start - origin) * 1e6,   # microseconds
+                    "dur": timing.duration * 1e6,
+                    "args": (
+                        {"tile": timing.tile_id}
+                        if timing.tile_id is not None
+                        else {}
+                    ),
+                })
+        if self._tasks:
+            origin = min(t.start for t in self._tasks)
+            for task in self._tasks:
+                records.append({
+                    "name": task.function,
+                    "cat": "batch",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": row(task.worker),
+                    "ts": (task.start - origin) * 1e6,
+                    "dur": task.duration * 1e6,
+                    "args": {
+                        "fingerprint": task.fingerprint[:12],
+                        "cached": task.cached,
+                    },
+                })
         return records
 
     def close(self) -> None:

@@ -1,0 +1,305 @@
+"""Tests for the batch allocation engine (multi-function driver).
+
+Pooled, inline and cached paths must produce bit-identical records in
+submission order; duplicates are computed once; results match the
+single-function pipeline; the trace stream records cache traffic and
+per-worker task rows; the CLI ``batch`` subcommand wires it all up.
+"""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    BatchConfig,
+    BatchEngine,
+    load_module_dir,
+    synthetic_module,
+)
+from repro.cli import main as cli_main
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.core.schedule import (
+    PARALLEL_AUTO_MIN_TILES,
+    effective_min_tiles,
+    should_parallelize,
+)
+from repro.ir.printer import format_function
+from repro.machine.target import Machine
+from repro.pipeline import Workload, allocate_module, compile_function
+from repro.trace import (
+    AllocationTracer,
+    BatchTask,
+    CacheHit,
+    CacheMiss,
+    ChromeTraceSink,
+    MemorySink,
+)
+from repro.workloads.kernels import all_kernel_workloads, dot
+
+
+def small_module(count=6):
+    return synthetic_module(count)
+
+
+class TestEngineBasics:
+    def test_results_in_submission_order(self):
+        module = small_module()
+        with BatchEngine(batch=BatchConfig()) as engine:
+            results = engine.allocate_module(module)
+        assert [r.name for r in results] == [w.label() for w in module]
+        assert all(not r.cached and r.source == "computed" for r in results)
+
+    def test_warm_pass_served_from_cache(self):
+        module = small_module()
+        with BatchEngine(batch=BatchConfig()) as engine:
+            cold = engine.allocate_module(module)
+            warm = engine.allocate_module(module)
+        assert all(r.cached and r.worker == "cache" for r in warm)
+        assert [r.record for r in cold] == [r.record for r in warm]
+
+    def test_pooled_equals_inline(self):
+        module = small_module()
+        with BatchEngine(batch=BatchConfig()) as inline_engine:
+            inline = inline_engine.allocate_module(module)
+        with BatchEngine(batch=BatchConfig(batch_workers=2)) as pooled_engine:
+            pooled = pooled_engine.allocate_module(module)
+        assert [r.record for r in inline] == [r.record for r in pooled]
+        assert all(r.worker.startswith("worker-") for r in pooled)
+
+    def test_duplicate_functions_computed_once(self):
+        base = dot()
+        module = [
+            Workload(base, {"n": 4}, {"A": [1] * 4, "B": [2] * 4}, name="a"),
+            Workload(base, {"n": 4}, {"A": [1] * 4, "B": [2] * 4}, name="b"),
+        ]
+        with BatchEngine(batch=BatchConfig()) as engine:
+            results = engine.allocate_module(module)
+        assert engine.stats.computed == 1
+        assert engine.stats.functions == 2
+        assert results[0].record == results[1].record
+        assert [r.name for r in results] == ["a", "b"]
+
+    def test_stats_accumulate_across_modules(self):
+        module = small_module()
+        with BatchEngine(batch=BatchConfig()) as engine:
+            engine.allocate_module(module)
+            engine.allocate_module(module)
+            stats = engine.stats
+        assert stats.functions == 2 * len(module)
+        assert stats.computed == len(module)
+        assert stats.cache_hits == len(module)
+        assert stats.cache_misses == len(module)
+        assert stats.wall_s > 0
+        assert stats.functions_per_sec > 0
+        payload = stats.as_dict()
+        assert payload["hits"] == len(module)
+
+    def test_cache_off_policy_recomputes(self):
+        module = small_module(3)
+        with BatchEngine(
+            batch=BatchConfig(cache_policy="off")
+        ) as engine:
+            first = engine.allocate_module(module)
+            second = engine.allocate_module(module)
+        assert engine.cache is None
+        assert engine.stats.computed == 2 * len(module)
+        assert [r.record for r in first] == [r.record for r in second]
+
+    def test_disk_cache_survives_engine_restart(self, tmp_path):
+        module = small_module(4)
+        batch = BatchConfig(cache_policy="disk", cache_dir=str(tmp_path))
+        with BatchEngine(batch=batch) as engine:
+            cold = engine.allocate_module(module)
+        with BatchEngine(batch=batch) as fresh:
+            warm = fresh.allocate_module(module)
+        assert all(r.cached and r.source == "disk" for r in warm)
+        assert fresh.stats.disk_hits == len(module)
+        assert [r.record for r in cold] == [r.record for r in warm]
+
+
+class TestMatchesSingleFunctionPipeline:
+    def test_records_match_compile_function(self):
+        machine = Machine.simple(8)
+        module = all_kernel_workloads(5)[:4]
+        results = allocate_module(module, machine=machine)
+        for workload, result in zip(module, results):
+            direct = compile_function(
+                workload, HierarchicalAllocator(), machine
+            )
+            assert result.record.allocated_text == format_function(direct.fn)
+            assert set(result.record.spilled) == direct.stats.spilled_vars
+            assert result.record.costs == {
+                "spill_loads": direct.allocated_run.spill_loads,
+                "spill_stores": direct.allocated_run.spill_stores,
+                "moves": direct.allocated_run.register_moves,
+                "program_refs": direct.allocated_run.program_memory_refs,
+            }
+
+    def test_static_path_when_no_inputs(self):
+        module = [Workload(dot(), name="bare")]
+        results = allocate_module(module)
+        record = results.results[0].record
+        assert record.costs is None and record.returned is None
+        assert record.allocated_text
+        assert record.bindings
+
+
+class TestSyntheticModule:
+    def test_deterministic_across_calls(self):
+        first = synthetic_module(10)
+        second = synthetic_module(10)
+        assert [w.label() for w in first] == [w.label() for w in second]
+        assert [format_function(w.fn) for w in first] == [
+            format_function(w.fn) for w in second
+        ]
+
+    def test_distinct_functions(self):
+        module = synthetic_module(10)
+        texts = {format_function(w.fn) for w in module}
+        assert len(texts) == len(module)
+
+
+class TestTraceIntegration:
+    def test_cache_events_and_task_rows(self):
+        module = small_module(3)
+        sink = MemorySink()
+        tracer = AllocationTracer([sink])
+        with BatchEngine(batch=BatchConfig(), tracer=tracer) as engine:
+            engine.allocate_module(module)
+            engine.allocate_module(module)
+        misses = sink.of_type(CacheMiss)
+        hits = sink.of_type(CacheHit)
+        tasks = sink.of_type(BatchTask)
+        assert [e.function for e in misses] == [w.label() for w in module]
+        assert [e.function for e in hits] == [w.label() for w in module]
+        assert sum(1 for t in tasks if not t.cached) == len(module)
+        assert sum(1 for t in tasks if t.cached) == len(module)
+        assert all(t.start >= 0 and t.duration >= 0 for t in tasks)
+
+    def test_chrome_rows_per_worker(self, tmp_path):
+        path = tmp_path / "batch.json"
+        tracer = AllocationTracer([ChromeTraceSink(str(path))])
+        module = small_module(4)
+        with BatchEngine(
+            batch=BatchConfig(batch_workers=2), tracer=tracer
+        ) as engine:
+            engine.allocate_module(module)
+        tracer.close()
+        doc = json.loads(path.read_text())
+        batch_events = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "batch"
+        ]
+        assert len(batch_events) == len(module)
+        rows = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        workers = {rows[e["tid"]] for e in batch_events}
+        assert workers <= {"worker-0", "worker-1"}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in batch_events)
+        assert all(
+            e["args"]["cached"] is False and e["args"]["fingerprint"]
+            for e in batch_events
+        )
+
+
+class TestCLI:
+    @pytest.fixture
+    def module_dir(self, tmp_path):
+        for workload in all_kernel_workloads(4)[:3]:
+            name = workload.label()
+            (tmp_path / f"{name}.ir").write_text(
+                format_function(workload.fn)
+            )
+        return str(tmp_path)
+
+    def run(self, argv):
+        import io
+
+        out = io.StringIO()
+        code = cli_main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_batch_static(self, module_dir):
+        code, text = self.run([
+            "batch", module_dir, "--no-simulate", "--stats",
+        ])
+        assert code == 0
+        assert "functions:" in text and "misses:" in text
+
+    def test_batch_with_cache_dir(self, module_dir, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code1, _ = self.run([
+            "batch", module_dir, "--no-simulate", "--cache", cache_dir,
+        ])
+        code2, text = self.run([
+            "batch", module_dir, "--no-simulate", "--cache", cache_dir,
+            "--stats",
+        ])
+        assert code1 == 0 and code2 == 0
+        assert "disk" in text
+
+    def test_load_module_dir_rejects_empty(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_module_dir(str(tmp_path))
+
+
+class TestParallelFallback:
+    """Satellite: ``parallel=True`` auto-falls back to the sequential
+    driver below the tile-count threshold (thread scheduling cannot pay
+    for itself there under the GIL)."""
+
+    def test_threshold_default(self):
+        config = HierarchicalConfig(parallel=True, parallel_workers=4)
+        assert effective_min_tiles(config) == max(
+            8, PARALLEL_AUTO_MIN_TILES
+        )
+        assert not should_parallelize(config, 100)
+        assert should_parallelize(config, PARALLEL_AUTO_MIN_TILES)
+
+    def test_threshold_override(self):
+        config = HierarchicalConfig(
+            parallel=True, parallel_workers=4, parallel_min_tiles=1
+        )
+        assert effective_min_tiles(config) == 1
+        assert should_parallelize(config, 1)
+
+    def test_disabled_without_parallel(self):
+        assert not should_parallelize(HierarchicalConfig(), 10_000)
+
+    def test_driver_recorded_in_stats(self):
+        machine = Machine.simple(4)
+        fn = dot()
+        from repro.pipeline import prepare
+
+        fallback = HierarchicalAllocator(
+            HierarchicalConfig(parallel=True, parallel_workers=2)
+        ).allocate(prepare(fn.clone()), machine)
+        assert fallback.stats.extra["driver"] == "sequential"
+
+        forced = HierarchicalAllocator(
+            HierarchicalConfig(
+                parallel=True, parallel_workers=2, parallel_min_tiles=1
+            )
+        ).allocate(prepare(fn.clone()), machine)
+        assert forced.stats.extra["driver"] == "dep_parallel"
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalConfig(parallel_min_tiles=0)
+
+
+class TestBatchConfigValidation:
+    def test_disk_policy_requires_dir(self):
+        with pytest.raises(ValueError):
+            BatchConfig(cache_policy="disk")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BatchConfig(cache_policy="magnetic-tape")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            BatchConfig(batch_workers=-1)

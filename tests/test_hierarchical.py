@@ -165,7 +165,9 @@ class TestParallelMode:
             )
             par = compile_function(
                 workload,
-                HierarchicalAllocator(HierarchicalConfig(parallel=True)),
+                HierarchicalAllocator(
+                    HierarchicalConfig(parallel=True, parallel_min_tiles=1)
+                ),
                 machine,
             )
             assert seq.spill_refs == par.spill_refs

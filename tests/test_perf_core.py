@@ -280,7 +280,9 @@ def test_parallel_allocation_identical_to_sequential(seed, registers):
     )
     text_par, phys_par = _allocate_text(
         random_program(seed),
-        HierarchicalConfig(parallel=True, parallel_workers=3),
+        HierarchicalConfig(
+            parallel=True, parallel_workers=3, parallel_min_tiles=1
+        ),
         registers,
     )
     assert text_seq == text_par
@@ -330,7 +332,9 @@ seed, registers, workers = (int(a) for a in sys.argv[1:4])
 if workers == 0:
     config = HierarchicalConfig()
 else:
-    config = HierarchicalConfig(parallel=True, parallel_workers=workers)
+    config = HierarchicalConfig(
+        parallel=True, parallel_workers=workers, parallel_min_tiles=1
+    )
 out = HierarchicalAllocator(config).allocate(
     random_program(seed), Machine.simple(registers)
 )

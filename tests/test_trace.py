@@ -264,7 +264,9 @@ class TestSinks:
     def test_chrome_trace_on_parallel_run(self, tmp_path):
         path = tmp_path / "sched.json"
         tracer = AllocationTracer([ChromeTraceSink(str(path))])
-        config = HierarchicalConfig(parallel=True, parallel_workers=2)
+        config = HierarchicalConfig(
+            parallel=True, parallel_workers=2, parallel_min_tiles=1
+        )
         allocator = HierarchicalAllocator(config, tracer=tracer)
         allocator.allocate(prepare(nested_cond()), Machine.simple(4))
         tracer.close()
