@@ -33,6 +33,7 @@ from repro.batch.serialize import (
     cache_key,
     code_version,
     function_fingerprint,
+    inputs_digest,
     invalidation_key,
 )
 from repro.core.config import BatchConfig
@@ -50,6 +51,7 @@ __all__ = [
     "cache_key",
     "code_version",
     "function_fingerprint",
+    "inputs_digest",
     "invalidation_key",
     "load_module_dir",
     "synthetic_module",

@@ -5,9 +5,12 @@ One :class:`BatchEngine` owns a persistent ``ProcessPoolExecutor`` and an
 (lists of :class:`~repro.pipeline.Workload`) through allocation:
 
 1. every function is fingerprinted (canonical-program sha256) and looked
-   up in the cache -- hits skip allocation entirely;
-2. misses are **deduplicated by cache key** (identical functions in one
-   module are computed once) and fanned out over the pool, or computed
+   up in the cache under ``cache_key(fingerprint, invalidation, inputs)``
+   -- the inputs digest keeps records with simulated (input-dependent)
+   ``costs``/``returned`` from answering for different inputs;
+2. misses are **deduplicated by cache key** (identical functions *with
+   identical simulator inputs* are computed once) and fanned out over
+   the pool, or computed
    inline when ``batch_workers == 0``; either way the *canonical
    printed form* is what gets allocated -- the same text the
    fingerprint hashes -- so a record is a pure function of its content
@@ -47,6 +50,7 @@ from repro.batch.serialize import (
     UncacheableConfigError,
     cache_key,
     function_fingerprint,
+    inputs_digest,
     invalidation_key,
     record_from_dict,
 )
@@ -223,7 +227,16 @@ class BatchEngine:
             name = workload.label()
             text = format_function(workload.fn)
             fingerprint = function_fingerprint(workload.fn)
-            key = cache_key(fingerprint, self._invalidation)
+            # Records carry simulated costs/returned when inputs are
+            # present, so the key must distinguish inputs -- for the
+            # cache lookup *and* for the miss dedup below, which assumes
+            # one key == one (function, inputs) computation.
+            inputs = (
+                inputs_digest(workload.args, workload.arrays)
+                if self.batch.simulate
+                else ""
+            )
+            key = cache_key(fingerprint, self._invalidation, inputs)
             entries.append((name, text, fingerprint, workload))
             record = None
             cached_source = None

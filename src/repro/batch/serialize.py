@@ -7,7 +7,7 @@ complete binding), the spilled-variable set, the per-tile final bindings
 of real variables, and the simulator's cost counters when the workload
 carried inputs.
 
-Two keys guard correctness:
+Three keys guard correctness:
 
 * the **content address** (:func:`function_fingerprint`) -- sha256 of the
   canonical input program text, the same canonicalization
@@ -19,10 +19,17 @@ Two keys guard correctness:
   allocator code change or config change silently invalidates every
   prior record; scheduling-only knobs (``parallel``, ``parallel_workers``,
   ``parallel_min_tiles``) are *excluded* because the determinism gate
-  proves they never change output.
+  proves they never change output;
+* the **inputs digest** (:func:`inputs_digest`) -- sha256 of the
+  workload's simulator inputs (``args``/``arrays``).  A record stores
+  the dynamic cost counters and the simulator's return value, both of
+  which depend on the inputs the function ran on, so the same function
+  simulated with different inputs must occupy different cache slots.
+  It is empty when the record is input-independent (simulation off, or
+  no inputs supplied: ``costs``/``returned`` are then ``None``).
 
-``cache_key = fingerprint + "-" + invalidation_key`` is the address the
-:mod:`repro.batch.cache` layers store under.
+``cache_key = fingerprint + "-" + invalidation_key [+ "-" + inputs]`` is
+the address the :mod:`repro.batch.cache` layers store under.
 """
 
 from __future__ import annotations
@@ -42,8 +49,12 @@ from repro.machine.target import Machine
 FORMAT_VERSION = 1
 
 #: Subpackages whose source feeds :func:`code_version` -- everything that
-#: can change what an allocation *produces*.  Orchestration-only code
-#: (``repro.batch`` itself, ``repro.trace``, the CLI) is excluded.
+#: can change what an allocation *produces*, including ``opt`` (the
+#: ``optimize`` prepare flag is part of the invalidation key, so optimizer
+#: changes must invalidate records cached with it).  Orchestration-only
+#: code (``repro.batch`` itself, ``repro.trace``, the CLI) is excluded;
+#: ``minilang`` is covered by the content address (the fingerprint hashes
+#: the *compiled* function, so codegen changes change the fingerprint).
 _CODE_VERSION_PACKAGES = (
     "analysis",
     "allocators",
@@ -51,9 +62,15 @@ _CODE_VERSION_PACKAGES = (
     "graph",
     "ir",
     "machine",
+    "opt",
     "perf",
     "tiles",
 )
+
+#: Top-level modules hashed alongside the packages: ``pipeline.py`` owns
+#: ``prepare``/``compile_function``, the path every cached record was
+#: produced through.
+_CODE_VERSION_MODULES = ("pipeline.py",)
 
 #: ``HierarchicalConfig`` fields that only affect scheduling, never output
 #: (proven by ``repro.determinism check`` across worker counts).
@@ -89,6 +106,11 @@ def code_version() -> str:
                     digest.update(rel.encode())
                     with open(path, "rb") as fh:
                         digest.update(fh.read())
+        for module in _CODE_VERSION_MODULES:
+            path = os.path.join(root, module)
+            digest.update(module.encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
         _code_version_cache = digest.hexdigest()
     return _code_version_cache
 
@@ -150,8 +172,37 @@ def invalidation_key(
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def cache_key(fingerprint: str, invalidation: str) -> str:
-    """The content address records are stored under."""
+def inputs_digest(
+    args: Mapping[str, object], arrays: Mapping[str, object]
+) -> str:
+    """sha256 over a workload's simulator inputs, in canonical JSON.
+
+    Folded into the cache key whenever a record will carry simulated
+    (input-dependent) fields; see the module docstring.  Returns ``""``
+    when both mappings are empty -- nothing gets simulated, so the record
+    is a pure function of the content address alone.
+    """
+    if not args and not arrays:
+        return ""
+    payload = {
+        "args": {str(k): v for k, v in args.items()},
+        "arrays": {str(k): list(v) for k, v in arrays.items()},
+    }
+    text = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=repr
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def cache_key(fingerprint: str, invalidation: str, inputs: str = "") -> str:
+    """The content address records are stored under.
+
+    *inputs* is the :func:`inputs_digest` of the workload's simulator
+    inputs -- pass ``""`` (the default) when the record is
+    input-independent (simulation off, or no inputs supplied).
+    """
+    if inputs:
+        return f"{fingerprint}-{invalidation}-{inputs}"
     return f"{fingerprint}-{invalidation}"
 
 

@@ -76,6 +76,28 @@ def _traced_task(task, ctx: FunctionContext, phase: str):
 PARALLEL_AUTO_MIN_TILES = 256
 
 
+_default_pool_width: Optional[int] = None
+
+
+def default_pool_width() -> int:
+    """``ThreadPoolExecutor``'s default ``max_workers``, read off a
+    throwaway executor (no threads are spawned before the first submit)
+    so the auto-fallback threshold tracks whatever the running stdlib
+    actually does rather than a mirrored copy of its sizing formula."""
+    global _default_pool_width
+    if _default_pool_width is None:
+        pool = ThreadPoolExecutor()
+        try:
+            width = getattr(pool, "_max_workers", None)
+        finally:
+            pool.shutdown(wait=False)
+        if not isinstance(width, int) or width < 1:
+            # Private attribute gone: fall back to the documented formula.
+            width = min(32, (os.cpu_count() or 1) + 4)
+        _default_pool_width = width
+    return _default_pool_width
+
+
 def resolve_workers(config: HierarchicalConfig) -> Optional[int]:
     """Worker count for the pools: ``config.parallel_workers``, or ``None``
     to accept :class:`ThreadPoolExecutor`'s default sizing."""
@@ -100,8 +122,7 @@ def effective_min_tiles(config: HierarchicalConfig) -> int:
         return threshold
     workers = resolve_workers(config)
     if workers is None:
-        # ThreadPoolExecutor's default sizing.
-        workers = min(32, (os.cpu_count() or 1) + 4)
+        workers = default_pool_width()
     return max(2 * workers, PARALLEL_AUTO_MIN_TILES)
 
 

@@ -186,6 +186,33 @@ class TestInvalidationKey:
         assert engine.cache is None
 
 
+class TestInputsDigest:
+    def test_empty_inputs_yield_empty_digest(self):
+        from repro.batch.serialize import cache_key, inputs_digest
+
+        assert inputs_digest({}, {}) == ""
+        assert cache_key("fp", "inv", inputs_digest({}, {})) == "fp-inv"
+
+    def test_different_inputs_key_differently(self):
+        from repro.batch.serialize import cache_key, inputs_digest
+
+        small = inputs_digest({"n": 2}, {"A": [1, 2]})
+        large = inputs_digest({"n": 4}, {"A": [1, 2]})
+        assert small and large and small != large
+        assert cache_key("fp", "inv", small) != cache_key("fp", "inv", large)
+
+    def test_digest_is_order_insensitive_and_stable(self):
+        from repro.batch.serialize import inputs_digest
+
+        a = inputs_digest({"n": 2, "m": 3}, {"A": [1], "B": [2]})
+        b = inputs_digest({"m": 3, "n": 2}, {"B": [2], "A": [1]})
+        assert a == b
+        # Tuples and lists carry the same values, so they must collide.
+        assert inputs_digest({}, {"A": (1, 2)}) == inputs_digest(
+            {}, {"A": [1, 2]}
+        )
+
+
 class TestSingleFunctionInvalidation:
     def test_editing_one_function_misses_only_that_entry(self):
         module = synthetic_module(6)

@@ -79,6 +79,58 @@ class TestEngineBasics:
         assert results[0].record == results[1].record
         assert [r.name for r in results] == ["a", "b"]
 
+    def test_warm_cache_distinguishes_inputs(self):
+        # Regression: the cache key must cover simulator inputs -- a warm
+        # run with different inputs used to return the previous inputs'
+        # dynamic costs/return value without re-simulating.
+        base = dot()
+        small = [Workload(base, {"n": 2}, {"A": [1] * 4, "B": [2] * 4},
+                          name="dot")]
+        large = [Workload(base, {"n": 4}, {"A": [1] * 4, "B": [2] * 4},
+                          name="dot")]
+        with BatchEngine(batch=BatchConfig()) as engine:
+            first = engine.allocate_module(small)
+            second = engine.allocate_module(large)
+        assert engine.stats.computed == 2
+        assert not second[0].cached
+        assert first[0].record.returned == [2 * 2]
+        assert second[0].record.returned == [4 * 2]
+        assert first[0].record.costs != second[0].record.costs
+        # Static fields are input-independent: same function, same text.
+        assert (first[0].record.allocated_text
+                == second[0].record.allocated_text)
+        assert first[0].record.spilled == second[0].record.spilled
+
+    def test_dedup_distinguishes_inputs_within_module(self):
+        # Regression: miss dedup used to group by function alone and hand
+        # every duplicate the FIRST workload's simulated result.
+        base = dot()
+        module = [
+            Workload(base, {"n": 2}, {"A": [1] * 4, "B": [2] * 4}, name="a"),
+            Workload(base, {"n": 4}, {"A": [1] * 4, "B": [2] * 4}, name="b"),
+            Workload(base, {"n": 4}, {"A": [1] * 4, "B": [2] * 4}, name="c"),
+        ]
+        with BatchEngine(batch=BatchConfig(cache_policy="off")) as engine:
+            results = engine.allocate_module(module)
+        assert engine.stats.computed == 2
+        assert results[0].record.returned == [2 * 2]
+        assert results[1].record.returned == [4 * 2]
+        assert results[1].record == results[2].record
+
+    def test_inputs_ignored_when_simulation_off(self):
+        # Without simulation the record is input-independent, so differing
+        # inputs still share one cache slot (and one computation).
+        base = dot()
+        module = [
+            Workload(base, {"n": 2}, {"A": [1] * 4, "B": [2] * 4}, name="a"),
+            Workload(base, {"n": 4}, {"A": [1] * 4, "B": [2] * 4}, name="b"),
+        ]
+        with BatchEngine(batch=BatchConfig(simulate=False)) as engine:
+            results = engine.allocate_module(module)
+        assert engine.stats.computed == 1
+        assert results[0].record == results[1].record
+        assert results[0].record.costs is None
+
     def test_stats_accumulate_across_modules(self):
         module = small_module()
         with BatchEngine(batch=BatchConfig()) as engine:
