@@ -17,6 +17,12 @@ Public surface:
   and the fingerprint / invalidation keys.
 * :mod:`~repro.batch.module` -- module sources (directories of IR or
   MiniLang files, deterministic synthetic modules).
+* :mod:`~repro.batch.faultinject` -- the deterministic fault-injection
+  harness (``REPRO_FAULT_PLAN``) the resilience tests and CI gate use.
+
+Fault tolerance (error isolation, deterministic retries, pool recovery,
+the degradation ladder) lives in the engine; see its module docstring
+and :mod:`repro.errors` for the taxonomy.
 """
 
 from repro.batch.cache import AllocationCache, CacheStats
@@ -26,7 +32,14 @@ from repro.batch.engine import (
     BatchStats,
     ModuleAllocation,
 )
-from repro.batch.module import load_module_dir, synthetic_module
+from repro.batch.faultinject import FaultPlan, InjectedFault, active_plan
+from repro.batch.module import (
+    ModuleFileError,
+    ModuleLoad,
+    load_module_dir,
+    synthetic_module,
+)
+from repro.batch.worker import DEGRADATION_LADDER
 from repro.batch.serialize import (
     FORMAT_VERSION,
     AllocationRecord,
@@ -46,8 +59,14 @@ __all__ = [
     "BatchResult",
     "BatchStats",
     "CacheStats",
+    "DEGRADATION_LADDER",
     "FORMAT_VERSION",
+    "FaultPlan",
+    "InjectedFault",
     "ModuleAllocation",
+    "ModuleFileError",
+    "ModuleLoad",
+    "active_plan",
     "cache_key",
     "code_version",
     "function_fingerprint",

@@ -10,6 +10,14 @@ entry keeps hitting -- property-tested in ``tests/test_batch_cache.py``).
 The disk layout shards by the first two key characters
 (``<dir>/ab/<key>.json``) and writes atomically (tmp file + ``os.replace``)
 so concurrent batch runs sharing a cache dir never observe torn records.
+
+The disk layer degrades instead of raising: a record that fails to parse
+(torn by a crash, corrupted on disk) is **quarantined** -- moved aside to
+``<dir>/quarantine/`` and counted -- and treated as a miss, and a failed
+disk *write* is counted and swallowed (an allocation result must never be
+lost to cache bookkeeping).  The fault-injection harness
+(:mod:`repro.batch.faultinject`) can corrupt a write on purpose to drive
+the quarantine path in tests.
 """
 
 from __future__ import annotations
@@ -37,6 +45,8 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     disk_writes: int = 0
+    quarantined: int = 0
+    disk_write_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -46,6 +56,8 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "disk_writes": self.disk_writes,
+            "quarantined": self.quarantined,
+            "disk_write_errors": self.disk_write_errors,
         }
 
 
@@ -99,9 +111,12 @@ class AllocationCache:
                     with open(path, encoding="utf-8") as fh:
                         record = loads_record(fh.read())
                 except (OSError, ValueError):
-                    # Torn/stale entry: treat as a miss; a fresh compute
-                    # will overwrite it.
+                    # Torn/stale/corrupt entry: quarantine it (so the bad
+                    # bytes can be inspected and never answer again) and
+                    # treat the probe as a miss; a fresh compute will
+                    # store a clean record.
                     record = None
+                    self._quarantine(path)
                 if record is not None:
                     self._insert(key, record)
                     if record_stats:
@@ -121,24 +136,50 @@ class AllocationCache:
             return "disk"
         return None
 
+    def _quarantine(self, path: str) -> None:
+        """Move an unreadable disk record into ``<dir>/quarantine/``."""
+        assert self.cache_dir is not None
+        target_dir = os.path.join(self.cache_dir, "quarantine")
+        try:
+            os.makedirs(target_dir, exist_ok=True)
+            os.replace(path, os.path.join(target_dir,
+                                          os.path.basename(path)))
+        except OSError:
+            # Another process may have quarantined or replaced it first;
+            # the entry already stopped answering, which is what matters.
+            pass
+        self.stats.quarantined += 1
+
     def put(self, key: str, record: AllocationRecord) -> None:
-        """Insert (or refresh) *key*; writes through to disk when enabled."""
+        """Insert (or refresh) *key*; writes through to disk when enabled.
+
+        A disk-write failure (full/read-only/vanished filesystem) is
+        counted, not raised: the in-memory layer already holds the
+        record, and losing a cache write must never lose an allocation.
+        """
+        from repro.batch.faultinject import active_plan
+
         self._insert(key, record)
         if self.cache_dir:
             path = self._disk_path(key)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp"
-            )
             try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    fh.write(dumps_record(record))
-                os.replace(tmp, path)
-            except BaseException:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-                raise
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                        fh.write(dumps_record(record))
+                    os.replace(tmp, path)
+                except BaseException:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+                    raise
+            except OSError:
+                self.stats.disk_write_errors += 1
+                return
             self.stats.disk_writes += 1
+            active_plan().maybe_corrupt_disk_write(path)
 
     def _insert(self, key: str, record: AllocationRecord) -> None:
         self._lru[key] = record

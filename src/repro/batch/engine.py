@@ -34,17 +34,47 @@ allocation itself is bit-deterministic across hash seeds and processes
 (PR-2 guarantee, enforced by ``repro.determinism check`` -- which covers
 this engine via its ``--batch`` mode), so cached and freshly-computed
 records are interchangeable bit-for-bit.
+
+Fault tolerance (see :mod:`repro.errors` for the taxonomy):
+
+* **Error isolation** -- one function failing never kills the module: it
+  becomes a :class:`BatchResult` with ``record=None`` and a structured
+  ``error`` (collected in :attr:`ModuleAllocation.failures`), unless
+  ``on_error="fail"`` (strict mode), which re-raises as
+  :class:`~repro.errors.BatchFunctionError`.
+* **Deterministic retries** -- transient failures (crashed worker, hung
+  task, memory pressure) are retried up to ``max_retries`` times with
+  exponential backoff ``retry_backoff_s * 2**attempt``.  Records are pure
+  functions of their content address, so a faulted-then-retried run is
+  bit-identical to a fault-free run; retries only shift wall times and
+  counters.
+* **Pool recovery** -- a ``BrokenProcessPool`` (worker died) or a
+  per-task timeout (worker hung) tears the pool down -- force-terminating
+  stuck workers -- restarts it, and resubmits only the still-unfinished
+  misses.  Cache state and submission-order merge semantics are
+  unaffected because results are keyed by submission index throughout.
+* **Degradation ladder** -- with ``on_error="degrade"`` (the default), a
+  function whose hierarchical allocation fails permanently is retried
+  with the Chaitin comparison allocator, then the naive spill-everywhere
+  baseline (``worker.DEGRADATION_LADDER``); the result is marked
+  ``degraded`` with its ``fallback_allocator`` and is **never** written
+  to the cache, whose keys promise hierarchical results.
+
+All of it is driven in tests and CI by the deterministic fault-injection
+harness (:mod:`repro.batch.faultinject`, ``REPRO_FAULT_PLAN``).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.batch.cache import AllocationCache
+from repro.batch.faultinject import active_plan
 from repro.batch.serialize import (
     AllocationRecord,
     UncacheableConfigError,
@@ -54,28 +84,64 @@ from repro.batch.serialize import (
     invalidation_key,
     record_from_dict,
 )
-from repro.batch.worker import compute_record, run_task, worker_init
+from repro.batch.worker import (
+    DEGRADATION_LADDER,
+    compute_record,
+    run_task,
+    worker_init,
+)
 from repro.core import HierarchicalConfig
 from repro.core.config import BatchConfig
+from repro.errors import (
+    PERMANENT,
+    TRANSIENT,
+    BatchFunctionError,
+    TaskError,
+    classify_exception,
+)
 from repro.ir.parser import parse_function
 from repro.ir.printer import format_function
 from repro.machine.target import Machine
 from repro.perf.timers import StageTimers
-from repro.trace.events import BatchTask, CacheHit, CacheMiss
+from repro.trace.events import (
+    BatchTask,
+    CacheHit,
+    CacheMiss,
+    Degraded,
+    PoolRestarted,
+    TaskFailed,
+    TaskRetried,
+)
 from repro.trace.tracer import NULL_TRACER, NullTracer
 
 
 @dataclass
 class BatchResult:
-    """One function's outcome in submission order."""
+    """One function's outcome in submission order.
+
+    ``record`` is ``None`` exactly when the function finally failed
+    (``error`` then holds the structured failure).  ``degraded`` marks a
+    degradation-ladder result: ``record`` was produced by
+    ``fallback_allocator`` instead of the hierarchical allocator, and
+    ``error`` still describes the primary failure that forced the
+    fallback.  ``attempts`` counts tries of the primary allocator.
+    """
 
     name: str
     fingerprint: str
-    record: AllocationRecord
+    record: Optional[AllocationRecord]
     cached: bool
-    source: str  # "memory" | "disk" | "computed"
+    source: str  # "memory" | "disk" | "computed" | "failed"
     worker: str  # "worker-<i>" | "inline" | "cache"
     duration: float
+    error: Optional[TaskError] = None
+    degraded: bool = False
+    fallback_allocator: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
 
 
 @dataclass
@@ -88,6 +154,11 @@ class BatchStats:
     cache_misses: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    failures: int = 0
+    retries: int = 0
+    degraded: int = 0
+    pool_restarts: int = 0
+    quarantined: int = 0
     wall_s: float = 0.0
     stage_times: Dict[str, float] = field(default_factory=dict)
 
@@ -103,6 +174,11 @@ class BatchStats:
             "misses": self.cache_misses,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "failures": self.failures,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "pool_restarts": self.pool_restarts,
+            "quarantined": self.quarantined,
             "wall_s": round(self.wall_s, 4),
             "functions_per_sec": round(self.functions_per_sec, 2),
         }
@@ -125,11 +201,66 @@ class ModuleAllocation:
     def __getitem__(self, index) -> BatchResult:
         return self.results[index]
 
+    @property
+    def failures(self) -> List[BatchResult]:
+        """Results that finally failed (``record is None``), in order."""
+        return [r for r in self.results if r.record is None]
+
+    @property
+    def degraded_results(self) -> List[BatchResult]:
+        """Results produced by the degradation ladder, in order."""
+        return [r for r in self.results if r.degraded]
+
+    @property
+    def ok(self) -> bool:
+        """True when every function produced a record (possibly degraded)."""
+        return not self.failures
+
+
+@dataclass
+class _Task:
+    """One deduplicated cache miss in flight.
+
+    ``index`` is the task's position in the deduplicated submission order
+    -- the coordinate the fault-injection plan targets -- and ``attempt``
+    the 0-based try counter the retry machinery advances.
+    """
+
+    index: int
+    key: str
+    name: str
+    fingerprint: str
+    text: str
+    workload: object
+    attempt: int = 0
+
+
+@dataclass
+class _TaskOutcome:
+    """Terminal state of one :class:`_Task` after retries/degradation."""
+
+    record: Optional[AllocationRecord]
+    timing: Dict[str, object] = field(default_factory=dict)
+    error: Optional[TaskError] = None
+    degraded: bool = False
+    fallback_allocator: Optional[str] = None
+    attempts: int = 1
+
 
 def _src_path() -> str:
     import repro
 
     return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _task_tuple(task: _Task) -> Tuple:
+    workload = task.workload
+    return (
+        task.index, task.name, task.fingerprint, task.text,
+        dict(workload.args),
+        {k: list(v) for k, v in workload.arrays.items()},
+        task.attempt,
+    )
 
 
 class BatchEngine:
@@ -183,6 +314,8 @@ class BatchEngine:
         return self
 
     def __exit__(self, *exc) -> None:
+        # Runs on exceptions too -- the executor must never outlive the
+        # engine, even when allocate_module raised mid-flight.
         self.close()
 
     def start(self) -> None:
@@ -207,15 +340,52 @@ class BatchEngine:
             )
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release the pool.  Idempotent, and safe on a broken pool or
+        one with hung workers: the shutdown never waits on a worker that
+        will not come back -- leftover processes are terminated."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for process in processes:
+            try:
+                if process.is_alive():
+                    process.terminate()
+            except Exception:
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=5)
+            except Exception:
+                pass
+
+    def _restart_pool(self, resubmitted: int) -> None:
+        """Tear down a broken/hung pool, start a fresh one, and account
+        for it; *resubmitted* is how many in-flight misses will be
+        re-queued onto the new pool."""
+        self.close()
+        self.start()
+        self.stats.pool_restarts += 1
+        if self.tracer.enabled:
+            self.tracer.emit(PoolRestarted(
+                restarts=self.stats.pool_restarts,
+                resubmitted=resubmitted,
+            ))
 
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
     def allocate_module(self, workloads: Sequence) -> ModuleAllocation:
-        """Allocate every workload, returning results in submission order."""
+        """Allocate every workload, returning results in submission order.
+
+        Failures are isolated per function according to
+        ``batch.on_error`` (see :class:`~repro.core.config.BatchConfig`);
+        only strict mode (``"fail"``) lets an exception escape.
+        """
         tracer = self.tracer
         t0 = time.time()
 
@@ -266,77 +436,75 @@ class BatchEngine:
                     ))
                 miss_groups.setdefault(key, []).append(index)
 
-        # 2. compute misses -- one task per distinct key, submission order.
-        computed: Dict[str, Tuple[AllocationRecord, Dict[str, object]]] = {}
+        # 2. compute misses -- one task per distinct key, submission
+        # order; faults are isolated, retried, and degraded per task.
         ordered_keys = list(miss_groups)
-        if ordered_keys:
+        tasks: List[_Task] = []
+        for task_index, key in enumerate(ordered_keys):
+            first = miss_groups[key][0]
+            name, text, fingerprint, workload = entries[first]
+            tasks.append(_Task(
+                index=task_index, key=key, name=name,
+                fingerprint=fingerprint, text=text, workload=workload,
+            ))
+        computed: Dict[str, _TaskOutcome] = {}
+        if tasks:
             if self._pool is None and self.batch.batch_workers > 0:
                 self.start()
             if self._pool is not None:
-                tasks = []
-                for task_index, key in enumerate(ordered_keys):
-                    first = miss_groups[key][0]
-                    name, text, fingerprint, workload = entries[first]
-                    tasks.append((
-                        task_index, name, fingerprint, text,
-                        dict(workload.args),
-                        {k: list(v) for k, v in workload.arrays.items()},
-                    ))
-                # map() yields in submission order regardless of which
-                # worker finishes first -- the deterministic merge.
-                for task_index, record_dict, timing in self._pool.map(
-                    run_task, tasks
-                ):
-                    key = ordered_keys[task_index]
-                    record = record_from_dict(record_dict)
-                    computed[key] = (record, timing)
-                    self.timers.merge(timing.get("stage_times", {}))
+                self._run_pooled(tasks, computed)
             else:
-                for key in ordered_keys:
-                    first = miss_groups[key][0]
-                    name, text, fingerprint, workload = entries[first]
-                    start = time.time()
-                    # Allocate the canonical (parsed-back) form, exactly
-                    # as pool workers do: a record must be a pure
-                    # function of the content address, and block *dict
-                    # order* -- which canonical text does not capture --
-                    # can otherwise steer tie-breaks.
-                    record, stage_times = compute_record(
-                        name, parse_function(text), self.config,
-                        self.machine,
-                        args=workload.args, arrays=workload.arrays,
-                        simulate=self.batch.simulate,
-                        fingerprint=fingerprint,
-                    )
-                    computed[key] = (record, {
-                        "start": start,
-                        "duration": time.time() - start,
-                        "pid": os.getpid(),
-                    })
-                    self.timers.merge(stage_times)
+                self._run_inline(tasks, computed)
+            self._apply_degradation(tasks, computed)
+            if self.batch.on_error == "fail":
+                for task in tasks:
+                    outcome = computed[task.key]
+                    if outcome.record is None:
+                        raise BatchFunctionError(task.name, outcome.error)
 
         # 3. merge + cache insert, in submission order.
         pids: Dict[int, int] = {}
+        own_pid = os.getpid()
         for key in ordered_keys:
-            record, timing = computed[key]
-            pid = int(timing.get("pid", os.getpid()))
-            if self._pool is not None:
+            outcome = computed[key]
+            timing = outcome.timing
+            pid = int(timing.get("pid", own_pid))
+            if self._pool is not None and pid != own_pid:
                 worker = f"worker-{pids.setdefault(pid, len(pids))}"
             else:
                 worker = "inline"
             duration = float(timing.get("duration", 0.0))
-            if self.cache is not None:
-                self.cache.put(key, record)
+            # Degraded records never enter the cache: the key promises a
+            # *hierarchical* allocation of this content address, and a
+            # fallback result must not answer for one.
+            if (
+                self.cache is not None
+                and outcome.record is not None
+                and not outcome.degraded
+            ):
+                self.cache.put(key, outcome.record)
             for index in miss_groups[key]:
                 name, _, fingerprint, _ = entries[index]
                 results[index] = BatchResult(
-                    name=name, fingerprint=fingerprint, record=record,
-                    cached=False, source="computed", worker=worker,
-                    duration=duration,
+                    name=name, fingerprint=fingerprint,
+                    record=outcome.record,
+                    cached=False,
+                    source="computed" if outcome.record is not None
+                    else "failed",
+                    worker=worker, duration=duration,
+                    error=outcome.error,
+                    degraded=outcome.degraded,
+                    fallback_allocator=outcome.fallback_allocator,
+                    attempts=outcome.attempts,
                 )
+            if outcome.record is None:
+                self.stats.failures += len(miss_groups[key])
+            if outcome.degraded:
+                self.stats.degraded += len(miss_groups[key])
             if tracer.enabled:
+                first_name, _, first_fp, _ = entries[miss_groups[key][0]]
                 tracer.emit(BatchTask(
-                    function=record.function, fingerprint=record.fingerprint,
+                    function=first_name, fingerprint=first_fp,
                     worker=worker,
                     start=float(timing.get("start", t0)) - self._epoch,
                     duration=duration, cached=False,
@@ -362,6 +530,224 @@ class BatchEngine:
         if self.cache is not None:
             self.stats.evictions = self.cache.stats.evictions
             self.stats.disk_hits = self.cache.stats.disk_hits
+            self.stats.quarantined = self.cache.stats.quarantined
         self.stats.wall_s += wall
         self.stats.stage_times = self.timers.as_dict()
         return ModuleAllocation(results=done, stats=self.stats)
+
+    # ------------------------------------------------------------------
+    # fault-handling compute paths
+    # ------------------------------------------------------------------
+    def _handle_failure(
+        self,
+        task: _Task,
+        error_class: str,
+        permanence: str,
+        message: str,
+        outcomes: Dict[str, _TaskOutcome],
+        retry_queue: List[_Task],
+        timing: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Route one failed attempt: bounded deterministic retry for
+        transient failures, terminal :class:`_TaskOutcome` otherwise."""
+        if self.tracer.enabled:
+            self.tracer.emit(TaskFailed(
+                function=task.name, fingerprint=task.fingerprint,
+                error_class=error_class, permanence=permanence,
+                attempt=task.attempt, message=message,
+            ))
+        if permanence == TRANSIENT and task.attempt < self.batch.max_retries:
+            backoff = self.batch.retry_backoff_s * (2 ** task.attempt)
+            self.stats.retries += 1
+            if self.tracer.enabled:
+                self.tracer.emit(TaskRetried(
+                    function=task.name, fingerprint=task.fingerprint,
+                    attempt=task.attempt + 1, backoff_s=backoff,
+                ))
+            if backoff > 0:
+                time.sleep(backoff)
+            task.attempt += 1
+            retry_queue.append(task)
+            return
+        outcomes[task.key] = _TaskOutcome(
+            record=None,
+            timing=timing or {},
+            error=TaskError(
+                error_class=error_class, message=message,
+                permanence=permanence, attempts=task.attempt + 1,
+            ),
+            attempts=task.attempt + 1,
+        )
+
+    def _run_pooled(
+        self, tasks: List[_Task], outcomes: Dict[str, _TaskOutcome]
+    ) -> None:
+        """Fan tasks out over the pool, surviving worker loss.
+
+        Futures are collected in submission order (never completion
+        order).  A ``BrokenProcessPool`` or per-task timeout marks the
+        round for a pool restart; only still-unfinished tasks are
+        resubmitted, so the cache/merge semantics downstream see exactly
+        one terminal outcome per key regardless of faults.
+        """
+        pending = list(tasks)
+        while pending:
+            try:
+                submitted = [
+                    (task, self._pool.submit(run_task, _task_tuple(task)))
+                    for task in pending
+                ]
+            except BrokenExecutor:
+                # The pool broke between rounds (e.g. an idle worker
+                # died); rebuild it and submit again.  A second failure
+                # propagates: the pool cannot even start.
+                self._restart_pool(resubmitted=len(pending))
+                submitted = [
+                    (task, self._pool.submit(run_task, _task_tuple(task)))
+                    for task in pending
+                ]
+            retry_queue: List[_Task] = []
+            restart_needed = False
+            for task, future in submitted:
+                try:
+                    _, payload, timing = future.result(
+                        timeout=self.batch.task_timeout_s
+                    )
+                except FuturesTimeout:
+                    # The worker is stuck; it can only be reclaimed by
+                    # restarting the pool.
+                    future.cancel()
+                    restart_needed = True
+                    self._handle_failure(
+                        task, "timeout", TRANSIENT,
+                        f"task exceeded {self.batch.task_timeout_s}s",
+                        outcomes, retry_queue,
+                    )
+                except BrokenExecutor as exc:
+                    restart_needed = True
+                    self._handle_failure(
+                        task, "pool", TRANSIENT,
+                        str(exc) or "worker process died",
+                        outcomes, retry_queue,
+                    )
+                else:
+                    if payload.get("ok"):
+                        outcomes[task.key] = _TaskOutcome(
+                            record=record_from_dict(payload["record"]),
+                            timing=timing, attempts=task.attempt + 1,
+                        )
+                        self.timers.merge(timing.get("stage_times", {}))
+                    else:
+                        self._handle_failure(
+                            task,
+                            str(payload.get("error_class", "internal")),
+                            str(payload.get("permanence", PERMANENT)),
+                            str(payload.get("message", "")),
+                            outcomes, retry_queue, timing=timing,
+                        )
+            if restart_needed:
+                self._restart_pool(resubmitted=len(retry_queue))
+            pending = retry_queue
+
+    def _run_inline(
+        self, tasks: List[_Task], outcomes: Dict[str, _TaskOutcome]
+    ) -> None:
+        """Compute misses in-process with the same retry semantics as the
+        pooled path (timeouts cannot preempt an inline task and are
+        ignored; injected kill/hang faults downgrade to transient
+        raises -- see :mod:`repro.batch.faultinject`)."""
+        plan = active_plan()
+        for task in tasks:
+            while True:
+                start = time.time()
+                try:
+                    plan.maybe_fail_task(
+                        task.index, task.attempt, in_worker=False
+                    )
+                    # Allocate the canonical (parsed-back) form, exactly
+                    # as pool workers do: a record must be a pure
+                    # function of the content address, and block *dict
+                    # order* -- which canonical text does not capture --
+                    # can otherwise steer tie-breaks.
+                    record, stage_times = compute_record(
+                        task.name, parse_function(task.text), self.config,
+                        self.machine,
+                        args=task.workload.args,
+                        arrays=task.workload.arrays,
+                        simulate=self.batch.simulate,
+                        fingerprint=task.fingerprint,
+                    )
+                except Exception as exc:
+                    error_class, permanence = classify_exception(exc)
+                    retry_queue: List[_Task] = []
+                    self._handle_failure(
+                        task, error_class, permanence, str(exc),
+                        outcomes, retry_queue,
+                        timing={
+                            "start": start,
+                            "duration": time.time() - start,
+                            "pid": os.getpid(),
+                        },
+                    )
+                    if retry_queue:
+                        continue
+                    break
+                else:
+                    outcomes[task.key] = _TaskOutcome(
+                        record=record,
+                        timing={
+                            "start": start,
+                            "duration": time.time() - start,
+                            "pid": os.getpid(),
+                        },
+                        attempts=task.attempt + 1,
+                    )
+                    self.timers.merge(stage_times)
+                    break
+
+    def _apply_degradation(
+        self, tasks: List[_Task], outcomes: Dict[str, _TaskOutcome]
+    ) -> None:
+        """Walk failed tasks down the degradation ladder (coordinator-
+        side, in submission order; no-op unless ``on_error="degrade"``).
+
+        The ladder is deliberately fault-free territory: the injection
+        plan targets primary attempts only, mirroring reality -- the
+        fallback is a *different computation*, not a retry of the same
+        one.
+        """
+        if self.batch.on_error != "degrade":
+            return
+        for task in tasks:
+            outcome = outcomes[task.key]
+            if outcome.record is not None or outcome.error is None:
+                continue
+            for rung in DEGRADATION_LADDER:
+                start = time.time()
+                try:
+                    record, _ = compute_record(
+                        task.name, parse_function(task.text), self.config,
+                        self.machine,
+                        args=task.workload.args,
+                        arrays=task.workload.arrays,
+                        simulate=self.batch.simulate,
+                        fingerprint=task.fingerprint,
+                        allocator=rung,
+                    )
+                except Exception:
+                    continue
+                outcome.record = record
+                outcome.degraded = True
+                outcome.fallback_allocator = rung
+                outcome.timing = {
+                    "start": start,
+                    "duration": time.time() - start,
+                    "pid": os.getpid(),
+                }
+                if self.tracer.enabled:
+                    self.tracer.emit(Degraded(
+                        function=task.name, fingerprint=task.fingerprint,
+                        fallback_allocator=rung,
+                        error_class=outcome.error.error_class,
+                    ))
+                break

@@ -46,7 +46,10 @@ from repro.ir.printer import format_function
 from repro.machine.target import Machine
 
 #: Bump when the record layout below changes shape or meaning.
-FORMAT_VERSION = 1
+#: v2: added ``allocator`` (which allocator produced the record -- the
+#: degradation ladder can cache-bypass fallback results, but the field
+#: still travels with every record so consumers can tell).
+FORMAT_VERSION = 2
 
 #: Subpackages whose source feeds :func:`code_version` -- everything that
 #: can change what an allocation *produces*, including ``opt`` (the
@@ -231,6 +234,11 @@ class AllocationRecord:
     #: (tuples become lists) so in-process and round-tripped records
     #: compare equal; ``None`` when nothing was simulated.
     returned: Optional[object]
+    #: which allocator produced this record: ``"hierarchical"`` on the
+    #: normal path, ``"chaitin"`` / ``"naive"`` for degradation-ladder
+    #: fallbacks (those are never written to the cache -- the cache key is
+    #: the *hierarchical* content address; see the batch engine).
+    allocator: str = "hierarchical"
 
     def fingerprint_dict(self) -> Dict[str, object]:
         """The ``repro.determinism`` fingerprint view of this record --
@@ -283,6 +291,7 @@ def record_from_dict(payload: Mapping[str, object]) -> AllocationRecord:
             else {str(k): int(v) for k, v in dict(payload["costs"]).items()}
         ),
         returned=normalize_returned(payload.get("returned")),
+        allocator=str(payload.get("allocator", "hierarchical")),
     )
 
 

@@ -2,17 +2,28 @@
 
 Everything here is top-level and picklable.  A worker is initialized once
 per process with the allocator/machine configuration
-(:func:`worker_init`), then receives ``(index, name, text, args, arrays)``
-tasks and returns ``(index, record_dict, timing_dict)`` -- the function
-travels as its canonical IR text (lossless round-trip through
+(:func:`worker_init`), then receives
+``(index, name, fingerprint, text, args, arrays, attempt)`` tasks and
+returns ``(index, payload_dict, timing_dict)`` -- the function travels as
+its canonical IR text (lossless round-trip through
 ``format_function``/``parse_function``), never as a pickled object graph,
 so the wire format is as stable as the cache format.
 
+Failures travel the same way: a worker never lets an exception escape
+``run_task``.  Exceptions would have to be *pickled* back across the
+process boundary -- which silently breaks for exception types with
+non-trivial constructors (``NoColorForRequiredNode`` takes a ``node``
+argument) -- so the payload is either ``{"ok": True, "record": ...}`` or
+``{"ok": False, "error_class": ..., "permanence": ..., "message": ...}``
+with the classification done where the exception type is still known
+(:func:`repro.errors.classify_exception`).
+
 :func:`compute_record` is the single implementation of "allocate one
 function and condense the result into an :class:`AllocationRecord`"; the
-engine calls it inline when running without a pool, so pooled, inline and
-cached results are constructed identically (bit-identical, per the
-determinism gate).
+engine calls it inline when running without a pool and for
+degradation-ladder fallbacks (``allocator="chaitin"`` / ``"naive"``), so
+pooled, inline and cached results are constructed identically
+(bit-identical, per the determinism gate).
 """
 
 from __future__ import annotations
@@ -38,6 +49,27 @@ from repro.ir.printer import format_function
 from repro.machine.target import Machine
 
 
+#: Fallback allocators the engine tries, in order, when the hierarchical
+#: allocation of a function fails permanently (the degradation ladder).
+#: Chaitin is the paper's own comparison allocator; naive spill-everywhere
+#: always succeeds on any machine with >= 2 registers.
+DEGRADATION_LADDER = ("chaitin", "naive")
+
+
+def _make_allocator(name: str, config: HierarchicalConfig):
+    if name == "hierarchical":
+        return HierarchicalAllocator(config)
+    if name == "chaitin":
+        from repro.allocators import ChaitinAllocator
+
+        return ChaitinAllocator()
+    if name == "naive":
+        from repro.allocators import NaiveMemoryAllocator
+
+        return NaiveMemoryAllocator()
+    raise ValueError(f"unknown allocator {name!r}")
+
+
 def compute_record(
     name: str,
     fn: Function,
@@ -47,6 +79,7 @@ def compute_record(
     arrays: Optional[Mapping[str, Sequence[Any]]] = None,
     simulate: bool = True,
     fingerprint: Optional[str] = None,
+    allocator: str = "hierarchical",
 ) -> Tuple[AllocationRecord, Dict[str, float]]:
     """Allocate *fn* and condense the outcome into a cacheable record.
 
@@ -56,6 +89,11 @@ def compute_record(
     allocated and validated statically and ``costs`` is ``None``.
     Returns the record plus the allocator's per-stage wall times (which
     the engine aggregates across workers; never part of the record).
+
+    *allocator* selects the algorithm: ``"hierarchical"`` (default), or
+    the degradation-ladder fallbacks ``"chaitin"`` / ``"naive"`` (those
+    produce no per-tile bindings; everything else in the record is
+    constructed identically).
     """
     from repro.pipeline import Workload, compile_function, prepare
 
@@ -69,7 +107,7 @@ def compute_record(
     if run_simulation:
         result = compile_function(
             Workload(fn, args, arrays, name=name),
-            HierarchicalAllocator(config),
+            _make_allocator(allocator, config),
             machine,
         )
         outcome = result.outcome
@@ -87,12 +125,12 @@ def compute_record(
         from repro.machine.rewrite import remove_self_moves
 
         prepared = prepare(fn)
-        allocator = HierarchicalAllocator(config)
-        outcome = allocator.allocate(prepared, machine)
+        alloc = _make_allocator(allocator, config)
+        outcome = alloc.allocate(prepared, machine)
         remove_self_moves(outcome.fn)
         validate_function(outcome.fn, allow_unreachable=True)
-        allocations = allocator.last_allocations
-        ctx = allocator.last_context
+        allocations = getattr(alloc, "last_allocations", None)
+        ctx = getattr(alloc, "last_context", None)
 
     text = format_function(outcome.fn)
     stage_times = dict(outcome.stats.extra.get("stage_times", {}))
@@ -112,6 +150,7 @@ def compute_record(
         },
         costs=costs,
         returned=returned,
+        allocator=allocator,
     )
     return record, stage_times
 
@@ -162,33 +201,57 @@ def worker_init(
 
 
 def run_task(
-    task: Tuple[int, str, str, str, Dict[str, Any], Dict[str, list]],
+    task: Tuple[int, str, str, str, Dict[str, Any], Dict[str, list], int],
 ) -> Tuple[int, Dict[str, object], Dict[str, object]]:
     """Allocate one function in a pool process.
 
-    *task* is ``(index, name, fingerprint, text, args, arrays)``; the
-    return value is ``(index, record_dict, timing)`` with ``timing``
-    carrying wall-clock ``start``/``duration`` (``time.time()``, shared
-    across processes on one machine), the worker ``pid``, and the
+    *task* is ``(index, name, fingerprint, text, args, arrays, attempt)``;
+    the return value is ``(index, payload, timing)`` where ``payload`` is
+    the success/failure dict described in the module docstring and
+    ``timing`` carries wall-clock ``start``/``duration`` (``time.time()``,
+    shared across processes on one machine), the worker ``pid``, and the
     allocator's per-stage times for aggregation.
+
+    Exceptions are caught and classified here -- never raised across the
+    pool boundary (see module docstring).  The fault-injection hook runs
+    first so an injected ``kill``/``hang`` behaves like the real worker
+    loss it simulates.
     """
-    index, name, fingerprint, text, args, arrays = task
+    from repro.batch.faultinject import active_plan
+    from repro.errors import classify_exception
+
+    index, name, fingerprint, text, args, arrays, attempt = task
     start = time.time()
-    fn = parse_function(text)
-    record, stage_times = compute_record(
-        name,
-        fn,
-        _WORKER_STATE["config"],
-        _WORKER_STATE["machine"],
-        args=args,
-        arrays=arrays,
-        simulate=_WORKER_STATE["simulate"],
-        fingerprint=fingerprint,
-    )
+    stage_times: Dict[str, float] = {}
+    try:
+        active_plan().maybe_fail_task(index, attempt, in_worker=True)
+        fn = parse_function(text)
+        record, stage_times = compute_record(
+            name,
+            fn,
+            _WORKER_STATE["config"],
+            _WORKER_STATE["machine"],
+            args=args,
+            arrays=arrays,
+            simulate=_WORKER_STATE["simulate"],
+            fingerprint=fingerprint,
+        )
+        payload: Dict[str, object] = {
+            "ok": True,
+            "record": record_to_dict(record),
+        }
+    except Exception as exc:
+        error_class, permanence = classify_exception(exc)
+        payload = {
+            "ok": False,
+            "error_class": error_class,
+            "permanence": permanence,
+            "message": str(exc),
+        }
     timing = {
         "start": start,
         "duration": time.time() - start,
         "pid": os.getpid(),
         "stage_times": stage_times,
     }
-    return index, record_to_dict(record), timing
+    return index, payload, timing

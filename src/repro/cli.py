@@ -232,10 +232,13 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
 
 def cmd_batch(args: argparse.Namespace, out) -> int:
     from repro.batch import BatchConfig, BatchEngine, load_module_dir
+    from repro.errors import BatchFunctionError
 
     workloads = load_module_dir(
         args.dir, args=_parse_kv(args.arg), arrays=_parse_arrays(args.array)
     )
+    for file_error in workloads.errors:
+        print(f"LOAD FAILED {file_error.describe()}", file=out)
     policy = args.policy
     if args.cache and policy == "memory":
         policy = "disk"
@@ -245,6 +248,9 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
         cache_policy=policy,
         registers=args.registers,
         simulate=not args.no_simulate,
+        max_retries=args.max_retries,
+        task_timeout_s=args.task_timeout,
+        on_error=args.on_error,
     )
 
     sinks: List[object] = []
@@ -257,6 +263,8 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
     try:
         with BatchEngine(batch=batch, tracer=tracer) as engine:
             module = engine.allocate_module(workloads)
+    except BatchFunctionError as exc:
+        raise SystemExit(f"batch allocation failed (--on-error fail): {exc}")
     except SimulationError as exc:
         raise SystemExit(
             f"simulation failed: {exc}\n"
@@ -270,6 +278,13 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
 
     for result in module:
         record = result.record
+        if record is None:
+            print(
+                f"{result.name}: FAILED {result.error.describe()} "
+                f"[{result.worker}]",
+                file=out,
+            )
+            continue
         line = (
             f"{result.name}: blocks={record.blocks} "
             f"spilled={len(record.spilled)} "
@@ -283,6 +298,8 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
                 f"{record.costs['spill_loads'] + record.costs['spill_stores']}"
                 f" moves={record.costs['moves']}]"
             )
+        if result.degraded:
+            line += f" DEGRADED[{result.fallback_allocator}]"
         line += f" [{'cache:' + result.source if result.cached else result.worker}]"
         print(line, file=out)
 
@@ -290,7 +307,8 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
         stats = module.stats.as_dict()
         print("# batch stats", file=out)
         for key in ("functions", "computed", "hits", "misses",
-                    "evictions", "disk_hits", "wall_s",
+                    "evictions", "disk_hits", "failures", "retries",
+                    "degraded", "pool_restarts", "quarantined", "wall_s",
                     "functions_per_sec"):
             print(f"#   {key}: {stats[key]}", file=out)
     if args.jsonl:
@@ -298,6 +316,15 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
     if args.chrome:
         print(f"# [chrome://tracing timeline written to {args.chrome}]",
               file=out)
+
+    failures = module.failures
+    if workloads.errors or failures:
+        print(
+            f"# FAILURES: {len(workloads.errors)} file(s) failed to load, "
+            f"{len(failures)} function(s) failed to allocate",
+            file=out,
+        )
+        return 1
     return 0
 
 
@@ -406,6 +433,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-simulate", action="store_true",
         help="skip the simulator even when inputs are given "
         "(static allocation only)",
+    )
+    batch_p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="bounded retries per task for transient failures "
+        "(crashed/hung workers; default: 2)",
+    )
+    batch_p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget for pooled tasks; a stuck task "
+        "fails transiently and the pool is restarted (default: none)",
+    )
+    batch_p.add_argument(
+        "--on-error", choices=["fail", "skip", "degrade"],
+        default="degrade",
+        help="final-failure policy: 'degrade' (default) retries with the "
+        "chaitin then naive fallback allocators, 'skip' records a "
+        "structured failure, 'fail' aborts the run",
     )
     batch_p.add_argument(
         "--stats", action="store_true",

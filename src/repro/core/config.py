@@ -119,6 +119,26 @@ class BatchConfig:
             record the dynamic cost counters in the cached record (also
             verifies the allocation differentially, as the pipeline does).
             Workloads without inputs are allocated statically either way.
+        max_retries: bounded retries per task for *transient* failures
+            (crashed/hung workers, memory pressure -- see
+            :mod:`repro.errors`).  Permanent failures are never retried
+            with the same allocator; they go to the degradation ladder
+            (or fail, per *on_error*).
+        retry_backoff_s: base of the deterministic exponential backoff
+            before attempt ``n`` (delay = ``retry_backoff_s * 2**(n-1)``).
+        task_timeout_s: per-task wall-clock budget for *pooled* tasks;
+            a task exceeding it fails with error class ``"timeout"``
+            (transient) and the pool is restarted to reclaim the stuck
+            worker.  ``None`` disables the timeout.  Inline tasks
+            (``batch_workers == 0``) cannot be preempted and ignore it.
+        on_error: what a function's *final* failure (permanent, or
+            transient with retries exhausted) does to the module:
+            ``"degrade"`` (default) walks the degradation ladder --
+            retry with the Chaitin comparison allocator, then the naive
+            spill-everywhere baseline -- and only yields an error result
+            if every rung fails; ``"skip"`` yields an error result
+            immediately; ``"fail"`` re-raises (strict mode:
+            :class:`repro.errors.BatchFunctionError`).
     """
 
     batch_workers: int = 0
@@ -127,6 +147,10 @@ class BatchConfig:
     cache_capacity: int = 1024
     registers: int = 8
     simulate: bool = True
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+    task_timeout_s: Optional[float] = None
+    on_error: str = "degrade"
 
     def __post_init__(self) -> None:
         if self.cache_policy not in ("memory", "disk", "off"):
@@ -146,4 +170,21 @@ class BatchConfig:
         if self.registers < 1:
             raise ValueError(
                 f"registers must be >= 1, got {self.registers}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be > 0, got {self.task_timeout_s}"
+            )
+        if self.on_error not in ("fail", "skip", "degrade"):
+            raise ValueError(
+                f"unknown on_error {self.on_error!r} "
+                "(choose fail, skip, or degrade)"
             )

@@ -30,10 +30,14 @@ from repro.trace.events import (
     CacheHit,
     CacheMiss,
     CandidateMetrics,
+    Degraded,
+    PoolRestarted,
     PreferenceApplied,
     PseudoBound,
     SpillDecision,
     StageTiming,
+    TaskFailed,
+    TaskRetried,
     TileColored,
 )
 from repro.trace.sinks import (
@@ -60,10 +64,14 @@ __all__ = [
     "CacheHit",
     "CacheMiss",
     "CandidateMetrics",
+    "Degraded",
+    "PoolRestarted",
     "PreferenceApplied",
     "PseudoBound",
     "SpillDecision",
     "StageTiming",
+    "TaskFailed",
+    "TaskRetried",
     "TileColored",
     "BOUNDARY_ACTIONS",
     "SPILL_REASONS",

@@ -176,6 +176,67 @@ class BatchTask:
 
 
 @dataclass(frozen=True)
+class TaskFailed:
+    """One attempt at one batch task failed.
+
+    Emitted once per *failed attempt* (so a task that fails twice and
+    then succeeds produces two of these).  ``error_class`` /
+    ``permanence`` come from :func:`repro.errors.classify_exception`;
+    ``attempt`` is 0-based.
+    """
+
+    function: str
+    fingerprint: str
+    error_class: str
+    permanence: str  # "permanent" | "transient"
+    attempt: int
+    message: str
+
+
+@dataclass(frozen=True)
+class TaskRetried:
+    """The engine re-queued a transiently-failed batch task.
+
+    ``attempt`` is the 0-based number of the *upcoming* attempt;
+    ``backoff_s`` the deterministic delay applied before it.
+    """
+
+    function: str
+    fingerprint: str
+    attempt: int
+    backoff_s: float
+
+
+@dataclass(frozen=True)
+class PoolRestarted:
+    """The worker pool broke (crashed worker, hung task) and was rebuilt.
+
+    ``restarts`` is the engine's cumulative restart count after this one;
+    ``resubmitted`` how many in-flight tasks were re-queued onto the
+    fresh pool.
+    """
+
+    restarts: int
+    resubmitted: int
+
+
+@dataclass(frozen=True)
+class Degraded:
+    """A function landed on the degradation ladder.
+
+    After its primary (hierarchical) allocation failed permanently or
+    exhausted its retries, ``fallback_allocator`` (``"chaitin"`` or the
+    spill-everywhere ``"naive"``) produced the result instead.
+    ``error_class`` names the primary failure that forced the fallback.
+    """
+
+    function: str
+    fingerprint: str
+    fallback_allocator: str
+    error_class: str
+
+
+@dataclass(frozen=True)
 class StageTiming:
     """Wall-clock interval of one pipeline stage or per-tile task.
 
