@@ -37,12 +37,30 @@ BASELINE_PATH = os.path.join(
     os.path.dirname(__file__), os.pardir, "BENCH_analysis_speed.json"
 )
 
-#: Acceptance floor is a >= 50-function module.
-MODULE_SIZE = 50
+#: Acceptance floor is a >= 50-function module; 120 keeps the cold pass
+#: well clear of pool-startup time (spawning a worker pool costs a few
+#: hundred ms -- against a ~0.5s 50-function cold pass that skews the
+#: multi-worker columns toward "parallelism doesn't pay").
+MODULE_SIZE = 120
 QUICK_SIZE = 12
 WORKER_COUNTS = (1, 2, 4, 8)
 WARM_SPEEDUP_FLOOR = 5.0
 SCALING_FLOOR = 2.0
+
+
+def _honest_worker_counts(counts=WORKER_COUNTS):
+    """Worker counts this runner can honestly measure *scaling* on.
+
+    A pool of N processes on a machine with fewer than N cores measures
+    oversubscription, not scaling; recording those numbers as
+    ``current.batch`` cold-scaling data poisons the baseline for every
+    future comparison (an earlier session recorded a full 1/2/4/8-worker
+    matrix from a ``cpu_count: 1`` runner).  Multi-worker columns are
+    measured only up to the core count; the single-worker column always
+    runs (it claims nothing about scaling)."""
+    cpus = os.cpu_count() or 1
+    kept = tuple(w for w in counts if w == 1 or w <= cpus)
+    return kept, tuple(w for w in counts if w not in kept)
 
 
 def _measure(workloads, workers):
@@ -89,7 +107,7 @@ def _throughput_matrix(size, worker_counts):
     return n, rows_data
 
 
-def _print_matrix(name, n, rows_data):
+def _print_matrix(name, n, rows_data, skipped=()):
     widths = [8, 10, 10, 12, 12]
     rows = [fmt_row(
         ["workers", "cold (s)", "warm (s)", "cold (f/s)", "warm (f/s)"],
@@ -103,6 +121,11 @@ def _print_matrix(name, n, rows_data):
             widths,
         ))
     rows.append(f"module: {n} functions, cpu_count={os.cpu_count()}")
+    if skipped:
+        rows.append(
+            f"skipped workers {list(skipped)}: more processes than cores "
+            "measures oversubscription, not scaling"
+        )
     report(name, rows)
 
 
@@ -123,24 +146,32 @@ def _assert_gates(rows_data, single=1):
         )
 
 
-def _save(n, rows_data):
+def _save(n, rows_data, skipped=()):
     with open(BASELINE_PATH) as fh:
         data = json.load(fh)
-    data.setdefault("current", {})["batch"] = {
+    entry = {
         "module_functions": n,
         "cpu_count": os.cpu_count(),
         "workers": {str(w): d for w, d in rows_data.items()},
     }
+    if skipped:
+        entry["workers_skipped"] = {
+            "counts": list(skipped),
+            "reason": "cpu_count cannot support a scaling claim at these "
+                      "worker counts",
+        }
+    data.setdefault("current", {})["batch"] = entry
     with open(BASELINE_PATH, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
 
 def test_batch_throughput(benchmark):
-    """Full matrix: workers x {cold, warm} on the 50-function module."""
-    n, rows_data = _throughput_matrix(MODULE_SIZE, WORKER_COUNTS)
-    _print_matrix("E18_batch_throughput", n, rows_data)
-    _save(n, rows_data)
+    """Full matrix: workers x {cold, warm} on the synthetic module."""
+    counts, skipped = _honest_worker_counts()
+    n, rows_data = _throughput_matrix(MODULE_SIZE, counts)
+    _print_matrix("E18_batch_throughput", n, rows_data, skipped)
+    _save(n, rows_data, skipped)
     _assert_gates(rows_data)
 
     workloads = synthetic_module(QUICK_SIZE)
@@ -183,9 +214,10 @@ def main(argv=None):
         test_quick_batch_gate()
         print("OK: quick batch gate passed")
         return 0
-    n, rows_data = _throughput_matrix(MODULE_SIZE, WORKER_COUNTS)
-    _print_matrix("E18_batch_throughput", n, rows_data)
-    _save(n, rows_data)
+    counts, skipped = _honest_worker_counts()
+    n, rows_data = _throughput_matrix(MODULE_SIZE, counts)
+    _print_matrix("E18_batch_throughput", n, rows_data, skipped)
+    _save(n, rows_data, skipped)
     _assert_gates(rows_data)
     print("OK: batch throughput gates passed")
     return 0

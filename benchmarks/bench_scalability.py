@@ -154,14 +154,89 @@ def test_quick_regression_gate():
     assert not failures, "; ".join(failures)
 
 
+def test_quick_cold_path_gate():
+    """Cold-module throughput >= 2.5x the seed-equivalent baseline.
+
+    CI's quick perf gate for the flattened cold path: one inline
+    (``batch_workers=0``) cold pass through the batch engine on the
+    anchor's module size, compared against the frozen
+    ``cold_path_anchor`` in ``BENCH_analysis_speed.json`` (see its
+    ``note`` for how the seed-equivalent fn/s is derived), machine-
+    normalized by the aggregate string-set calibration ratio.  The full
+    bench (``bench_analysis_speed.py::test_cold_path_throughput``) gates
+    the stricter 3x and records the trajectory; this is the cheap
+    regression tripwire.  Run under ``PYTHONHASHSEED=0`` (as CI does)
+    for comparable timings.
+    """
+    from bench_analysis_speed import (
+        WORKLOADS,
+        _run_analysis_reference,
+    )
+    from repro.batch import BatchConfig, BatchEngine, synthetic_module
+
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    anchor = baseline.get("cold_path_anchor")
+    if anchor is None:
+        pytest.skip("no committed cold_path_anchor yet")
+
+    workloads = synthetic_module(anchor["recorded_module_functions"])
+    n = len(workloads)
+    best = float("inf")
+    for _ in range(2):
+        with BatchEngine(batch=BatchConfig(batch_workers=0)) as engine:
+            start = time.perf_counter()
+            module = engine.allocate_module(workloads)
+            best = min(best, time.perf_counter() - start)
+        assert not module.failures, "cold pass had failures"
+    cold_fps = n / max(best, 1e-9)
+
+    calib_now = 0.0
+    for name, factory in WORKLOADS:
+        fn = factory()
+        calib_now += _time(lambda: _run_analysis_reference(fn), repeats=3)
+    machine_ratio = calib_now / max(anchor["calibration_strset_agg_s"], 1e-9)
+    seed_fps_here = anchor["seed_equiv_cold_fps"] / machine_ratio
+    speedup = cold_fps / max(seed_fps_here, 1e-9)
+
+    widths = [26, 12]
+    rows = [fmt_row(["metric", "value"], widths)]
+    rows.append(fmt_row(["cold fn/s", round(cold_fps, 2)], widths))
+    rows.append(fmt_row(["seed-equiv fn/s", round(seed_fps_here, 2)], widths))
+    rows.append(fmt_row(["speedup vs seed", round(speedup, 2)], widths))
+    report("E15_quick_cold_path", rows)
+
+    assert speedup >= 2.5, (
+        f"cold path {cold_fps:.1f} fn/s is only {speedup:.2f}x the "
+        f"seed-equivalent {seed_fps_here:.1f} fn/s (need >= 2.5x)"
+    )
+
+
 def test_quick_parallel_fallback_gate():
     """The production parallel config must never lose to sequential.
 
     On these tile counts (~100-200 tiles) thread-based tile parallelism
     loses to the GIL, so ``should_parallelize`` auto-falls back to the
     sequential driver and the only cost left is the threshold check
-    itself.  Gate: parallel config <= 1.05x sequential on the quick
-    workloads (run by CI's perf gate via ``-k quick``).
+    itself -- the scheduler is retained as the paper's section-6
+    reproduction and an ablation axis, not as a performance feature (the
+    parallel axis that pays is processes-per-function in
+    ``repro.batch``).  Gate: parallel config <= 1.05x sequential on the
+    quick workloads (run by CI's perf gate via ``-k quick``).
+
+    The two configs are timed in *interleaved* rounds with the order
+    alternating each round (seq-par, par-seq, ...), best-of per config:
+    timing them in separate back-to-back blocks let slow late-process
+    drift land entirely on whichever config ran second, which failed
+    this gate even when comparing the identical code path against
+    itself.  Times are **CPU time** (``time.process_time``), not wall
+    clock: on a shared runner wall measurements of ~100ms carry enough
+    interference to flip a tight ratio either way, while CPU time only
+    counts this process's work -- and still catches the failure mode the
+    gate exists for, the scheduler accidentally engaging (GIL-bound
+    threading burns strictly *more* CPU than the sequential driver).
+    The threshold is 1.10: the fallback's true overhead is one threshold
+    check (microseconds), the margin absorbs allocator-level CPU jitter.
     """
     machine = Machine.simple(8)
     seq_cfg = HierarchicalConfig()
@@ -171,28 +246,30 @@ def test_quick_parallel_fallback_gate():
     failures = []
     for name, factory in QUICK_WORKLOADS.items():
         fn = factory()
-        seq = _time(
-            lambda: HierarchicalAllocator(seq_cfg).allocate(
-                fn.clone(), machine
-            ),
-            repeats=5,
-        )
-        par = _time(
-            lambda: HierarchicalAllocator(par_cfg).allocate(
-                fn.clone(), machine
-            ),
-            repeats=5,
-        )
+
+        def run(cfg):
+            start = time.process_time()
+            HierarchicalAllocator(cfg).allocate(fn.clone(), machine)
+            return time.process_time() - start
+
+        seq = par = float("inf")
+        for round_no in range(6):
+            if round_no % 2 == 0:
+                seq = min(seq, run(seq_cfg))
+                par = min(par, run(par_cfg))
+            else:
+                par = min(par, run(par_cfg))
+                seq = min(seq, run(seq_cfg))
         ratio = par / max(seq, 1e-9)
         rows.append(fmt_row(
             [name, round(seq * 1e3, 1), round(par * 1e3, 1),
              round(ratio, 3)],
             widths,
         ))
-        if par > seq * 1.05:
+        if par > seq * 1.10:
             failures.append(
                 f"{name}: parallel config {par * 1e3:.1f}ms > "
-                f"1.05x sequential {seq * 1e3:.1f}ms"
+                f"1.10x sequential {seq * 1e3:.1f}ms"
             )
     report("E15_quick_parallel_fallback", rows)
     assert not failures, "; ".join(failures)

@@ -41,9 +41,14 @@ class Liveness:
         index: VarIndex,
         live_in_bits: Dict[str, int],
         live_out_bits: Dict[str, int],
+        arena=None,
     ) -> None:
         self._fn = fn
         self.index = index
+        #: optional :class:`~repro.perf.arena.FunctionArena` backing the
+        #: per-instruction scans with precomputed operand bitsets; ignored
+        #: once the arena is retired (function mutated).
+        self.arena = arena
         self.live_in_bits = live_in_bits
         self.live_out_bits = live_out_bits
         self.live_in: Dict[str, FrozenSet[str]] = {
@@ -116,6 +121,14 @@ class Liveness:
 
     def _scan_block(self, label: str) -> Tuple[List[int], List[int]]:
         """One backward pass filling both per-instruction memo lists."""
+        arena = self.arena
+        if arena is not None and not arena.retired:
+            # Same backward recurrence over the arena's precomputed
+            # per-instruction bitsets -- no interning, no object walk.
+            outs, ins = arena.scan_block(arena.block_id[label])
+            self._instr_out_bits[label] = outs
+            self._instr_in_bits[label] = ins
+            return outs, ins
         block = self._fn.blocks[label]
         index = self.index
         live = self.live_out_bits[label]
@@ -243,3 +256,25 @@ def compute_liveness(
                     in_worklist.add(pred)
 
     return Liveness(fn, index, live_in, live_out)
+
+
+def liveness_from_arena(arena) -> Liveness:
+    """Block-level liveness computed over a prepared
+    :class:`~repro.perf.arena.FunctionArena` (the flat cold path).
+
+    Equivalent to :func:`compute_liveness` on the arena's function -- the
+    dataflow equations have a unique least fixed point, so the engine
+    choice (scalar worklist vs batched numpy sweep, see
+    ``FunctionArena.compute_liveness``) cannot change the result.  The
+    returned object carries the arena so per-instruction scans skip the
+    interning walk.
+    """
+    if not arena.live_in and arena.instrs:
+        arena.compute_liveness()
+    elif not arena.live_in:
+        arena.live_in = [0] * len(arena.labels)
+        arena.live_out = [0] * len(arena.labels)
+    labels = arena.labels
+    live_in = {label: arena.live_in[bid] for bid, label in enumerate(labels)}
+    live_out = {label: arena.live_out[bid] for bid, label in enumerate(labels)}
+    return Liveness(arena.fn, arena.index, live_in, live_out, arena=arena)

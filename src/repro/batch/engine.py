@@ -79,10 +79,10 @@ from repro.batch.serialize import (
     AllocationRecord,
     UncacheableConfigError,
     cache_key,
-    function_fingerprint,
     inputs_digest,
     invalidation_key,
     record_from_dict,
+    text_fingerprint,
 )
 from repro.batch.worker import (
     DEGRADATION_LADDER,
@@ -396,7 +396,9 @@ class BatchEngine:
         for index, workload in enumerate(workloads):
             name = workload.label()
             text = format_function(workload.fn)
-            fingerprint = function_fingerprint(workload.fn)
+            # The fingerprint is sha256 of exactly this text; hash it
+            # directly rather than formatting the function a second time.
+            fingerprint = text_fingerprint(text)
             # Records carry simulated costs/returned when inputs are
             # present, so the key must distinguish inputs -- for the
             # cache lookup *and* for the miss dedup below, which assumes

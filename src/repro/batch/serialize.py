@@ -121,7 +121,14 @@ def code_version() -> str:
 def function_fingerprint(fn) -> str:
     """Content address of one input function: sha256 of its canonical
     printed text (:func:`repro.ir.printer.format_function`)."""
-    return hashlib.sha256(format_function(fn).encode()).hexdigest()
+    return text_fingerprint(format_function(fn))
+
+
+def text_fingerprint(text: str) -> str:
+    """Content address of already-canonical printed text -- callers that
+    hold the formatted program (the batch engine formats it for the task
+    payload anyway) hash it directly instead of formatting twice."""
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 class UncacheableConfigError(ValueError):

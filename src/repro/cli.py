@@ -46,6 +46,7 @@ from repro.core import HierarchicalAllocator, HierarchicalConfig
 from repro.ir import format_function, parse_function, validate_function
 from repro.machine.simulator import SimulationError, simulate
 from repro.machine.target import Machine
+from repro.perf.timers import StageTimers
 from repro.pipeline import Workload, compile_function, prepare
 from repro.tiles import build_tile_tree
 from repro.trace import (
@@ -179,6 +180,14 @@ def cmd_allocate(args: argparse.Namespace, out) -> int:
     print(f"# spilled variables:    {sorted(result.stats.spilled_vars)}", file=out)
     if not args.no_verify:
         print("# verification: PASSED (differential run matched)", file=out)
+    if getattr(args, "profile", False):
+        timers = StageTimers.from_snapshot(
+            result.stats.extra.get("stage_times", {}),
+            result.stats.extra.get("stage_counts", {}),
+        )
+        print("# stage profile (allocator pipeline):", file=out)
+        for line in timers.report().splitlines():
+            print(f"#   {line}", file=out)
     return 0
 
 
@@ -260,6 +269,7 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
         sinks.append(ChromeTraceSink(args.chrome))
     tracer = AllocationTracer(sinks) if sinks else None
 
+    engine = None
     try:
         with BatchEngine(batch=batch, tracer=tracer) as engine:
             module = engine.allocate_module(workloads)
@@ -311,6 +321,13 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
                     "degraded", "pool_restarts", "quarantined", "wall_s",
                     "functions_per_sec"):
             print(f"#   {key}: {stats[key]}", file=out)
+    if args.profile and engine is not None:
+        print("# stage profile (summed across functions/workers):",
+              file=out)
+        for line in engine.timers.report(
+            total=module.stats.wall_s
+        ).splitlines():
+            print(f"#   {line}", file=out)
     if args.jsonl:
         print(f"# [events written to {args.jsonl}]", file=out)
     if args.chrome:
@@ -368,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
     alloc_p.add_argument(
         "--optimize", action="store_true",
         help="run the scalar/CFG optimization passes before allocation",
+    )
+    alloc_p.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage time attribution for the allocation pipeline",
     )
     alloc_p.set_defaults(func=cmd_allocate)
 
@@ -454,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument(
         "--stats", action="store_true",
         help="print cache hit/miss/eviction counts and functions/sec",
+    )
+    batch_p.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage time attribution summed across the module",
     )
     batch_p.add_argument(
         "--jsonl", metavar="PATH",

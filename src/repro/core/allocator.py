@@ -97,11 +97,17 @@ class HierarchicalAllocator(Allocator):
                 run_phase2(ctx, config, allocations)
 
         with timers.stage("rewrite", tracer):
+            if ctx.arena is not None:
+                # The rewrite mutates ``work`` in place; the arena is a
+                # snapshot of the pre-rewrite function and must not serve
+                # per-instruction scans past this point.
+                ctx.arena.retire()
             out = rewrite_program(ctx, config, allocations)
             check_physical(out, machine.num_registers)
 
         stats = self._gather_stats(ctx, allocations, build)
         stats.extra["stage_times"] = timers.as_dict()
+        stats.extra["stage_counts"] = timers.counts()
         stats.extra["driver"] = (
             "dep_parallel" if use_scheduler else "sequential"
         )

@@ -41,7 +41,13 @@ class HierarchicalConfig:
             sequential order; this only changes scheduling.  Uses the
             dependency-driven scheduler of :mod:`repro.core.schedule` -- a
             tile runs as soon as its own children (phase 1) or parent
-            (phase 2) finish, with no level-wide barriers.
+            (phase 2) finish, with no level-wide barriers.  Status: kept
+            as the paper's section-6 reproduction and an ablation axis,
+            *not* as a performance feature -- it defaults off, the
+            auto-threshold below keeps it off at realistic tile counts
+            (the GIL makes intra-function thread parallelism a loss
+            there), and the parallel axis that actually pays is
+            processes-per-function in :mod:`repro.batch`.
         parallel_workers: thread count for the parallel drivers; ``None``
             accepts ``ThreadPoolExecutor``'s default sizing.  Must be >= 1
             when set.

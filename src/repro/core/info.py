@@ -10,9 +10,14 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.frequency import FrequencyInfo, estimate_frequencies
-from repro.analysis.liveness import Liveness, compute_liveness
+from repro.analysis.liveness import (
+    Liveness,
+    compute_liveness,
+    liveness_from_arena,
+)
 from repro.ir.function import Function
 from repro.machine.target import Machine
+from repro.perf.arena import FunctionArena, build_arena
 from repro.perf.varindex import iter_bits
 from repro.tiles.fixup import FixupStats
 from repro.tiles.tile import Tile, TileTree
@@ -35,6 +40,11 @@ class FunctionContext:
     def_blocks: Dict[str, Set[str]] = field(default_factory=dict)
     #: label of inserted fix-up block -> the original edge it subdivides
     orig_edge: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: flat lowering of ``fn`` (block/instruction/variable tables); None
+    #: when the context was built without one (tests constructing the
+    #: dataclass directly) -- every arena consumer has an object-walk
+    #: fallback.
+    arena: Optional[FunctionArena] = field(default=None, repr=False)
     #: structured-event recorder threaded through both phases; the shared
     #: :data:`~repro.trace.tracer.NULL_TRACER` keeps untraced runs free
     #: (call sites guard on ``tracer.enabled``).
@@ -53,9 +63,27 @@ class FunctionContext:
     _ref_blocks_sorted: Dict[str, Tuple[str, ...]] = field(
         default_factory=dict, repr=False
     )
+    #: tile id -> bitset over arena block ids (own / all blocks)
+    _tile_own_bmask: Dict[int, int] = field(default_factory=dict, repr=False)
+    _tile_all_bmask: Dict[int, int] = field(default_factory=dict, repr=False)
+    #: arena block id -> {vid: defs+uses count} (flat Refs_b twin)
+    _ref_counts_vid: Dict[int, Dict[int, int]] = field(
+        default_factory=dict, repr=False
+    )
+    _block_freq_arr: Optional[List[float]] = field(default=None, repr=False)
     _tile_memo_version: int = field(default=-1, repr=False)
 
     def __post_init__(self) -> None:
+        # Built eagerly in both paths: the phases may run on a thread
+        # scheduler, and lazily filling a shared dict from multiple
+        # threads could expose partially-built state.  The arena path is
+        # a flat table scan, not an object walk.
+        if self.arena is not None and self.arena.fn is self.fn:
+            self._build_ref_blocks_from_arena()
+        else:
+            self._build_ref_blocks()
+
+    def _build_ref_blocks(self) -> None:
         for label, block in self.fn.blocks.items():
             for instr in block.instrs:
                 for var in instr.uses:
@@ -67,10 +95,33 @@ class FunctionContext:
                     self.ref_blocks.setdefault(var, set()).add(label)
                     self.def_blocks.setdefault(var, set()).add(label)
 
+    def _build_ref_blocks_from_arena(self) -> None:
+        """Materialize the name-keyed ref/def block dicts from the flat
+        tables (identical content to the object walk: both record the
+        pre-rewrite function, clobbers included)."""
+        arena = self.arena
+        name_of = arena.index.name_of
+        labels = arena.labels
+        for vid in range(len(arena.index)):
+            refs = arena.var_ref_blocks(vid)
+            if refs:
+                self.ref_blocks[name_of(vid)] = {labels[b] for b in refs}
+            defs = arena.var_def_blocks(vid)
+            if defs:
+                self.def_blocks[name_of(vid)] = {labels[b] for b in defs}
+
     # ------------------------------------------------------------------
     # per-tile variable classification (paper section 3)
     # ------------------------------------------------------------------
     def referenced_in_blocks(self, labels) -> Set[str]:
+        arena = self.arena
+        if arena is not None and not arena.retired:
+            mask = 0
+            block_id = arena.block_id
+            block_ref = arena.block_ref
+            for label in labels:
+                mask |= block_ref[block_id[label]]
+            return set(arena.index.members(mask))
         out: Set[str] = set()
         for label in labels:
             out |= self.fn.blocks[label].variables()
@@ -98,6 +149,13 @@ class FunctionContext:
         return bool(blocks) and blocks <= tile.all_blocks
 
     def defined_in_subtree(self, tile: Tile, var: str) -> bool:
+        arena = self.arena
+        if arena is not None:
+            ids = arena.index._ids
+            vid = ids.get(var)
+            if vid is None:
+                return False
+            return bool(arena.var_def_bmask(vid) & self.tile_all_bmask(tile))
         blocks = self.def_blocks.get(var)
         if not blocks:
             return False
@@ -109,6 +167,8 @@ class FunctionContext:
             self._boundary_live.clear()
             self._boundary_transfer.clear()
             self._ref_counts.clear()
+            self._tile_own_bmask.clear()
+            self._tile_all_bmask.clear()
             self._tile_memo_version = version
 
     def block_ref_counts(self, label: str) -> Dict[str, int]:
@@ -179,6 +239,84 @@ class FunctionContext:
         )
 
     # ------------------------------------------------------------------
+    # flat (arena-backed) twins of the classification helpers
+    # ------------------------------------------------------------------
+    def tile_own_bmask(self, tile: Tile) -> int:
+        """``tile.own_blocks()`` as a bitset over arena block ids."""
+        self._tile_memos_current()
+        mask = self._tile_own_bmask.get(tile.tid)
+        if mask is None:
+            block_id = self.arena.block_id
+            mask = 0
+            for label in tile.own_blocks():
+                bid = block_id.get(label)
+                if bid is not None:
+                    mask |= 1 << bid
+            self._tile_own_bmask[tile.tid] = mask
+        return mask
+
+    def tile_all_bmask(self, tile: Tile) -> int:
+        """``tile.all_blocks`` as a bitset over arena block ids."""
+        self._tile_memos_current()
+        mask = self._tile_all_bmask.get(tile.tid)
+        if mask is None:
+            block_id = self.arena.block_id
+            mask = 0
+            for label in tile.all_blocks:
+                bid = block_id.get(label)
+                if bid is not None:
+                    mask |= 1 << bid
+            self._tile_all_bmask[tile.tid] = mask
+        return mask
+
+    def classify_locals_mask(self, tile: Tile, visible_mask: int) -> int:
+        """Bitset of the members of *visible_mask* that are local to
+        *tile* (the flat twin of :meth:`is_local`): all referencing
+        blocks inside the subtree and not live on the tile boundary."""
+        arena = self.arena
+        all_bmask = self.tile_all_bmask(tile)
+        not_boundary = ~self.boundary_live_mask(tile)
+        out = 0
+        m = visible_mask & not_boundary
+        ref_bmask = arena.var_ref_bmask
+        while m:
+            low = m & -m
+            rb = ref_bmask(low.bit_length() - 1)
+            if rb and not rb & ~all_bmask:
+                out |= low
+            m ^= low
+        return out
+
+    def block_freq_array(self) -> List[float]:
+        """Per-arena-block execution frequency (``block_freq`` by id)."""
+        arr = self._block_freq_arr
+        if arr is None:
+            arr = [self.block_freq(label) for label in self.arena.labels]
+            self._block_freq_arr = arr
+        return arr
+
+    def block_ref_counts_vid(self, bid: int) -> Dict[int, int]:
+        """``Refs_b(v)`` for arena block *bid*, keyed by vid (defs + uses
+        count; clobbers excluded, matching :meth:`block_ref_counts`)."""
+        cached = self._ref_counts_vid.get(bid)
+        if cached is None:
+            arena = self.arena
+            counts: Dict[int, int] = {}
+            get = counts.get
+            ids = arena.index._ids
+            start = arena.block_start
+            for i in range(start[bid], start[bid + 1]):
+                instr = arena.instrs[i]
+                for var in instr.defs:
+                    vid = ids[var]
+                    counts[vid] = get(vid, 0) + 1
+                for var in instr.uses:
+                    vid = ids[var]
+                    counts[vid] = get(vid, 0) + 1
+            self._ref_counts_vid[bid] = cached = counts
+        return cached
+
+    # ------------------------------------------------------------------
     # frequencies, resilient to fix-up blocks absent from a profile
     # ------------------------------------------------------------------
     def block_freq(self, label: str) -> float:
@@ -211,8 +349,14 @@ def build_context(
     frequencies: Optional[FrequencyInfo],
     tracer: Optional[NullTracer] = None,
 ) -> FunctionContext:
-    """Assemble a :class:`FunctionContext` (liveness and frequency included)."""
-    liveness = compute_liveness(fn)
+    """Assemble a :class:`FunctionContext` (liveness and frequency included).
+
+    The function is lowered into a :class:`~repro.perf.arena.FunctionArena`
+    first; liveness runs over the flat tables and both phases consume the
+    arena through the context's mask-based helpers.
+    """
+    arena = build_arena(fn)
+    liveness = liveness_from_arena(arena)
     freq = frequencies or estimate_frequencies(fn)
     ctx = FunctionContext(
         fn=fn,
@@ -222,6 +366,7 @@ def build_context(
         freq=freq,
         fixup=fixup,
         orig_edge=dict(fixup.orig_edge),
+        arena=arena,
         tracer=tracer if tracer is not None else NULL_TRACER,
     )
     return ctx

@@ -50,22 +50,28 @@ def compute_pre_metrics(
     own = tile.own_blocks()
     transfers = ctx.boundary_transfer(tile)
 
-    ref_blocks_sorted = ctx.ref_blocks_sorted
     block_freq = ctx.block_freq
     ref_counts = ctx.block_ref_counts
-    # Both loops run in canonical order: ``visible`` and the ref-block
-    # sets are hash-ordered, and float addition is not associative --
-    # summing frequencies in set order can shift the result by an ULP,
-    # which is enough to flip a spill tie-break between processes.
-    # (Sorting an already-canonical list, as phase 1 passes, is a cheap
-    # no-op scan; the ref-block order is memoized on the context.)
-    for var in sorted(visible):
-        local_weight = 0.0
-        for label in ref_blocks_sorted(var):  # only referencing blocks
-            if label in own:
-                # .get: a block can be in ref_blocks via clobbers only,
-                # which Refs_b counts as zero (defs + uses).
-                local_weight += block_freq(label) * ref_counts(label).get(var, 0)
+    # Everything runs in canonical order: float addition is not
+    # associative, so summing frequencies in hash order can shift a
+    # result by an ULP, which is enough to flip a spill tie-break
+    # between processes.  ``Local_weight`` accumulates per own block in
+    # ascending label order -- for each variable that is the ascending
+    # restriction of its referencing blocks to this tile, i.e. the exact
+    # addition sequence of the old per-variable ref-block walk (blocks
+    # referencing a variable through clobbers only contributed 0.0 there
+    # and are absent from ``Refs_b`` here; adding 0.0 to a non-negative
+    # sum is an exact no-op).  Cost is one pass over the tile's own
+    # references instead of one function-wide walk per visible variable.
+    visible_sorted = sorted(visible)
+    local_w: Dict[str, float] = dict.fromkeys(visible_sorted, 0.0)
+    for label in sorted(own):
+        freq = block_freq(label)
+        for var, count in ref_counts(label).items():
+            if var in local_w:
+                local_w[var] += freq * count
+    for var in visible_sorted:
+        local_weight = local_w[var]
         transfer = transfers.get(var, 0.0)
         weight = local_weight
         for child in child_tiles:

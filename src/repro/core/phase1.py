@@ -292,18 +292,22 @@ def _build_summary(
         if color is not None and var not in alloc.spilled:
             alloc.global_regs[var] = color
 
-    # Conflict summary, derived from the tile graph's edges.  Iterates the
-    # adjacency map directly (each pair once, via ``a < b``) -- equivalent
-    # to graph.edges() without the generator and dedup-set overhead.
+    # Conflict summary, derived from the tile graph's edges.  Walks the
+    # id-level neighbour lists (each pair once, via ``a < b`` on names) --
+    # equivalent to graph.edges() without materializing the string facade;
+    # every insertion below lands in a set, so neighbour order is free.
     assignment_get = alloc.assignment.get
     ts_get = alloc.ts_map.get
     global_regs = alloc.global_regs
-    for a, others in alloc.graph.adjacency().items():
+    names = alloc.graph.id_names()
+    nbrs = alloc.graph.neighbor_ids()
+    for a, ia in alloc.graph.node_ids().items():
         ca = assignment_get(a)
         if ca is None:
             continue
         a_local = a in localish
-        for b in others:
+        for ib in nbrs[ia]:
+            b = names[ib]
             if b < a:
                 continue
             cb = assignment_get(b)

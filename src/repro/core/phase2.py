@@ -112,7 +112,7 @@ def bind_tile(
     globals_ = alloc.globals_
     ts_get = alloc.ts_map.get
     summary_phys_get = alloc.summary_phys.get
-    for node in alloc.graph.adjacency():
+    for node in alloc.graph.nodes():
         if node in pre_spilled or is_phys(node):
             continue
         if parent_alloc is not None and node in globals_:
@@ -128,7 +128,7 @@ def bind_tile(
 
     # Sorted: the precolored map seeds the coloring engine's color-reuse
     # list, whose order is outcome-relevant.
-    precolored = {v: v for v in sorted(alloc.graph.adjacency()) if is_phys(v)}
+    precolored = {v: v for v in sorted(alloc.graph.nodes()) if is_phys(v)}
 
     # ------------------------------------------------------------------
     # intruders: parent-register variables live across this tile that the
@@ -140,20 +140,16 @@ def bind_tile(
         boundary_live = ctx.liveness.index.frozenset_of(
             ctx.boundary_live_mask(tile)
         )
-        adj = alloc.graph.adjacency()
-        existing = set(adj)
+        graph = alloc.graph
         for var in sorted(boundary_live):
-            if var in existing:
+            if var in graph:
                 continue
             binding = parent_loc(var)
             if binding is None or binding == MEM:
                 continue
-            # Conflicts with every existing node, in bulk: one neighbour
-            # set for the intruder, one add per existing node.
-            adj[var] = set(existing)
-            for other in existing:
-                adj[other].add(var)
-            existing.add(var)
+            # Conflicts with every existing node (including intruders
+            # inserted on earlier iterations), in bulk.
+            graph.add_conflicts_all(var)
             local_prefs[var] = binding
             # Spilling an intruder costs a store/load around the tile.
             transfer = sum(

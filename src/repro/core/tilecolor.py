@@ -136,7 +136,7 @@ def color_tile(
                 priorities[t] = float("inf")
 
         if all_spilled:
-            work = graph.subgraph(graph.adjacency().keys() - all_spilled)
+            work = graph.subgraph(graph.node_ids().keys() - all_spilled)
             precolored = {
                 v: c
                 for v, c in spec.precolored.items()

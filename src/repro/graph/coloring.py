@@ -17,13 +17,21 @@ color.  Preference handling follows the paper:
   using only ||R|| colors" so the top-down phase retains freedom to bind
   local and global colors independently.
 
+The engine is **integer-core**: it runs directly over the graph's id-level
+masks (see :class:`~repro.graph.interference.InterferenceGraph`), colors are
+interned to small ids so forbidden/avoid sets are single-int bitmasks, and
+every name comparison in the original heaps is replaced by a *rank* (the
+node's position in the sorted name list), which orders identically.  The
+string behaviour is exactly preserved -- inputs and results are plain
+string mappings.
+
 Invariants callers rely on:
 
 * :func:`color_graph` never mutates its inputs -- the graph, priority,
   precolored and preference mappings are only read, so a caller may pass
   the same graph through repeated recoloring rounds.
 * the outcome is a pure function of the inputs: node selection is driven
-  by (degree, name) / (metric, name) heaps and the color-reuse list is
+  by (degree, rank) / (metric, rank) heaps and the color-reuse list is
   seeded in sorted order, so no decision inherits hash-salted iteration
   order (the cross-process determinism gate depends on this).
 * nodes in ``never_spill`` either receive a color or raise
@@ -118,224 +126,336 @@ def color_graph(
     never_spill = never_spill if never_spill is not None else frozenset()
     boundary = boundary if boundary is not None else frozenset()
 
-    partners: Dict[str, Set[str]] = {}
+    # ------------------------------------------------------------------
+    # Lower names to ids.  Graph nodes keep their graph ids; precolored
+    # nodes and preference-pair members absent from the graph get fresh
+    # ids above them (local to this call -- the graph is not mutated).
+    # ------------------------------------------------------------------
+    g_ids = graph.node_ids()
+    g_names = graph.id_names()
+    masks = graph.id_masks()
+    # Copy-on-write: extras (precolored nodes or pair members outside the
+    # graph) are rare, so the graph's own dicts are shared until the first
+    # fresh interning actually happens.
+    ids: Dict[str, int] = g_ids
+    names: Dict[int, str] = g_names
+    nxt = graph._next
+
+    def local_intern(var: str) -> int:
+        nonlocal nxt, ids, names
+        i = ids.get(var)
+        if i is None:
+            if ids is g_ids:
+                ids = dict(g_ids)
+                names = dict(g_names)
+            i = nxt
+            nxt += 1
+            ids[var] = i
+            names[i] = var
+        return i
+
+    partners: Dict[int, Set[int]] = {}
     for a, b in pref_pairs or ():
         if a == b:
             continue
-        partners.setdefault(a, set()).add(b)
-        partners.setdefault(b, set()).add(a)
+        ia = local_intern(a)
+        ib = local_intern(b)
+        partners.setdefault(ia, set()).add(ib)
+        partners.setdefault(ib, set()).add(ia)
+    # Partner inspection takes the lowest *name*; pre-sort once.
+    partner_sorted: Dict[int, List[int]] = (
+        {i: sorted(s, key=names.__getitem__) for i, s in partners.items()}
+        if partners
+        else {}
+    )
 
-    # Shallow copy only: the algorithm never mutates a neighbour set, so
-    # the sets can be shared with the graph; the dict itself is copied
-    # because missing precolored nodes get empty entries added.
-    adj: Dict[str, Set[str]] = dict(graph.adjacency())
-    for var in precolored:
-        if var not in adj:
-            adj[var] = set()
+    # Colors are interned too, so forbidden/avoid sets are bitmasks.
+    cids: Dict[str, int] = {}
+    cnames: List[str] = []
+
+    def cintern(color: str) -> int:
+        ci = cids.get(color)
+        if ci is None:
+            ci = len(cnames)
+            cids[color] = ci
+            cnames.append(color)
+        return ci
+
+    color_order_ids = [cintern(c) for c in color_order]
+
+    # The algorithm's node set: graph nodes plus precolored extras (the
+    # extras are precolored, so they never enter a heap and need no degree
+    # or priority entries).
+    precolored_ids: Dict[int, int] = {}
+    for var, color in precolored.items():
+        precolored_ids[local_intern(var)] = cintern(color)
+
+    never_mask = 0
+    for var in never_spill:
+        i = ids.get(var)
+        if i is not None:
+            never_mask |= 1 << i
+    boundary_mask = 0
+    for var in boundary:
+        i = ids.get(var)
+        if i is not None:
+            boundary_mask |= 1 << i
 
     # ------------------------------------------------------------------
     # Simplify: push nodes onto the colorable stack.
     # ------------------------------------------------------------------
-    degrees: Dict[str, int] = {}
-    remaining: Set[str] = set()
-    stack: List[str] = []
+    # One C-level dict copy of the memoized degree map replaces the
+    # per-call bit_count loop; ``prio`` is filled only for nodes whose
+    # *initial* degree reaches k -- degrees only ever decrease, so no other
+    # node can enter the spill heap.
+    degrees: Dict[int, int] = dict(graph.degree_map())
+    remaining_mask = 0
+    stack: List[int] = []
     spilled: Set[str] = set()
+    prio: Dict[int, float] = {}
+    priorities_get = priorities.get
+    masks_get = masks.get
+    nbrs = graph.neighbor_ids()
+    nbrs_get = nbrs.get
 
     if spill_heuristic == "cost":
 
-        def spill_metric(var: str, degree: int) -> float:
-            return math.inf if var in never_spill else priorities.get(var, 0.0)
+        def spill_metric(i: int, degree: int) -> float:
+            return math.inf if never_mask >> i & 1 else prio[i]
 
     elif spill_heuristic == "degree":
 
-        def spill_metric(var: str, degree: int) -> float:
-            return math.inf if var in never_spill else -max(degree, 1)
+        def spill_metric(i: int, degree: int) -> float:
+            return math.inf if never_mask >> i & 1 else -max(degree, 1)
 
     else:
 
-        def spill_metric(var: str, degree: int) -> float:
-            if var in never_spill:
+        def spill_metric(i: int, degree: int) -> float:
+            if never_mask >> i & 1:
                 return math.inf
-            return priorities.get(var, 0.0) / max(degree, 1)
+            return prio[i] / max(degree, 1)
+
+    # Ranks replace name comparisons: rank(v) is v's position in the
+    # graph's sorted name list, so (degree, rank) orders exactly like
+    # (degree, name) did -- only undecided nodes ever meet in a heap, and
+    # global ranks restricted to them are order-isomorphic to their own
+    # sorted positions.  Ranks are unique, so later tuple elements never
+    # tie-break.  The rank table is memoized on the graph across recolor
+    # rounds and phases.
+    rank, id_of_rank = graph.name_ranks()
 
     # Two lazy heaps drive node selection: ``low_heap`` orders the
-    # trivially-colorable nodes by (degree, name), ``spill_heap`` orders
-    # the constrained (degree >= k) nodes by (spill metric, name).  Entries
+    # trivially-colorable nodes by (degree, rank), ``spill_heap`` orders
+    # the constrained (degree >= k) nodes by (spill metric, rank).  Entries
     # go stale when a degree drops; a fresh entry is pushed on every
     # decrement, so an entry is valid exactly when its recorded degree
     # matches the current one.  Nodes below k never need a spill entry: a
     # node whose degree is < k always has a valid low_heap entry, so the
     # spill pick -- which runs only when no such entry exists -- can never
-    # select it.  Pop order is identical to the previous min() scans --
-    # lowest (degree, name) among sub-k nodes, else lowest (metric, name)
-    # overall -- at O(log) per operation instead of O(|remaining|).
-    low_heap: List[Tuple[int, str]] = []
-    spill_heap: List[Tuple[float, str, int]] = []
-    for v, ns in adj.items():
-        d = len(ns)
-        degrees[v] = d
-        if v in precolored:
+    # select it.  Pop order is lowest (degree, rank) among sub-k nodes,
+    # else lowest (metric, rank) overall, at O(log) per operation.
+    low_heap: List[Tuple[int, int]] = []
+    spill_heap: List[Tuple[float, int, int]] = []
+    for i, d in degrees.items():
+        if i in precolored_ids:
             continue
-        remaining.add(v)
+        remaining_mask |= 1 << i
         if d < k:
-            low_heap.append((d, v))
+            low_heap.append((d, rank[i]))
         else:
-            spill_heap.append((spill_metric(v, d), v, d))
+            prio[i] = priorities_get(names[i], 0.0)
+            spill_heap.append((spill_metric(i, d), rank[i], d))
     heapq.heapify(low_heap)
     heapq.heapify(spill_heap)
 
     heappush = heapq.heappush
 
-    def decrement_neighbors(var: str) -> None:
-        for other in adj[var]:
+    def decrement_neighbors(i: int) -> None:
+        for other in nbrs_get(i, ()):
             d = degrees[other] = degrees[other] - 1
-            if other in remaining:
+            if remaining_mask >> other & 1:
                 if d < k:
-                    heappush(low_heap, (d, other))
+                    heappush(low_heap, (d, rank[other]))
                 else:
-                    heappush(spill_heap, (spill_metric(other, d), other, d))
+                    heappush(
+                        spill_heap, (spill_metric(other, d), rank[other], d)
+                    )
 
     heappop = heapq.heappop
-    while remaining:
-        var = None
+    while remaining_mask:
+        var = -1
         while low_heap:
-            d, v = heappop(low_heap)
-            if v in remaining and degrees[v] == d:
+            d, r = heappop(low_heap)
+            v = id_of_rank[r]
+            if remaining_mask >> v & 1 and degrees[v] == d:
                 var = v
                 break
-        if var is None:
+        if var < 0:
             # All remaining nodes have >= k conflicts: pick the least
             # valuable as the next (potential) spill.
             while True:
-                _, v, d = heappop(spill_heap)
-                if v in remaining and degrees[v] == d:
+                _, r, d = heappop(spill_heap)
+                v = id_of_rank[r]
+                if remaining_mask >> v & 1 and degrees[v] == d:
                     var = v
                     break
-            if pessimistic and var not in never_spill:
-                spilled.add(var)
-                remaining.discard(var)
+            if pessimistic and not never_mask >> var & 1:
+                spilled.add(names[var])
+                remaining_mask &= ~(1 << var)
                 decrement_neighbors(var)
                 continue
-        remaining.discard(var)
+        remaining_mask &= ~(1 << var)
         stack.append(var)
         decrement_neighbors(var)
 
     # ------------------------------------------------------------------
     # Select: pop and color.
     # ------------------------------------------------------------------
-    assignment: Dict[str, str] = dict(precolored)
+    node_color: Dict[int, int] = dict(precolored_ids)
+    assigned_mask = 0
+    for i in node_color:
+        assigned_mask |= 1 << i
     # Seed the reuse list in sorted color order: ``_pick`` returns the
     # first non-forbidden entry, so the list order is outcome-relevant and
     # must not inherit the caller's dict iteration order.
-    used: List[str] = []
+    used: List[int] = []
+    used_mask = 0
     if precolored:
-        used.extend(sorted(set(precolored.values())))
-    dynamic_prefs = dict(local_prefs)
+        for color in sorted(set(precolored.values())):
+            ci = cids[color]
+            if not used_mask >> ci & 1:
+                used.append(ci)
+                used_mask |= 1 << ci
+    dynamic_prefs: Dict[int, int] = {
+        local_intern(var): cintern(color)
+        for var, color in local_prefs.items()
+    }
 
-    def forbidden_for(var: str) -> Set[str]:
-        return {
-            assignment[n] for n in adj.get(var, ()) if n in assignment
-        }
-
-    def neighbour_pref_colors(var: str) -> Set[str]:
-        if not dynamic_prefs:  # nothing to avoid, skip the scan
-            return set()
-        out = set()
-        for n in adj.get(var, ()):
-            if n not in assignment and n in dynamic_prefs:
-                out.add(dynamic_prefs[n])
+    def forbidden_for(i: int) -> int:
+        out = 0
+        mask = masks_get(i, 0) & assigned_mask
+        while mask:
+            low = mask & -mask
+            out |= 1 << node_color[low.bit_length() - 1]
+            mask ^= low
         return out
 
-    def fresh_color(forbidden: Set[str]) -> Optional[str]:
-        if len(used) >= k:
-            return None
-        for color in color_order:
-            if color not in used and color not in forbidden:
-                return color
-        return None
+    def neighbour_pref_colors(i: int) -> int:
+        if not dynamic_prefs:  # nothing to avoid, skip the scan
+            return 0
+        out = 0
+        mask = masks_get(i, 0) & ~assigned_mask
+        while mask:
+            low = mask & -mask
+            ci = dynamic_prefs.get(low.bit_length() - 1)
+            if ci is not None:
+                out |= 1 << ci
+            mask ^= low
+        return out
 
-    def take(var: str, color: str) -> None:
-        assignment[var] = color
-        if color not in used:
-            used.append(color)
-        for partner in partners.get(var, ()):
-            if partner not in assignment and partner not in dynamic_prefs:
-                dynamic_prefs[partner] = color
+    def fresh_color(forbidden: int) -> int:
+        if len(used) >= k:
+            return -1
+        for ci in color_order_ids:
+            if not used_mask >> ci & 1 and not forbidden >> ci & 1:
+                return ci
+        return -1
+
+    def pick(forbidden: int) -> int:
+        for ci in used:
+            if not forbidden >> ci & 1:
+                return ci
+        return -1
+
+    take_order: List[int] = []
+
+    def take(i: int, ci: int) -> None:
+        nonlocal assigned_mask, used_mask
+        node_color[i] = ci
+        assigned_mask |= 1 << i
+        take_order.append(i)
+        if not used_mask >> ci & 1:
+            used.append(ci)
+            used_mask |= 1 << ci
+        for p in partner_sorted.get(i, ()):
+            if p not in node_color and p not in dynamic_prefs:
+                dynamic_prefs[p] = ci
 
     order: List[str] = []
     while stack:
         var = stack.pop()
-        order.append(var)
+        order.append(names[var])
         forbidden = forbidden_for(var)
 
         # 1. Explicit local preference wins when available.
         pref = dynamic_prefs.get(var)
-        if pref is not None and pref not in forbidden:
-            if pref in used or len(used) < k:
+        if pref is not None and not forbidden >> pref & 1:
+            if used_mask >> pref & 1 or len(used) < k:
                 take(var, pref)
                 if trace_hook is not None:
-                    trace_hook(var, pref, "local")
+                    trace_hook(names[var], cnames[pref], "local")
                 continue
 
-        # 2. A partner's color, when one is already colored.  Partners are
-        # held in a set, so iterate them sorted: element [0] is taken.
-        # (Most nodes have no partners -- skip the sort entirely then.)
-        var_partners = partners.get(var)
-        if var_partners:
-            partner_colors = [
-                assignment[p]
-                for p in sorted(var_partners)
-                if p in assignment and assignment[p] not in forbidden
-            ]
-            if partner_colors:
-                take(var, partner_colors[0])
+        # 2. A partner's color, when one is already colored.  Partner
+        # lists are pre-sorted by name: the first assignable hit is taken.
+        plist = partner_sorted.get(var)
+        if plist:
+            chosen = -1
+            for p in plist:
+                ci = node_color.get(p)
+                if ci is not None and not forbidden >> ci & 1:
+                    chosen = ci
+                    break
+            if chosen >= 0:
+                take(var, chosen)
                 if trace_hook is not None:
-                    trace_hook(var, partner_colors[0], "partner")
+                    trace_hook(names[var], cnames[chosen], "partner")
                 continue
 
         avoid = neighbour_pref_colors(var)
 
         # 3. Boundary globals try for a color distinct from all used ones.
-        if var in boundary:
+        if boundary_mask >> var & 1:
             color = fresh_color(forbidden | avoid)
-            if color is None:
+            if color < 0:
                 color = fresh_color(forbidden)
-            if color is not None:
+            if color >= 0:
                 take(var, color)
                 continue
 
         # 4. Reuse an existing color, avoiding neighbours' preferences.
-        color = _pick(used, forbidden | avoid)
-        if color is None:
+        color = pick(forbidden | avoid)
+        if color < 0:
             color = fresh_color(forbidden | avoid)
         # 5. "Revert to standard coloring": ignore preference avoidance.
-        if color is None:
-            color = _pick(used, forbidden)
-        if color is None:
+        if color < 0:
+            color = pick(forbidden)
+        if color < 0:
             color = fresh_color(forbidden)
 
-        if color is not None:
+        if color >= 0:
             take(var, color)
         else:
-            if var in never_spill:
+            if never_mask >> var & 1:
+                name = names[var]
                 raise NoColorForRequiredNode(
-                    f"node {var!r} has infinite spill cost but no color", var
+                    f"node {name!r} has infinite spill cost but no color",
+                    name,
                 )
-            spilled.add(var)
+            spilled.add(names[var])
+
+    # Materialize the string result: precolored entries first, then takes
+    # in pop order -- the same insertion order as before.
+    assignment: Dict[str, str] = dict(precolored)
+    for i in take_order:
+        assignment[names[i]] = cnames[node_color[i]]
 
     return ColoringResult(
         assignment=assignment,
         spilled=spilled,
-        used_colors=used,
+        used_colors=[cnames[ci] for ci in used],
         stack_order=order,
     )
-
-
-def _pick(used: Sequence[str], forbidden: Set[str]) -> Optional[str]:
-    for color in used:
-        if color not in forbidden:
-            return color
-    return None
 
 
 def verify_coloring(

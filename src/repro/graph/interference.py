@@ -6,58 +6,204 @@ at every definition point the defined variable conflicts with everything live
 after the instruction -- except that copy sources never conflict with their
 destinations through the copy itself, which is what lets preferencing (the
 paper's replacement for coalescing) put both in one register.
+
+Internally the graph is **integer-backed**: every node gets a local id and
+the adjacency of a node is a single Python-int bitmask over those ids, so
+edge insertion, degree, and induced subgraphs are word-level operations.
+The string-facing API (``nodes``/``neighbors``/``adjacency``/``edges``) is a
+facade materialized from the masks -- hot callers use the id-level accessors
+(``node_ids``/``id_masks``/``id_names``) or the CSR export instead.  Node
+iteration order is insertion order, which construction keeps canonical
+(never hash-salted); removed-then-re-added nodes go to the end, exactly like
+the dict-of-sets representation this replaces.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from bisect import insort
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.liveness import Liveness
 from repro.ir.function import Function
 from repro.ir.instructions import Instr, Opcode
 
+
 class InterferenceGraph:
-    """Undirected conflict graph over variable names."""
+    """Undirected conflict graph over variable names.
+
+    ``_ids`` maps name -> local id in insertion order; ``_names`` is the
+    inverse; ``_masks`` maps id -> neighbour bitmask over ids.  Ids are
+    *not* required to be dense: :func:`build_interference` reuses the
+    function-wide ``VarIndex`` vids directly (no remapping), and
+    :meth:`subgraph` keeps the parent's ids.  ``_next`` is the next fresh
+    id handed to facade insertions, always above every live id.
+    """
+
+    __slots__ = ("_ids", "_names", "_masks", "_next",
+                 "_version", "_str_adj", "_str_version",
+                 "_nbr_lists", "_ranks", "_rank_version", "_degs")
 
     def __init__(self) -> None:
-        self._adj: Dict[str, Set[str]] = {}
+        self._ids: Dict[str, int] = {}
+        self._names: Dict[int, str] = {}
+        self._masks: Dict[int, int] = {}
+        self._next = 0
+        #: bumped on every mutation; invalidates the version-keyed memos
+        #: (``adjacency``/``name_ranks``).  The neighbour-list and degree
+        #: caches are *not* version-keyed: mutators keep them in sync
+        #: incrementally (or drop them to None), so recolor loops that add
+        #: a few temp nodes per round never pay a full mask re-decode.
+        self._version = 0
+        self._str_adj: Optional[Dict[str, Set[str]]] = None
+        self._str_version = -1
+        #: id -> neighbour ids; always consistent with ``_masks`` when not
+        #: None (the incremental-maintenance invariant).
+        self._nbr_lists: Optional[Dict[int, List[int]]] = None
+        self._ranks: Optional[Tuple[Dict[int, int], List[int]]] = None
+        self._rank_version = -1
+        #: id -> degree; same invariant as ``_nbr_lists``.
+        self._degs: Optional[Dict[int, int]] = None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _intern(self, var: str) -> int:
+        i = self._ids.get(var)
+        if i is None:
+            i = self._next
+            self._next = i + 1
+            self._ids[var] = i
+            self._names[i] = var
+            self._masks[i] = 0
+            if self._nbr_lists is not None:
+                self._nbr_lists[i] = []
+            if self._degs is not None:
+                self._degs[i] = 0
+        return i
+
     def add_node(self, var: str) -> None:
-        self._adj.setdefault(var, set())
+        if var not in self._ids:
+            self._version += 1
+            self._intern(var)
 
     def add_edge(self, a: str, b: str) -> None:
         if a == b:
             return
-        self._adj.setdefault(a, set()).add(b)
-        self._adj.setdefault(b, set()).add(a)
+        ia = self._intern(a)
+        ib = self._intern(b)
+        masks = self._masks
+        if masks[ia] >> ib & 1:
+            return  # already present: nothing changes, keep the memos
+        self._version += 1
+        masks[ia] |= 1 << ib
+        masks[ib] |= 1 << ia
+        lists = self._nbr_lists
+        if lists is not None:
+            insort(lists[ia], ib)
+            insort(lists[ib], ia)
+        degs = self._degs
+        if degs is not None:
+            degs[ia] += 1
+            degs[ib] += 1
 
     def add_clique(self, vars_: Iterable[str]) -> None:
-        # Bulk set unions: O(k) C-level operations instead of O(k^2)
+        # Bulk mask unions: O(k) word operations instead of O(k^2)
         # add_edge calls.  Callers routinely pass sets (boundary live
         # sets), so nodes not seen before are inserted in sorted order --
         # node order feeds downstream tie-breaks and must not depend on
         # hash salt.  Existing nodes keep their position, so the sort
         # covers only the (usually empty) set of new members.
-        adj = self._adj
+        self._version += 1
+        ids = self._ids
         members: Set[str] = set(vars_)
-        new = [v for v in members if v not in adj]
+        new = [v for v in members if v not in ids]
         if new:
             new.sort()
             for v in new:
-                adj[v] = set()
+                self._intern(v)
         if len(members) < 2:
             return
-        for a in members:
-            s = adj[a]
-            s |= members
-            s.discard(a)
+        masks = self._masks
+        lists = self._nbr_lists
+        degs = self._degs
+        mids = [ids[v] for v in members]
+        clique = 0
+        for i in mids:
+            clique |= 1 << i
+        for i in mids:
+            delta = clique & ~(1 << i) & ~masks[i]
+            if not delta:
+                continue
+            masks[i] |= delta
+            if lists is None and degs is None:
+                continue
+            added = 0
+            lst = lists[i] if lists is not None else None
+            while delta:
+                low = delta & -delta
+                if lst is not None:
+                    insort(lst, low.bit_length() - 1)
+                added += 1
+                delta ^= low
+            if degs is not None:
+                degs[i] += added
+
+    def add_conflicts_all(self, var: str) -> None:
+        """Insert *var* (appended to node order if new) conflicting with
+        every node already in the graph -- the phase-2 intruder insertion,
+        in bulk: one mask union for *var*, one bit OR per existing node."""
+        self._version += 1
+        masks = self._masks
+        i = self._intern(var)
+        vbit = 1 << i
+        star = 0
+        for o in masks:
+            star |= 1 << o
+        star &= ~vbit
+        new = star & ~masks[i]
+        masks[i] |= star
+        lists = self._nbr_lists
+        degs = self._degs
+        vlst = lists[i] if lists is not None else None
+        added = 0
+        while new:
+            low = new & -new
+            o = low.bit_length() - 1
+            masks[o] |= vbit
+            if lists is not None:
+                insort(lists[o], i)
+                insort(vlst, o)
+            if degs is not None:
+                degs[o] += 1
+            added += 1
+            new ^= low
+        if degs is not None and added:
+            degs[i] += added
 
     def remove_node(self, var: str) -> None:
-        for other in self._adj.pop(var, ()):  # pragma: no branch
-            self._adj[other].discard(var)
+        i = self._ids.pop(var, None)
+        if i is None:
+            return
+        self._version += 1
+        self._names.pop(i)
+        masks = self._masks
+        mask = masks.pop(i)
+        clear = ~(1 << i)
+        lists = self._nbr_lists
+        degs = self._degs
+        if lists is not None:
+            lists.pop(i, None)
+        if degs is not None:
+            degs.pop(i, None)
+        while mask:
+            low = mask & -mask
+            o = low.bit_length() - 1
+            masks[o] &= clear
+            if lists is not None:
+                lists[o].remove(i)
+            if degs is not None:
+                degs[o] -= 1
+            mask ^= low
 
     def merge_from(self, other: "InterferenceGraph") -> None:
         for var in other.nodes():
@@ -69,60 +215,209 @@ class InterferenceGraph:
     # queries
     # ------------------------------------------------------------------
     def nodes(self) -> List[str]:
-        return list(self._adj)
+        return list(self._ids)
 
     def __contains__(self, var: str) -> bool:
-        return var in self._adj
+        return var in self._ids
 
     def __len__(self) -> int:
-        return len(self._adj)
+        return len(self._ids)
+
+    def _neighbor_names(self, i: int) -> Set[str]:
+        names = self._names
+        out: Set[str] = set()
+        add = out.add
+        mask = self._masks[i]
+        while mask:
+            low = mask & -mask
+            add(names[low.bit_length() - 1])
+            mask ^= low
+        return out
 
     def neighbors(self, var: str) -> Set[str]:
-        return self._adj.get(var, set())
+        i = self._ids.get(var)
+        if i is None:
+            return set()
+        return self._neighbor_names(i)
 
     def degree(self, var: str) -> int:
-        return len(self._adj.get(var, ()))
+        i = self._ids.get(var)
+        return 0 if i is None else self._masks[i].bit_count()
 
     def edges(self) -> Iterator[Tuple[str, str]]:
-        # Neighbour sets are iterated sorted so the yield order depends
-        # only on node insertion order, never on the hash salt.
+        # Neighbour masks are decoded and sorted so the yield order
+        # depends only on node insertion order, never on the hash salt.
         seen = set()
-        for a, others in self._adj.items():
-            for b in sorted(others):
+        for a, i in self._ids.items():
+            for b in sorted(self._neighbor_names(i)):
                 key = (a, b) if a <= b else (b, a)
                 if key not in seen:
                     seen.add(key)
                     yield key
 
     def edge_count(self) -> int:
-        return sum(len(v) for v in self._adj.values()) // 2
+        return sum(m.bit_count() for m in self._masks.values()) // 2
 
     def interferes(self, a: str, b: str) -> bool:
-        return b in self._adj.get(a, ())
+        ids = self._ids
+        ia = ids.get(a)
+        ib = ids.get(b)
+        return (
+            ia is not None and ib is not None
+            and bool(self._masks[ia] >> ib & 1)
+        )
 
     def subgraph(self, keep: Set[str]) -> "InterferenceGraph":
         """Induced subgraph on ``keep`` (nodes absent from the graph are
-        ignored).  Costs O(|V|) plus one set intersection per kept node;
-        node order follows this graph's (canonical) insertion order."""
+        ignored).  One mask AND per kept node; ids are preserved, and node
+        order follows this graph's (canonical) insertion order."""
         out = InterferenceGraph()
-        adj = self._adj
-        out_adj = out._adj
+        masks = self._masks
+        o_ids = out._ids
+        o_names = out._names
+        o_masks = out._masks
         # ``keep`` is usually a freshly-built (hash-ordered) set, so it
-        # must not drive the iteration.  Walking ``self._adj`` instead
+        # must not drive the iteration.  Walking ``self._ids`` instead
         # inherits this graph's insertion order, which construction keeps
         # canonical -- the induced graph's node order (and everything
         # keyed off it downstream) is then canonical without a sort.
-        for var, neighbors in adj.items():
+        keep_mask = 0
+        kept: List[Tuple[str, int]] = []
+        for var, i in self._ids.items():
             if var in keep:
-                out_adj[var] = neighbors & keep
+                kept.append((var, i))
+                keep_mask |= 1 << i
+        for var, i in kept:
+            o_ids[var] = i
+            o_names[i] = var
+            o_masks[i] = masks[i] & keep_mask
+        out._next = self._next
+        # Ids are preserved, so the parent's memos transfer: ranks restricted
+        # to the kept subset order exactly like the subset's own sorted-name
+        # positions (only kept ids are ever looked up), and neighbour lists
+        # filter down instead of re-decoding masks bit by bit.  Computing
+        # them *via the parent* memoizes on the parent, so the repeated
+        # subgraphs of one recolor loop pay the sort/decode once.
+        out._ranks = self.name_ranks()
+        out._rank_version = 0
+        p_lists = self.neighbor_ids()
+        out._nbr_lists = {
+            i: [o for o in p_lists[i] if keep_mask >> o & 1]
+            for _, i in kept
+        }
+        out._degs = {i: len(l) for i, l in out._nbr_lists.items()}
         return out
 
+    # ------------------------------------------------------------------
+    # id-level access (the flat cold path)
+    # ------------------------------------------------------------------
+    def node_ids(self) -> Dict[str, int]:
+        """name -> local id, in node insertion order -- treat as read-only."""
+        return self._ids
+
+    def id_names(self) -> Dict[int, str]:
+        """local id -> name -- treat as read-only."""
+        return self._names
+
+    def id_masks(self) -> Dict[int, int]:
+        """local id -> neighbour bitmask -- treat as read-only."""
+        return self._masks
+
+    def neighbor_ids(self) -> Dict[int, List[int]]:
+        """local id -> neighbour ids as a list, ascending -- treat as
+        read-only.  Decoded from the masks once, then kept exactly in
+        sync by the mutators: the coloring engine hits every neighbour of
+        every node once per run, and the same graph is colored several
+        times (recolor rounds, then phase 2) with a few temp-node
+        insertions in between, so the decode is paid once per graph
+        instead of once per round."""
+        if self._nbr_lists is None:
+            out: Dict[int, List[int]] = {}
+            for i, mask in self._masks.items():
+                lst: List[int] = []
+                append = lst.append
+                while mask:
+                    low = mask & -mask
+                    append(low.bit_length() - 1)
+                    mask ^= low
+                out[i] = lst
+            self._nbr_lists = out
+        return self._nbr_lists
+
+    def degree_map(self) -> Dict[int, int]:
+        """``id -> degree`` for every node -- treat as read-only.  Built
+        once, then maintained incrementally by the mutators; the coloring
+        engine copies it instead of re-counting mask bits per round."""
+        if self._degs is None:
+            if self._nbr_lists is not None:
+                self._degs = {i: len(l) for i, l in self._nbr_lists.items()}
+            else:
+                self._degs = {
+                    i: m.bit_count() for i, m in self._masks.items()
+                }
+        return self._degs
+
+    def name_ranks(self) -> Tuple[Dict[int, int], List[int]]:
+        """``(id -> rank, rank -> id)`` over all nodes sorted by name.
+        Ranks restricted to any subset order exactly like the subset's own
+        sorted-name positions (a strictly monotone map), so the coloring
+        engine's heaps reuse these across recolor rounds and both phases
+        instead of re-sorting per call.  Memoized until the next mutation."""
+        if self._ranks is None or self._rank_version != self._version:
+            by_rank = [self._ids[name] for name in sorted(self._ids)]
+            rank = {i: r for r, i in enumerate(by_rank)}
+            self._ranks = (rank, by_rank)
+            self._rank_version = self._version
+        return self._ranks
+
+    def csr(self):
+        """The graph as CSR arrays ``(indptr, indices, degrees)``.
+
+        Rows follow node insertion order; ``indices`` hold node *positions*
+        (row numbers, not internal ids) sorted ascending per row.  All
+        three are numpy ``int32`` arrays -- the flat export consumed by
+        benches and array-level consumers without materializing per-node
+        adjacency dicts.
+        """
+        import numpy as np
+
+        pos = {i: p for p, i in enumerate(self._ids.values())}
+        n = len(pos)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        degrees = np.zeros(n, dtype=np.int32)
+        cols: List[int] = []
+        for p, i in enumerate(self._ids.values()):
+            mask = self._masks[i]
+            row: List[int] = []
+            while mask:
+                low = mask & -mask
+                row.append(pos[low.bit_length() - 1])
+                mask ^= low
+            row.sort()
+            cols.extend(row)
+            degrees[p] = len(row)
+            indptr[p + 1] = len(cols)
+        return indptr, np.asarray(cols, dtype=np.int32), degrees
+
+    # ------------------------------------------------------------------
+    # string facade
+    # ------------------------------------------------------------------
     def adjacency(self) -> Dict[str, Set[str]]:
-        """The internal adjacency map -- treat as read-only."""
-        return self._adj
+        """The adjacency as a name-keyed dict of neighbour-name sets,
+        in node insertion order -- treat as read-only.  Materialized from
+        the masks and memoized until the next mutation."""
+        if self._str_adj is None or self._str_version != self._version:
+            out: Dict[str, Set[str]] = {}
+            for var, i in self._ids.items():
+                out[var] = self._neighbor_names(i)
+            self._str_adj = out
+            self._str_version = self._version
+        return self._str_adj
 
     def copy_adjacency(self) -> Dict[str, Set[str]]:
-        return {v: set(ns) for v, ns in self._adj.items()}
+        return {
+            var: self._neighbor_names(i) for var, i in self._ids.items()
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<InterferenceGraph |V|={len(self)} |E|={self.edge_count()}>"
@@ -151,10 +446,10 @@ def build_interference(
     classic copy exemption, and multiple definitions of one instruction
     conflict with each other.
 
-    The construction runs over the bitsets of ``liveness``: each def point
-    contributes one ``OR`` of the live-after mask into the defined
-    variable's adjacency mask, and the mask-to-set conversion happens once
-    at the end.
+    The construction runs over the bitsets of ``liveness``, and the
+    resulting vid-space masks *are* the graph: node ids are the liveness
+    ``VarIndex`` vids, so no remapping or string materialization happens
+    at all -- one dict insert per node.
     """
     if labels is None:
         labels = list(fn.blocks)
@@ -168,44 +463,88 @@ def build_interference(
     node_mask = 0
     adj: Dict[int, int] = {}
 
-    for label in labels:
-        block = fn.blocks[label]
-        live_out_per_instr = liveness.instr_live_out_bits(label)
-        for instr, live_after in zip(block.instrs, live_out_per_instr):
-            referenced = 0
-            for var in instr.defs:
-                referenced |= 1 << intern(var)
-            for var in instr.uses:
-                referenced |= 1 << intern(var)
-            # Clobbered registers (calls) are written as a side effect:
-            # they conflict with everything live across the instruction.
-            for var in instr.clobbers:
-                referenced |= 1 << intern(var)
-            if relevant_mask is not None:
-                referenced &= relevant_mask
-            node_mask |= referenced
+    arena = getattr(liveness, "arena", None)
+    if arena is not None and (arena.fn is not fn or arena.retired):
+        arena = None
 
-            written = instr.defs + instr.clobbers
-            if not written:
-                continue
-            exempt_mask = (
-                1 << intern(instr.uses[0]) if instr.is_copy_like else 0
-            )
-            targets = live_after & ~exempt_mask
-            sibling_mask = 0
-            for var in written:
-                sibling_mask |= 1 << intern(var)
-            if relevant_mask is not None:
-                targets &= relevant_mask
-                sibling_mask &= relevant_mask
-            for var in written:
-                vid = intern(var)
-                vbit = 1 << vid
-                if relevant_mask is not None and not (vbit & relevant_mask):
+    if arena is not None:
+        # Flat path: the def-point construction runs entirely over the
+        # arena's precomputed per-instruction bitsets -- no operand-name
+        # interning, no Instr attribute walks.  Same edges, same order.
+        adj_get = adj.get
+        block_id = arena.block_id
+        block_start = arena.block_start
+        i_ref = arena.i_ref
+        i_written = arena.i_written
+        i_exempt = arena.i_exempt
+        i_written_vids = arena.i_written_vids
+        for label in labels:
+            bid = block_id[label]
+            live_out_per_instr = liveness.instr_live_out_bits(label)
+            start = block_start[bid]
+            for k in range(block_start[bid + 1] - start):
+                i = start + k
+                referenced = i_ref[i]
+                if relevant_mask is not None:
+                    referenced &= relevant_mask
+                node_mask |= referenced
+
+                sibling_mask = i_written[i]
+                if not sibling_mask:
                     continue
-                new = (targets | sibling_mask) & ~vbit
-                if new:
-                    adj[vid] = adj.get(vid, 0) | new
+                targets = live_out_per_instr[k] & ~i_exempt[i]
+                if relevant_mask is not None:
+                    targets &= relevant_mask
+                    sibling_mask &= relevant_mask
+                for vid in i_written_vids[i]:
+                    vbit = 1 << vid
+                    if relevant_mask is not None and not (
+                        vbit & relevant_mask
+                    ):
+                        continue
+                    new = (targets | sibling_mask) & ~vbit
+                    if new:
+                        adj[vid] = adj_get(vid, 0) | new
+    else:
+        for label in labels:
+            block = fn.blocks[label]
+            live_out_per_instr = liveness.instr_live_out_bits(label)
+            for instr, live_after in zip(block.instrs, live_out_per_instr):
+                referenced = 0
+                for var in instr.defs:
+                    referenced |= 1 << intern(var)
+                for var in instr.uses:
+                    referenced |= 1 << intern(var)
+                # Clobbered registers (calls) are written as a side
+                # effect: they conflict with everything live across the
+                # instruction.
+                for var in instr.clobbers:
+                    referenced |= 1 << intern(var)
+                if relevant_mask is not None:
+                    referenced &= relevant_mask
+                node_mask |= referenced
+
+                written = instr.defs + instr.clobbers
+                if not written:
+                    continue
+                exempt_mask = (
+                    1 << intern(instr.uses[0]) if instr.is_copy_like else 0
+                )
+                targets = live_after & ~exempt_mask
+                sibling_mask = 0
+                for var in written:
+                    sibling_mask |= 1 << intern(var)
+                if relevant_mask is not None:
+                    targets &= relevant_mask
+                    sibling_mask &= relevant_mask
+                for var in written:
+                    vid = intern(var)
+                    vbit = 1 << vid
+                    if relevant_mask is not None and not (vbit & relevant_mask):
+                        continue
+                    new = (targets | sibling_mask) & ~vbit
+                    if new:
+                        adj[vid] = adj.get(vid, 0) | new
 
     # Live-after edges were recorded def-side only; mirror them so the
     # adjacency is symmetric (sibling cliques are already symmetric).  The
@@ -221,19 +560,41 @@ def build_interference(
             adj[oid] = adj_get(oid, 0) | vbit
             mask ^= low
 
+    # Lower the vid-space masks into the graph under *dense* local ids:
+    # node order is the def-side first-touch order of ``adj`` followed by
+    # edge-free referenced variables in vid order -- the same canonical
+    # order the dict-of-sets construction produced.  The one-time remap
+    # keeps every adjacency mask within a couple of machine words (vids
+    # span the whole function, local ids only this graph), which is what
+    # makes the coloring engine's bit loops word-cheap.
     graph = InterferenceGraph()
-    gadj = graph._adj
+    gids = graph._ids
+    gnames = graph._names
+    gmasks = graph._masks
     name_of = index.name_of
-    for vid, mask in adj.items():
-        neighbors: Set[str] = set()
-        nadd = neighbors.add
-        while mask:
-            low = mask & -mask
-            nadd(name_of(low.bit_length() - 1))
-            mask ^= low
-        gadj[name_of(vid)] = neighbors
+    local: Dict[int, int] = {}
+    vid_order: List[int] = list(adj)
+    for vid in vid_order:
+        local[vid] = len(local)
     while node_mask:
         low = node_mask & -node_mask
-        gadj.setdefault(name_of(low.bit_length() - 1), set())
+        vid = low.bit_length() - 1
+        if vid not in local:
+            local[vid] = len(local)
+            vid_order.append(vid)
         node_mask ^= low
+    local_get = local.__getitem__
+    for vid in vid_order:
+        name = name_of(vid)
+        i = local[vid]
+        gids[name] = i
+        gnames[i] = name
+        mask = adj.get(vid, 0)
+        new_mask = 0
+        while mask:
+            low = mask & -mask
+            new_mask |= 1 << local_get(low.bit_length() - 1)
+            mask ^= low
+        gmasks[i] = new_mask
+    graph._next = len(local)
     return graph

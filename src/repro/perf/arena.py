@@ -1,0 +1,457 @@
+"""Flat, array-backed per-function analysis arena.
+
+The cold allocation path used to re-walk ``Instr`` objects (and re-intern
+their operand names) once per analysis: liveness, interference, metrics,
+spill-site discovery and preferencing each traversed the object CFG.  A
+:class:`FunctionArena` lowers the function **once** into flat parallel
+tables -- per-instruction def/use/clobber bitsets over the shared
+:class:`~repro.perf.varindex.VarIndex`, per-block instruction ranges, block
+adjacency in CSR form -- and every later analysis runs over machine words.
+
+Layout (all tables indexed by dense ids, assigned in deterministic
+first-seen order):
+
+* **variables**: interned into ``index`` in exactly the order the classic
+  ``compute_liveness`` interned them (per block in ``fn.blocks`` order, per
+  instruction uses first, then defs), then clobber-only names.  Bitsets
+  over the index are plain Python ints, so width is unbounded.
+* **blocks**: ``labels[bid]``/``block_id[label]``; instructions of block
+  *bid* occupy the flat range ``block_start[bid]:block_start[bid+1]``.
+* **instructions**: parallel lists ``i_defs``/``i_uses``/``i_clob``
+  (bitsets), ``i_written_vids`` (def+clobber vids in operand order, for
+  def-point interference), ``i_exempt`` (copy-exemption bit) and
+  ``instrs`` (the original ``Instr`` objects, for the rare consumers that
+  need operand order or immediates).
+* **CFG**: successor/predecessor adjacency in CSR form
+  (``succ_indptr``/``succ_ids`` and the ``pred_*`` twins) as numpy int32
+  arrays when numpy is present, plain lists otherwise.
+
+Invalidation: the arena is a snapshot.  It is valid from construction
+until the function is mutated (CFG edits *or* in-place instruction edits);
+the allocator calls :meth:`FunctionArena.retire` before the spill-rewrite
+stage, after which consumers fall back to the object walk.  See DESIGN.md,
+"Arena and CSR layout".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.perf.varindex import VarIndex
+
+try:  # numpy is optional at runtime; the arena works without it
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is present in the dev image
+    _np = None
+
+#: Block count at or above which the vectorized (numpy) liveness sweep is
+#: preferred over the scalar worklist.  Small functions converge in a few
+#: worklist pops; the batched sweep pays off once many blocks change per
+#: round.  Both compute the same least fixed point, so the cutover is a
+#: pure performance knob (property-tested equivalent in
+#: tests/test_arena_differential.py).
+VECTOR_LIVENESS_MIN_BLOCKS = 48
+
+
+class FunctionArena:
+    """Immutable flat lowering of one function (see module docstring)."""
+
+    __slots__ = (
+        "fn", "index", "cfg_version", "labels", "block_id",
+        "block_start", "instrs", "i_defs", "i_uses", "i_clob",
+        "i_written", "i_ref", "i_exempt", "i_written_vids",
+        "block_use", "block_def", "block_ref",
+        "succ_indptr", "succ_ids", "pred_indptr", "pred_ids",
+        "copy_sites", "live_in", "live_out",
+        "_var_ref_blocks", "_var_def_blocks", "_var_sites", "_retired",
+        "_name_rank", "_var_ref_bmask", "_var_def_bmask",
+    )
+
+    def __init__(self, fn: Function, index: VarIndex) -> None:
+        self.fn = fn
+        self.index = index
+        self.cfg_version = getattr(fn, "cfg_version", None)
+        self._retired = False
+
+        # ---- pass 1: interning in the classic liveness order ----------
+        # (per block, per instruction: uses first, then defs), so every
+        # vid handed out by the arena matches what compute_liveness would
+        # have assigned.  Clobber-only names are interned afterwards.
+        intern = index.intern
+        labels: List[str] = []
+        block_start: List[int] = [0]
+        instrs = []
+        block_use: List[int] = []
+        block_def: List[int] = []
+        i_defs: List[int] = []
+        i_uses: List[int] = []
+        for label, block in fn.blocks.items():
+            labels.append(label)
+            use_mask = 0
+            def_mask = 0
+            for instr in block.instrs:
+                instrs.append(instr)
+                um = 0
+                for u in instr.uses:
+                    um |= 1 << intern(u)
+                use_mask |= um & ~def_mask
+                dm = 0
+                for d in instr.defs:
+                    dm |= 1 << intern(d)
+                def_mask |= dm
+                i_uses.append(um)
+                i_defs.append(dm)
+            block_start.append(len(instrs))
+            block_use.append(use_mask)
+            block_def.append(def_mask)
+        self.labels = labels
+        self.block_id = {label: bid for bid, label in enumerate(labels)}
+        self.block_start = block_start
+        self.instrs = instrs
+        self.block_use = block_use
+        self.block_def = block_def
+
+        # ---- pass 2: clobbers (interned here, after every use/def), the
+        # derived per-instruction tables, per-block referenced masks and
+        # copy sites -- one walk instead of three.
+        n = len(instrs)
+        i_clob = [0] * n
+        i_written = [0] * n
+        i_ref = [0] * n
+        i_exempt = [0] * n
+        i_written_vids: List[Tuple[int, ...]] = [()] * n
+        block_ref = [0] * len(labels)
+        copy_sites: List[Tuple[int, str, str]] = []
+        bid = 0
+        ref_mask = 0
+        for i, instr in enumerate(instrs):
+            while i >= block_start[bid + 1]:
+                block_ref[bid] = ref_mask
+                ref_mask = 0
+                bid += 1
+            dm = i_defs[i]
+            um = i_uses[i]
+            cm = 0
+            for v in instr.clobbers:
+                cm |= 1 << intern(v)
+            i_clob[i] = cm
+            written = dm | cm
+            i_written[i] = written
+            i_ref[i] = written | um
+            ref_mask |= written | um
+            if instr.is_copy_like and instr.uses:
+                i_exempt[i] = 1 << intern(instr.uses[0])
+                if instr.defs:
+                    copy_sites.append((bid, instr.defs[0], instr.uses[0]))
+            if written:
+                i_written_vids[i] = tuple(
+                    intern(v) for v in instr.defs + instr.clobbers
+                )
+        if labels:
+            block_ref[bid] = ref_mask
+        self.i_defs = i_defs
+        self.i_uses = i_uses
+        self.i_clob = i_clob
+        self.i_written = i_written
+        self.i_ref = i_ref
+        self.i_exempt = i_exempt
+        self.i_written_vids = i_written_vids
+        self.block_ref = block_ref
+
+        # ---- CFG adjacency in CSR form --------------------------------
+        block_id = self.block_id
+        succ_indptr: List[int] = [0]
+        succ_ids: List[int] = []
+        preds: List[List[int]] = [[] for _ in labels]
+        for bid, label in enumerate(labels):
+            for s in fn.blocks[label].succ_labels:
+                sid = block_id[s]
+                succ_ids.append(sid)
+                preds[sid].append(bid)
+            succ_indptr.append(len(succ_ids))
+        pred_indptr: List[int] = [0]
+        pred_ids: List[int] = []
+        for plist in preds:
+            pred_ids.extend(plist)
+            pred_indptr.append(len(pred_ids))
+        if _np is not None:
+            self.succ_indptr = _np.asarray(succ_indptr, dtype=_np.int32)
+            self.succ_ids = _np.asarray(succ_ids, dtype=_np.int32)
+            self.pred_indptr = _np.asarray(pred_indptr, dtype=_np.int32)
+            self.pred_ids = _np.asarray(pred_ids, dtype=_np.int32)
+        else:  # pragma: no cover - numpy present in the dev image
+            self.succ_indptr = succ_indptr
+            self.succ_ids = succ_ids
+            self.pred_indptr = pred_indptr
+            self.pred_ids = pred_ids
+
+        # copy sites -- (block id, def name, use name) per COPY/MOVE with
+        # both operands -- were collected during pass 2 above.
+        self.copy_sites = copy_sites
+
+        # ---- lazily-filled tables -------------------------------------
+        self.live_in: List[int] = []
+        self.live_out: List[int] = []
+        self._var_ref_blocks: Optional[List[Tuple[int, ...]]] = None
+        self._var_def_blocks: Optional[List[Tuple[int, ...]]] = None
+        self._var_ref_bmask: Optional[List[int]] = None
+        self._var_def_bmask: Optional[List[int]] = None
+        self._var_sites: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._name_rank: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # validity
+    # ------------------------------------------------------------------
+    def retire(self) -> None:
+        """Mark the snapshot stale (the function is about to be mutated).
+
+        Consumers holding the arena fall back to walking the live
+        ``Instr`` objects; cheap and explicit, where version-sniffing
+        would miss in-place instruction edits."""
+        self._retired = True
+
+    @property
+    def retired(self) -> bool:
+        return self._retired or getattr(self.fn, "cfg_version", None) != self.cfg_version
+
+    # ------------------------------------------------------------------
+    # per-variable tables
+    # ------------------------------------------------------------------
+    def _build_var_blocks(self) -> None:
+        # Block-id tuples are ordered by *label* (not block id): the
+        # metrics pass sums floats walking these and the sum order is
+        # part of the determinism contract (see core/metrics.py).
+        nvars = len(self.index)
+        ref_sets: List[List[int]] = [[] for _ in range(nvars)]
+        def_sets: List[List[int]] = [[] for _ in range(nvars)]
+        order = sorted(range(len(self.labels)), key=self.labels.__getitem__)
+        start = self.block_start
+        i_ref = self.i_ref
+        i_written = self.i_written
+        i_clob = self.i_clob
+        for bid in order:
+            ref_mask = 0
+            wr_mask = 0
+            for i in range(start[bid], start[bid + 1]):
+                ref_mask |= i_ref[i]
+                wr_mask |= i_written[i]
+            while ref_mask:
+                low = ref_mask & -ref_mask
+                ref_sets[low.bit_length() - 1].append(bid)
+                ref_mask ^= low
+            while wr_mask:
+                low = wr_mask & -wr_mask
+                def_sets[low.bit_length() - 1].append(bid)
+                wr_mask ^= low
+        self._var_ref_blocks = [tuple(s) for s in ref_sets]
+        self._var_def_blocks = [tuple(s) for s in def_sets]
+        self._var_ref_bmask = [
+            _mask_of_ids(s) for s in self._var_ref_blocks
+        ]
+        self._var_def_bmask = [
+            _mask_of_ids(s) for s in self._var_def_blocks
+        ]
+
+    def var_ref_blocks(self, vid: int) -> Tuple[int, ...]:
+        """Block ids referencing *vid* (defs, uses or clobbers), ordered
+        by block label."""
+        if self._var_ref_blocks is None:
+            self._build_var_blocks()
+        if vid >= len(self._var_ref_blocks):
+            return ()
+        return self._var_ref_blocks[vid]
+
+    def var_def_blocks(self, vid: int) -> Tuple[int, ...]:
+        """Block ids writing *vid* (defs or clobbers), ordered by label."""
+        if self._var_def_blocks is None:
+            self._build_var_blocks()
+        if vid >= len(self._var_def_blocks):
+            return ()
+        return self._var_def_blocks[vid]
+
+    def var_ref_bmask(self, vid: int) -> int:
+        """Bitset (over block ids) of blocks referencing *vid*."""
+        if self._var_ref_bmask is None:
+            self._build_var_blocks()
+        if vid >= len(self._var_ref_bmask):
+            return 0
+        return self._var_ref_bmask[vid]
+
+    def var_def_bmask(self, vid: int) -> int:
+        """Bitset (over block ids) of blocks writing *vid*."""
+        if self._var_def_bmask is None:
+            self._build_var_blocks()
+        if vid >= len(self._var_def_bmask):
+            return 0
+        return self._var_def_bmask[vid]
+
+    def name_rank(self) -> List[int]:
+        """``rank[vid]`` = position of the vid's name in the sorted list
+        of all interned names.  Lets mask consumers materialize
+        name-sorted output without per-call string sorts.  Built against
+        the current index size; rebuilt if names were interned since."""
+        rank = self._name_rank
+        if rank is None or len(rank) != len(self.index):
+            names = self.index.names()
+            order = sorted(range(len(names)), key=names.__getitem__)
+            rank = [0] * len(names)
+            for pos, vid in enumerate(order):
+                rank[vid] = pos
+            self._name_rank = rank
+        return rank
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def compute_liveness(self) -> None:
+        """Fill ``live_in``/``live_out`` (block-level bitsets, by block id).
+
+        Solves the classic backward equations.  Two interchangeable
+        engines compute the same least fixed point: a scalar bitset
+        worklist (fast for small CFGs) and a batched numpy sweep over
+        word-packed rows (wins once many blocks change per round).
+        """
+        nblocks = len(self.labels)
+        if (
+            _np is not None
+            and nblocks >= VECTOR_LIVENESS_MIN_BLOCKS
+        ):
+            self._liveness_vectorized()
+        else:
+            self._liveness_worklist()
+
+    def _liveness_worklist(self) -> None:
+        fn = self.fn
+        block_id = self.block_id
+        use_map = self.block_use
+        def_map = self.block_def
+        nblocks = len(self.labels)
+        live_in = [0] * nblocks
+        live_out = [0] * nblocks
+
+        order = [block_id[label] for label in fn.rpo()]
+        order_set = set(order)
+        order += [bid for bid in range(nblocks) if bid not in order_set]
+        worklist = list(reversed(order))
+        in_worklist = set(worklist)
+        succ_indptr = self.succ_indptr
+        succ_ids = self.succ_ids
+        pred_indptr = self.pred_indptr
+        pred_ids = self.pred_ids
+
+        while worklist:
+            bid = worklist.pop()
+            in_worklist.discard(bid)
+            new_out = 0
+            for j in range(succ_indptr[bid], succ_indptr[bid + 1]):
+                new_out |= live_in[succ_ids[j]]
+            new_in = use_map[bid] | (new_out & ~def_map[bid])
+            if new_out != live_out[bid] or new_in != live_in[bid]:
+                live_out[bid] = new_out
+                live_in[bid] = new_in
+                for j in range(pred_indptr[bid], pred_indptr[bid + 1]):
+                    pid = pred_ids[j]
+                    if pid not in in_worklist:
+                        worklist.append(int(pid))
+                        in_worklist.add(int(pid))
+
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def _liveness_vectorized(self) -> None:
+        """Batched word-level sweep: all blocks advance one transfer-
+        function application per round, with live sets packed as rows of
+        uint64 words and edge propagation done by an unbuffered
+        scatter-OR over the CSR edge list."""
+        nblocks = len(self.labels)
+        nvars = len(self.index)
+        nwords = max(1, (nvars + 63) >> 6)
+        use_m = _pack_rows(self.block_use, nblocks, nwords)
+        def_m = _pack_rows(self.block_def, nblocks, nwords)
+        not_def = ~def_m
+
+        # Edge list (src block -> dst block) from the successor CSR.
+        indptr = _np.asarray(self.succ_indptr)
+        src = _np.repeat(
+            _np.arange(nblocks, dtype=_np.int32), _np.diff(indptr)
+        )
+        dst = _np.asarray(self.succ_ids)
+
+        live_in = use_m.copy()
+        live_out = _np.zeros_like(use_m)
+        for _ in range(4 * nblocks + 8):  # LFP reached long before this
+            new_out = _np.zeros_like(live_out)
+            if len(src):
+                _np.bitwise_or.at(new_out, src, live_in[dst])
+            new_in = use_m | (new_out & not_def)
+            if _np.array_equal(new_out, live_out) and _np.array_equal(
+                new_in, live_in
+            ):
+                break
+            live_out = new_out
+            live_in = new_in
+
+        self.live_in = _unpack_rows(live_in)
+        self.live_out = _unpack_rows(live_out)
+
+    # ------------------------------------------------------------------
+    # per-instruction liveness (one backward scan per block)
+    # ------------------------------------------------------------------
+    def scan_block(self, bid: int) -> Tuple[List[int], List[int]]:
+        """(live-out, live-in) bitsets per instruction of block *bid*."""
+        start = self.block_start[bid]
+        end = self.block_start[bid + 1]
+        live = self.live_out[bid]
+        n = end - start
+        outs = [0] * n
+        ins = [0] * n
+        i_defs = self.i_defs
+        i_uses = self.i_uses
+        for k in range(n - 1, -1, -1):
+            i = start + k
+            outs[k] = live
+            live = (live & ~i_defs[i]) | i_uses[i]
+            ins[k] = live
+        return outs, ins
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FunctionArena {self.fn.name}: {len(self.labels)} blocks, "
+            f"{len(self.instrs)} instrs, {len(self.index)} vars>"
+        )
+
+
+def _mask_of_ids(ids) -> int:
+    out = 0
+    for i in ids:
+        out |= 1 << i
+    return out
+
+
+def _pack_rows(masks: List[int], nrows: int, nwords: int):
+    """Pack Python-int bitsets into a [nrows, nwords] uint64 matrix."""
+    out = _np.zeros((nrows, nwords), dtype=_np.uint64)
+    nbytes = nwords * 8
+    frombuffer = _np.frombuffer
+    for r, mask in enumerate(masks):
+        if mask:
+            out[r] = frombuffer(
+                mask.to_bytes(nbytes, "little"), dtype="<u8"
+            )
+    return out
+
+
+def _unpack_rows(matrix) -> List[int]:
+    """Inverse of :func:`_pack_rows` (rows back to Python ints)."""
+    data = _np.ascontiguousarray(matrix).tobytes()
+    nbytes = matrix.shape[1] * 8
+    return [
+        int.from_bytes(data[r * nbytes:(r + 1) * nbytes], "little")
+        for r in range(matrix.shape[0])
+    ]
+
+
+def build_arena(fn: Function, index: Optional[VarIndex] = None) -> FunctionArena:
+    """Lower *fn* into a fresh arena (interning into *index* if given)."""
+    return FunctionArena(fn, index if index is not None else VarIndex())
