@@ -387,9 +387,13 @@ def test_cold_path_throughput(benchmark):
     }
     _save_baseline(data)
 
-    assert speedup_vs_seed >= 3.0, (
+    # Floor set after the dense select-loop / arena temp-node PR, whose
+    # calibrated runs measured 5.2-7.6x on a noisy shared host (worst
+    # observed sample 4.31x); 4.0 keeps headroom for machine jitter while
+    # still catching a real regression to the pre-dense-engine level.
+    assert speedup_vs_seed >= 4.0, (
         f"cold path {cold_fps:.1f} fn/s is only {speedup_vs_seed:.2f}x "
-        f"the seed-equivalent {seed_fps_here:.1f} fn/s (need >= 3x)"
+        f"the seed-equivalent {seed_fps_here:.1f} fn/s (need >= 4x)"
     )
 
     small = synthetic_module(8)

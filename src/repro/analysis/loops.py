@@ -104,6 +104,10 @@ def _tarjan_sccs(
     result: List[List[Node]] = []
     counter = [0]
     node_set = set(nodes)
+    # A node is revisited once per recursion into a child; filtering its
+    # successor list against ``node_set`` on every resume re-ran the
+    # comprehension O(edges) times.  Filter once per node.
+    children_of: Dict[Node, List[Node]] = {}
 
     for root in nodes:
         if root in index:
@@ -118,7 +122,10 @@ def _tarjan_sccs(
                 stack.append(node)
                 on_stack.add(node)
             recurse = False
-            children = [s for s in succs.get(node, ()) if s in node_set]
+            children = children_of.get(node)
+            if children is None:
+                children = [s for s in succs.get(node, ()) if s in node_set]
+                children_of[node] = children
             for i in range(child_idx, len(children)):
                 child = children[i]
                 if child not in index:

@@ -98,6 +98,7 @@ from repro.errors import (
     BatchFunctionError,
     TaskError,
     classify_exception,
+    task_error_from_exception,
 )
 from repro.ir.parser import parse_function
 from repro.ir.printer import format_function
@@ -284,6 +285,12 @@ class BatchEngine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = BatchStats()
         self.timers = StageTimers()
+        #: Failures swallowed while tearing down the pool, newest last.
+        #: Teardown must never raise (close() runs on the error path and
+        #: from __exit__), but the failures are not silent either -- each
+        #: one is classified into the structured taxonomy and kept here
+        #: for inspection.
+        self.teardown_errors: List[TaskError] = []
 
         if self.batch.cache_policy == "off":
             self.cache: Optional[AllocationCache] = None
@@ -304,6 +311,10 @@ class BatchEngine:
             self.cache = None
             self._invalidation = ""
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Deliberately wall-clock: trace rows subtract it from worker
+        # ``start`` stamps, which cross process boundaries.  All *interval*
+        # math (durations, BatchStats.wall_s) uses time.monotonic() so a
+        # clock step (NTP, DST, manual set) can never skew or negate it.
         self._epoch = time.time()
 
     # ------------------------------------------------------------------
@@ -347,21 +358,29 @@ class BatchEngine:
         if pool is None:
             return
         processes = list((getattr(pool, "_processes", None) or {}).values())
+        # Teardown never raises, but nothing is swallowed silently: the
+        # failure modes of shutdown/terminate/join are OS- and executor-
+        # level (dead process, broken pipe, shut-down executor), so the
+        # catches are narrowed to exactly those and each failure is
+        # classified and recorded in ``teardown_errors``.
         try:
             pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
+        except (OSError, RuntimeError) as exc:
+            self._record_teardown_error(exc)
         for process in processes:
             try:
                 if process.is_alive():
                     process.terminate()
-            except Exception:
-                pass
+            except (OSError, ValueError, AttributeError) as exc:
+                self._record_teardown_error(exc)
         for process in processes:
             try:
                 process.join(timeout=5)
-            except Exception:
-                pass
+            except (OSError, RuntimeError, ValueError, AssertionError) as exc:
+                self._record_teardown_error(exc)
+
+    def _record_teardown_error(self, exc: BaseException) -> None:
+        self.teardown_errors.append(task_error_from_exception(exc))
 
     def _restart_pool(self, resubmitted: int) -> None:
         """Tear down a broken/hung pool, start a fresh one, and account
@@ -387,7 +406,8 @@ class BatchEngine:
         only strict mode (``"fail"``) lets an exception escape.
         """
         tracer = self.tracer
-        t0 = time.time()
+        t0 = time.time()  # wall: trace rows only (offset from _epoch)
+        t0_mono = time.monotonic()
 
         # 1. fingerprint + cache lookup, in submission order.
         entries: List[Tuple[str, str, str, object]] = []
@@ -520,7 +540,7 @@ class BatchEngine:
                         duration=0.0, cached=True,
                     ))
 
-        wall = time.time() - t0
+        wall = time.monotonic() - t0_mono
         done: List[BatchResult] = [r for r in results if r is not None]
         assert len(done) == len(workloads)
         self.stats.functions += len(done)
@@ -661,7 +681,8 @@ class BatchEngine:
         plan = active_plan()
         for task in tasks:
             while True:
-                start = time.time()
+                start = time.time()  # wall: trace timestamp only
+                start_mono = time.monotonic()
                 try:
                     plan.maybe_fail_task(
                         task.index, task.attempt, in_worker=False
@@ -687,7 +708,7 @@ class BatchEngine:
                         outcomes, retry_queue,
                         timing={
                             "start": start,
-                            "duration": time.time() - start,
+                            "duration": time.monotonic() - start_mono,
                             "pid": os.getpid(),
                         },
                     )
@@ -699,7 +720,7 @@ class BatchEngine:
                         record=record,
                         timing={
                             "start": start,
-                            "duration": time.time() - start,
+                            "duration": time.monotonic() - start_mono,
                             "pid": os.getpid(),
                         },
                         attempts=task.attempt + 1,
@@ -725,7 +746,8 @@ class BatchEngine:
             if outcome.record is not None or outcome.error is None:
                 continue
             for rung in DEGRADATION_LADDER:
-                start = time.time()
+                start = time.time()  # wall: trace timestamp only
+                start_mono = time.monotonic()
                 try:
                     record, _ = compute_record(
                         task.name, parse_function(task.text), self.config,
@@ -736,14 +758,29 @@ class BatchEngine:
                         fingerprint=task.fingerprint,
                         allocator=rung,
                     )
-                except Exception:
+                except Exception as exc:
+                    # A rung may legitimately fail (chaitin can still run
+                    # out of colors); the ladder moves on to the next one.
+                    # But the failure is surfaced, not swallowed: it is
+                    # classified into the taxonomy and emitted as a
+                    # TaskFailed trace row tagged with the rung.
+                    error_class, permanence = classify_exception(exc)
+                    if self.tracer.enabled:
+                        self.tracer.emit(TaskFailed(
+                            function=task.name,
+                            fingerprint=task.fingerprint,
+                            error_class=error_class,
+                            permanence=permanence,
+                            attempt=task.attempt,
+                            message=f"fallback {rung!r}: {exc}",
+                        ))
                     continue
                 outcome.record = record
                 outcome.degraded = True
                 outcome.fallback_allocator = rung
                 outcome.timing = {
                     "start": start,
-                    "duration": time.time() - start,
+                    "duration": time.monotonic() - start_mono,
                     "pid": os.getpid(),
                 }
                 if self.tracer.enabled:

@@ -208,9 +208,11 @@ def run_task(
     *task* is ``(index, name, fingerprint, text, args, arrays, attempt)``;
     the return value is ``(index, payload, timing)`` where ``payload`` is
     the success/failure dict described in the module docstring and
-    ``timing`` carries wall-clock ``start``/``duration`` (``time.time()``,
-    shared across processes on one machine), the worker ``pid``, and the
-    allocator's per-stage times for aggregation.
+    ``timing`` carries a wall-clock ``start`` (``time.time()``, shared
+    across processes on one machine -- trace rows offset it against the
+    engine's epoch), a monotonic ``duration`` (interval math must not be
+    skewed by clock steps), the worker ``pid``, and the allocator's
+    per-stage times for aggregation.
 
     Exceptions are caught and classified here -- never raised across the
     pool boundary (see module docstring).  The fault-injection hook runs
@@ -221,7 +223,8 @@ def run_task(
     from repro.errors import classify_exception
 
     index, name, fingerprint, text, args, arrays, attempt = task
-    start = time.time()
+    start = time.time()  # wall: trace timestamp only
+    start_mono = time.monotonic()
     stage_times: Dict[str, float] = {}
     try:
         active_plan().maybe_fail_task(index, attempt, in_worker=True)
@@ -250,7 +253,7 @@ def run_task(
         }
     timing = {
         "start": start,
-        "duration": time.time() - start,
+        "duration": time.monotonic() - start_mono,
         "pid": os.getpid(),
         "stage_times": stage_times,
     }

@@ -301,15 +301,20 @@ def _build_summary(
     global_regs = alloc.global_regs
     names = alloc.graph.id_names()
     nbrs = alloc.graph.neighbor_ids()
+    # Ranks order exactly like names (memoized on the graph since the
+    # coloring pass), so the each-pair-once filter compares two ints and
+    # only materializes the neighbour's name for kept pairs.
+    rank = alloc.graph.name_rank_array()
     for a, ia in alloc.graph.node_ids().items():
         ca = assignment_get(a)
         if ca is None:
             continue
         a_local = a in localish
+        ra = rank[ia]
         for ib in nbrs[ia]:
-            b = names[ib]
-            if b < a:
+            if rank[ib] < ra:
                 continue
+            b = names[ib]
             cb = assignment_get(b)
             if cb is None:
                 continue

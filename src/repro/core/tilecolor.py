@@ -103,9 +103,20 @@ def color_tile(
             ))
     all_spilled: Set[str] = set(spec.pre_spilled)
     temp_nodes: Set[str] = {n for n in graph.nodes() if is_temp_node(n)}
-    vars_with_temps: Set[str] = {  # real vars whose references have temps
-        parse_temp_node(name)[1] for name in temp_nodes
-    }
+    vars_with_temps: Set[str] = set()  # real vars whose references have temps
+    # Same-instruction peer index: uid -> ([use temps], [def temps]).
+    # ``_add_temp_nodes`` consults it instead of rescanning every graph
+    # node per spilled-var instruction, and extends it with what it adds,
+    # so it stays current across recolor rounds (uids are function-global
+    # and each instruction is visited at most once per round).
+    temps_by_uid: Dict[int, Tuple[List[str], List[str]]] = {}
+    for name in temp_nodes:
+        uid, var, kind = parse_temp_node(name)
+        vars_with_temps.add(var)
+        entry = temps_by_uid.get(uid)
+        if entry is None:
+            entry = temps_by_uid[uid] = ([], [])
+        entry[0 if kind == "u" else 1].append(name)
 
     # Stable across rounds except for newly added temps / spills; built
     # once and updated incrementally rather than rebuilt per round.
@@ -128,7 +139,7 @@ def color_tile(
                 if v not in vars_with_temps and not is_summary_var(v)
             }
             added = _add_temp_nodes(
-                ctx, own_labels, graph, new_vars, all_spilled
+                ctx, own_labels, graph, new_vars, all_spilled, temps_by_uid
             )
             temp_nodes |= added
             vars_with_temps |= new_vars
@@ -222,72 +233,165 @@ def color_tile(
             )
 
 
+def _instr_temps(
+    instr, new_vars: Set[str]
+) -> Tuple[List[str], List[str]]:
+    """Temp-node names for *instr*'s references to *new_vars* -- operand
+    order (first occurrence), because the list order decides graph node
+    insertion order downstream."""
+    use_temps: List[str] = []
+    def_temps: List[str] = []
+    uid = instr.uid
+    for var in dict.fromkeys(instr.uses):
+        if var in new_vars:
+            use_temps.append(temp_node_name(uid, var, "u"))
+    for var in dict.fromkeys(instr.defs):
+        if var in new_vars:
+            def_temps.append(temp_node_name(uid, var, "d"))
+    return use_temps, def_temps
+
+
+def _connect_temps(
+    graph: InterferenceGraph,
+    added: Set[str],
+    temps: List[str],
+    live_regs: Iterable[str],
+    peers: Iterable[str],
+) -> None:
+    """Insert *temps* with conflicts against the live registers, each
+    other, and same-kind peers.  The neighbour list is identical for
+    every temp of one kind at one instruction, so it is sorted once --
+    the union is a set, and edge insertion order decides node order for
+    nodes first seen here."""
+    if not temps:
+        return
+    others = sorted(set(live_regs) | set(temps) | set(peers))
+    for temp in temps:
+        graph.add_node(temp)
+        graph.add_star(temp, others)
+        added.add(temp)
+
+
+def _record_temps(
+    temps_by_uid: Dict[int, Tuple[List[str], List[str]]],
+    uid: int,
+    use_temps: List[str],
+    def_temps: List[str],
+) -> None:
+    entry = temps_by_uid.get(uid)
+    if entry is None:
+        entry = temps_by_uid[uid] = ([], [])
+    entry[0].extend(use_temps)
+    entry[1].extend(def_temps)
+
+
+def _mask_names(mask: int, name_of) -> List[str]:
+    out: List[str] = []
+    append = out.append
+    while mask:
+        low = mask & -mask
+        append(name_of(low.bit_length() - 1))
+        mask ^= low
+    return out
+
+
 def _add_temp_nodes(
     ctx: FunctionContext,
     own_labels: Iterable[str],
     graph: InterferenceGraph,
     new_vars: Set[str],
     all_spilled: Set[str],
+    temps_by_uid: Dict[int, Tuple[List[str], List[str]]],
 ) -> Set[str]:
     """Create temp nodes for every reference to *new_vars* in the tile's own
     blocks, with conflicts against whatever is live (and not itself spilled)
-    at the reference point."""
+    at the reference point.
+
+    Existing temps at an instruction conflict with new temps of the same
+    kind: use temps coexist before the instruction, def temps after it.
+    A def temp may share a register with a use temp -- all uses are read
+    before any def is written.  Same-kind peers come from *temps_by_uid*
+    (maintained by the caller across rounds), never from a graph rescan.
+
+    The arena path walks only blocks whose referenced-variable mask
+    intersects the newly spilled set, and within them only instructions
+    whose use/def bitmasks do, so spill-free regions cost one word AND
+    per block.  The object path (arena retired or absent) walks every
+    instruction like the original implementation.
+    """
     added: Set[str] = set()
     if not new_vars:
         return added
+    liveness = ctx.liveness
+    arena = ctx.arena
+    if arena is not None and (arena.fn is not ctx.fn or arena.retired):
+        arena = None
+
+    if arena is not None:
+        index = liveness.index
+        mask_of_known = index.mask_of_known
+        new_mask = mask_of_known(new_vars)
+        # Graph nodes that are function variables, minus everything
+        # spilled: the register-resident candidates a temp conflicts
+        # with.  Temp/summary/physical nodes have no vid and fall out.
+        reg_mask = mask_of_known(graph.node_ids()) & ~mask_of_known(all_spilled)
+        name_of = index.name_of
+        block_id = arena.block_id
+        block_start = arena.block_start
+        block_ref = arena.block_ref
+        i_uses = arena.i_uses
+        i_defs = arena.i_defs
+        instrs = arena.instrs
+        for label in own_labels:
+            bid = block_id[label]
+            if not block_ref[bid] & new_mask:
+                continue
+            live_in_bits = liveness.instr_live_in_bits(label)
+            live_out_bits = liveness.instr_live_out_bits(label)
+            start = block_start[bid]
+            for idx in range(block_start[bid + 1] - start):
+                i = start + idx
+                if not (i_uses[i] | i_defs[i]) & new_mask:
+                    continue
+                instr = instrs[i]
+                use_temps, def_temps = _instr_temps(instr, new_vars)
+                peers = temps_by_uid.get(instr.uid)
+                _connect_temps(
+                    graph, added, use_temps,
+                    _mask_names(live_in_bits[idx] & reg_mask, name_of),
+                    peers[0] if peers else (),
+                )
+                _connect_temps(
+                    graph, added, def_temps,
+                    _mask_names(live_out_bits[idx] & reg_mask, name_of),
+                    peers[1] if peers else (),
+                )
+                _record_temps(temps_by_uid, instr.uid, use_temps, def_temps)
+        return added
+
     node_set = set(graph.nodes())
     for label in own_labels:
         block = ctx.fn.blocks[label]
-        live_in = ctx.liveness.instr_live_in(label)
-        live_out = ctx.liveness.instr_live_out(label)
+        live_in = liveness.instr_live_in(label)
+        live_out = liveness.instr_live_out(label)
         for idx, instr in enumerate(block.instrs):
-            use_temps: List[str] = []
-            def_temps: List[str] = []
-            for var in dict.fromkeys(instr.uses):
-                if var in new_vars:
-                    use_temps.append(temp_node_name(instr.uid, var, "u"))
-            for var in dict.fromkeys(instr.defs):
-                if var in new_vars:
-                    def_temps.append(temp_node_name(instr.uid, var, "d"))
+            use_temps, def_temps = _instr_temps(instr, new_vars)
             if not use_temps and not def_temps:
                 continue
-            # Existing temps at this instruction conflict with new temps of
-            # the same kind: use temps coexist before the instruction, def
-            # temps after it.  A def temp may share a register with a use
-            # temp -- all uses are read before any def is written.
-            peer_use = [
-                n
-                for n in node_set
-                if is_temp_node(n)
-                and n.endswith(":u")
-                and parse_temp_node(n)[0] == instr.uid
-            ]
-            peer_def = [
-                n
-                for n in node_set
-                if is_temp_node(n)
-                and n.endswith(":d")
-                and parse_temp_node(n)[0] == instr.uid
-            ]
+            peers = temps_by_uid.get(instr.uid)
             live_in_regs = {
                 v for v in live_in[idx] if v in node_set and v not in all_spilled
             }
             live_out_regs = {
                 v for v in live_out[idx] if v in node_set and v not in all_spilled
             }
-            # Sorted: the union is a set, and edge insertion order decides
-            # node order for nodes first seen here.
-            for temp in use_temps:
-                graph.add_node(temp)
-                for other in sorted(live_in_regs | set(use_temps) | set(peer_use)):
-                    if other != temp:
-                        graph.add_edge(temp, other)
-                added.add(temp)
-            for temp in def_temps:
-                graph.add_node(temp)
-                for other in sorted(live_out_regs | set(def_temps) | set(peer_def)):
-                    if other != temp:
-                        graph.add_edge(temp, other)
-                added.add(temp)
-            node_set |= added
+            _connect_temps(
+                graph, added, use_temps, live_in_regs,
+                peers[0] if peers else (),
+            )
+            _connect_temps(
+                graph, added, def_temps, live_out_regs,
+                peers[1] if peers else (),
+            )
+            _record_temps(temps_by_uid, instr.uid, use_temps, def_temps)
     return added

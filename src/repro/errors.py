@@ -88,7 +88,7 @@ def classify_exception(exc: BaseException) -> Tuple[str, str]:
 
     from repro.batch.faultinject import InjectedFault
     from repro.batch.serialize import UncacheableConfigError
-    from repro.graph.coloring import NoColorForRequiredNode
+    from repro.graph.coloring import ColoringInvariantError, NoColorForRequiredNode
     from repro.ir.parser import IRParseError
     from repro.ir.validate import IRValidationError
     from repro.machine.rewrite import AllocationCheckError
@@ -102,6 +102,11 @@ def classify_exception(exc: BaseException) -> Tuple[str, str]:
         return "validate", PERMANENT
     if isinstance(exc, NoColorForRequiredNode):
         return "no_color", PERMANENT
+    if isinstance(exc, ColoringInvariantError):
+        # Engine-internal cache corruption, not a property of the input
+        # function -- but re-running the same task would recompute the
+        # same broken caches, so it is permanent for retry purposes.
+        return "coloring_invariant", PERMANENT
     if isinstance(exc, AllocationCheckError):
         return "allocation_check", PERMANENT
     if isinstance(exc, SimulationError):

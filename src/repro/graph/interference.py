@@ -41,7 +41,8 @@ class InterferenceGraph:
 
     __slots__ = ("_ids", "_names", "_masks", "_next",
                  "_version", "_str_adj", "_str_version",
-                 "_nbr_lists", "_ranks", "_rank_version", "_degs")
+                 "_nbr_lists", "_ranks", "_rank_version", "_degs",
+                 "_rank_arr", "_rank_arr_version")
 
     def __init__(self) -> None:
         self._ids: Dict[str, int] = {}
@@ -61,6 +62,11 @@ class InterferenceGraph:
         self._nbr_lists: Optional[Dict[int, List[int]]] = None
         self._ranks: Optional[Tuple[Dict[int, int], List[int]]] = None
         self._rank_version = -1
+        #: dense ``id -> rank`` list (index = id, ``-1`` for holes) --
+        #: the array view of ``_ranks`` the coloring engine indexes in
+        #: its per-edge loops.  Memoized with its own version stamp.
+        self._rank_arr: Optional[List[int]] = None
+        self._rank_arr_version = -1
         #: id -> degree; same invariant as ``_nbr_lists``.
         self._degs: Optional[Dict[int, int]] = None
 
@@ -147,6 +153,47 @@ class InterferenceGraph:
                 delta ^= low
             if degs is not None:
                 degs[i] += added
+
+    def add_star(self, var: str, others: Iterable[str]) -> None:
+        """Insert *var* conflicting with every name in *others* (*var*
+        itself skipped) -- a bulk ``add_edge`` loop: one mask union for
+        *var*, one bit OR per counterpart.  Unseen names are interned in
+        iteration order, exactly as the equivalent ``add_edge`` sequence
+        would, so node order (which feeds downstream tie-breaks) is
+        unchanged."""
+        self._version += 1
+        i = self._intern(var)
+        ids = self._ids
+        masks = self._masks
+        star = 0
+        for o in others:
+            oi = ids.get(o)
+            if oi is None:
+                oi = self._intern(o)
+            star |= 1 << oi
+        star &= ~(1 << i)
+        new = star & ~masks[i]
+        if not new:
+            return
+        masks[i] |= new
+        vbit = 1 << i
+        lists = self._nbr_lists
+        degs = self._degs
+        vlst = lists[i] if lists is not None else None
+        added = 0
+        while new:
+            low = new & -new
+            o = low.bit_length() - 1
+            masks[o] |= vbit
+            if lists is not None:
+                insort(lists[o], i)
+                insort(vlst, o)
+            if degs is not None:
+                degs[o] += 1
+            added += 1
+            new ^= low
+        if degs is not None:
+            degs[i] += added
 
     def add_conflicts_all(self, var: str) -> None:
         """Insert *var* (appended to node order if new) conflicting with
@@ -300,6 +347,8 @@ class InterferenceGraph:
         # subgraphs of one recolor loop pay the sort/decode once.
         out._ranks = self.name_ranks()
         out._rank_version = 0
+        out._rank_arr = self.name_rank_array()
+        out._rank_arr_version = 0
         p_lists = self.neighbor_ids()
         out._nbr_lists = {
             i: [o for o in p_lists[i] if keep_mask >> o & 1]
@@ -369,6 +418,23 @@ class InterferenceGraph:
             self._ranks = (rank, by_rank)
             self._rank_version = self._version
         return self._ranks
+
+    def name_rank_array(self) -> List[int]:
+        """``id -> rank`` as a dense list indexed by id (``-1`` in holes
+        left by removed nodes; length ``_next``) -- treat as read-only.
+        The coloring engine reads a rank per neighbour per decrement, so
+        it wants list indexing, not a dict probe.  Like ``name_ranks``
+        (whose dict this is built from) the memo survives until the next
+        mutation and transfers through :meth:`subgraph` -- ids are
+        preserved there, and only kept ids are ever looked up."""
+        if self._rank_arr is None or self._rank_arr_version != self._version:
+            rank, _ = self.name_ranks()
+            arr = [-1] * self._next
+            for i, r in rank.items():
+                arr[i] = r
+            self._rank_arr = arr
+            self._rank_arr_version = self._version
+        return self._rank_arr
 
     def csr(self):
         """The graph as CSR arrays ``(indptr, indices, degrees)``.
@@ -584,6 +650,7 @@ def build_interference(
             vid_order.append(vid)
         node_mask ^= low
     local_get = local.__getitem__
+    nbr_lists: Dict[int, List[int]] = {}
     for vid in vid_order:
         name = name_of(vid)
         i = local[vid]
@@ -591,10 +658,23 @@ def build_interference(
         gnames[i] = name
         mask = adj.get(vid, 0)
         new_mask = 0
+        # This decode already touches every neighbour bit -- collect the
+        # local ids as it goes so the graph is born with its neighbour
+        # list / degree caches populated (ascending, same content the
+        # lazy ``neighbor_ids`` decode would produce) instead of paying
+        # a second bit-by-bit pass on first coloring.
+        row: List[int] = []
+        append = row.append
         while mask:
             low = mask & -mask
-            new_mask |= 1 << local_get(low.bit_length() - 1)
+            o = local_get(low.bit_length() - 1)
+            new_mask |= 1 << o
+            append(o)
             mask ^= low
+        row.sort()
         gmasks[i] = new_mask
+        nbr_lists[i] = row
+    graph._nbr_lists = nbr_lists
+    graph._degs = {i: len(l) for i, l in nbr_lists.items()}
     graph._next = len(local)
     return graph

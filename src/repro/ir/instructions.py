@@ -105,6 +105,14 @@ _UNARY_EVAL = {
 BINARY_OPS = frozenset(_BINARY_EVAL)
 UNARY_OPS = frozenset(_UNARY_EVAL)
 
+#: Evaluator tables keyed by the opcode's string value: the simulator's
+#: inner loop dispatches on ``op._value_`` because str hashing is C-level
+#: while ``Enum.__hash__`` is a Python call per dynamic instruction.
+BINARY_EVAL_BY_VALUE = {op.value: fn for op, fn in _BINARY_EVAL.items()}
+UNARY_EVAL_BY_VALUE = {op.value: fn for op, fn in _UNARY_EVAL.items()}
+
+_BY_MNEMONIC = {op.value: op for op in Opcode}
+
 _PHYS_RE = re.compile(r"^R(\d+)$")
 
 _instr_counter = itertools.count(1)
@@ -187,20 +195,32 @@ class Instr:
         from the mapping should be returned unchanged by the callable.
         The ``uid`` is preserved so analysis keyed on uids stays valid.
         """
-        return Instr(
-            self.op,
-            tuple(mapping(d) for d in self.defs),
-            tuple(mapping(u) for u in self.uses),
-            self.imm,
-            self.clobbers,
-            self.uid,
-        )
+        # Same direct-assignment construction as :meth:`clone` -- the
+        # substituted defs/uses are built as tuples right here.
+        new = Instr.__new__(Instr)
+        new.op = self.op
+        new.defs = tuple(mapping(d) for d in self.defs)
+        new.uses = tuple(mapping(u) for u in self.uses)
+        new.imm = self.imm
+        new.clobbers = self.clobbers
+        new.uid = self.uid
+        return new
 
     def clone(self) -> "Instr":
         """Structural copy preserving the uid."""
-        return Instr(
-            self.op, self.defs, self.uses, self.imm, self.clobbers, self.uid
-        )
+        # Direct attribute assignment: the source's fields are already
+        # normalized tuples (``__post_init__`` ran when it was built), so
+        # the dataclass ``__init__``/``__post_init__`` round would only
+        # re-tuple tuples -- and clones are made per instruction in the
+        # spill-rewrite and web-renaming loops.
+        new = Instr.__new__(Instr)
+        new.op = self.op
+        new.defs = self.defs
+        new.uses = self.uses
+        new.imm = self.imm
+        new.clobbers = self.clobbers
+        new.uid = self.uid
+        return new
 
     def fresh_clone(self) -> "Instr":
         """Structural copy with a brand-new uid."""
@@ -238,7 +258,7 @@ def eval_unary(op: Opcode, a):
 
 def opcode_from_mnemonic(mnemonic: str) -> Opcode:
     """Look up an :class:`Opcode` by its textual mnemonic."""
-    for op in Opcode:
-        if op.value == mnemonic:
-            return op
-    raise ValueError(f"unknown opcode mnemonic {mnemonic!r}")
+    op = _BY_MNEMONIC.get(mnemonic)
+    if op is None:
+        raise ValueError(f"unknown opcode mnemonic {mnemonic!r}")
+    return op

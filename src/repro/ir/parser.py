@@ -56,8 +56,29 @@ def _split_names(text: str) -> List[str]:
     return [part.strip() for part in text.split(",")]
 
 
+# Fast-path table for rhs forms that are just ``mnemonic operand, ...``:
+# one dict probe on the leading token beats attempting the load/call/spill
+# regexes on the arithmetic lines that dominate real programs.  Opcodes
+# with structured operands (load/call/spill) stay on the regex chain.
+_SIMPLE_RHS_OPS = {
+    op.value: op
+    for op in (Opcode.CONST, Opcode.COPY, Opcode.MOVE, *BINARY_OPS, *UNARY_OPS)
+}
+
+
 def _parse_rhs(dsts: List[str], rhs: str) -> Instr:
     rhs = rhs.strip()
+    parts = rhs.split(None, 1)
+    if parts:
+        op = _SIMPLE_RHS_OPS.get(parts[0])
+        if op is not None:
+            rest = parts[1] if len(parts) > 1 else ""
+            if op is Opcode.CONST:
+                return Instr(op, defs=tuple(dsts), imm=ast.literal_eval(rest))
+            operands = _split_names(rest)
+            if op in (Opcode.COPY, Opcode.MOVE):
+                return Instr(op, defs=tuple(dsts), uses=(operands[0],))
+            return Instr(op, defs=tuple(dsts), uses=tuple(operands))
     m = _LOAD_RE.match(rhs)
     if m:
         return Instr(Opcode.LOAD, defs=tuple(dsts), uses=(m.group(2),), imm=m.group(1))

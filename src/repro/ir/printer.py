@@ -5,24 +5,31 @@ from __future__ import annotations
 from typing import List
 
 from repro.ir.instructions import (
-    BINARY_OPS,
+    BINARY_EVAL_BY_VALUE,
     Instr,
     Opcode,
-    UNARY_OPS,
+    UNARY_EVAL_BY_VALUE,
 )
+
+# Membership on string values: str hashing is C-level, ``Enum.__hash__``
+# is a Python call -- and the canonical-text renderer runs once per
+# instruction per fingerprint.
+_BINARY_VALUES = frozenset(BINARY_EVAL_BY_VALUE)
+_UNARY_VALUES = frozenset(UNARY_EVAL_BY_VALUE)
 
 
 def format_instr(instr: Instr) -> str:
     """One-line textual form of an instruction."""
     op = instr.op
+    opv = op._value_
     if op is Opcode.CONST:
         return f"{instr.defs[0]} = const {instr.imm!r}"
     if op in (Opcode.COPY, Opcode.MOVE):
-        return f"{instr.defs[0]} = {op.value} {instr.uses[0]}"
-    if op in BINARY_OPS:
-        return f"{instr.defs[0]} = {op.value} {instr.uses[0]}, {instr.uses[1]}"
-    if op in UNARY_OPS:
-        return f"{instr.defs[0]} = {op.value} {instr.uses[0]}"
+        return f"{instr.defs[0]} = {opv} {instr.uses[0]}"
+    if opv in _BINARY_VALUES:
+        return f"{instr.defs[0]} = {opv} {instr.uses[0]}, {instr.uses[1]}"
+    if opv in _UNARY_VALUES:
+        return f"{instr.defs[0]} = {opv} {instr.uses[0]}"
     if op is Opcode.LOAD:
         return f"{instr.defs[0]} = load {instr.imm}[{instr.uses[0]}]"
     if op is Opcode.STORE:

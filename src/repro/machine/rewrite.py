@@ -152,22 +152,26 @@ def check_physical(fn: Function, num_registers: Optional[int] = None) -> None:
     since registers are the variables now, but the check documents intent
     and catches rewriter bugs that leave virtual names behind).
     """
+    # A rewritten function references the same handful of registers over
+    # and over; validate each distinct name once.  ``int(var[1:])`` is
+    # exactly ``phys_index`` for names ``is_phys`` already accepted.
+    checked: set = set()
     for block in fn.blocks.values():
         for instr in block.instrs:
             for var in instr.defs + instr.uses:
+                if var in checked:
+                    continue
                 if not is_phys(var):
                     raise AllocationCheckError(
                         f"virtual register {var!r} survives in block "
                         f"{block.label}: {instr!r}"
                     )
-                if num_registers is not None:
-                    from repro.ir.instructions import phys_index
-
-                    if phys_index(var) >= num_registers:
-                        raise AllocationCheckError(
-                            f"register {var} out of range for machine with "
-                            f"{num_registers} registers"
-                        )
+                if num_registers is not None and int(var[1:]) >= num_registers:
+                    raise AllocationCheckError(
+                        f"register {var} out of range for machine with "
+                        f"{num_registers} registers"
+                    )
+                checked.add(var)
 
 
 def remove_self_moves(fn: Function) -> int:

@@ -26,12 +26,10 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ir.function import Function
 from repro.ir.instructions import (
-    BINARY_OPS,
+    BINARY_EVAL_BY_VALUE,
     Instr,
     Opcode,
-    UNARY_OPS,
-    eval_binary,
-    eval_unary,
+    UNARY_EVAL_BY_VALUE,
 )
 
 
@@ -208,17 +206,40 @@ def simulate(
             if steps > max_steps:
                 raise SimulationError(f"exceeded {max_steps} steps")
             op = instr.op
-            counts[op] += 1
+            # Keyed by the opcode's string value (``_value_`` is the
+            # plain instance attribute behind the ``value`` descriptor):
+            # str hashing is C-level and cached, Enum.__hash__ is a
+            # Python call paid once per dynamic instruction.  Rekeyed to
+            # Opcode on return.  The arithmetic branches likewise dispatch
+            # through value-keyed evaluator tables and inline the common
+            # case of ``read`` (present, non-poison) to keep the dominant
+            # opcodes free of extra Python calls.
+            opv = op._value_
+            counts[opv] += 1
             if op is Opcode.CONST:
                 env[instr.defs[0]] = instr.imm
             elif op in (Opcode.COPY, Opcode.MOVE):
-                env[instr.defs[0]] = read(instr.uses[0], instr, label)
-            elif op in BINARY_OPS:
-                a = read(instr.uses[0], instr, label)
-                b = read(instr.uses[1], instr, label)
-                env[instr.defs[0]] = eval_binary(op, a, b)
-            elif op in UNARY_OPS:
-                env[instr.defs[0]] = eval_unary(op, read(instr.uses[0], instr, label))
+                name = instr.uses[0]
+                value = env.get(name, POISON)
+                if value is POISON:
+                    value = read(name, instr, label)
+                env[instr.defs[0]] = value
+            elif (binfn := BINARY_EVAL_BY_VALUE.get(opv)) is not None:
+                name = instr.uses[0]
+                a = env.get(name, POISON)
+                if a is POISON:
+                    a = read(name, instr, label)
+                name = instr.uses[1]
+                b = env.get(name, POISON)
+                if b is POISON:
+                    b = read(name, instr, label)
+                env[instr.defs[0]] = binfn(a, b)
+            elif (unfn := UNARY_EVAL_BY_VALUE.get(opv)) is not None:
+                name = instr.uses[0]
+                a = env.get(name, POISON)
+                if a is POISON:
+                    a = read(name, instr, label)
+                env[instr.defs[0]] = unfn(a)
             elif op is Opcode.LOAD:
                 idx = read(instr.uses[0], instr, label)
                 env[instr.defs[0]] = memory.setdefault(instr.imm, {}).get(idx, 0)
@@ -278,7 +299,7 @@ def simulate(
         returned=returned,
         arrays=memory,
         steps=steps,
-        opcode_counts=counts,
+        opcode_counts=Counter({Opcode(v): c for v, c in counts.items()}),
         profile=profile,
         scratch_refs=scratch_refs,
     )

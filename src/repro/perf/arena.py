@@ -23,8 +23,12 @@ first-seen order):
   ``instrs`` (the original ``Instr`` objects, for the rare consumers that
   need operand order or immediates).
 * **CFG**: successor/predecessor adjacency in CSR form
-  (``succ_indptr``/``succ_ids`` and the ``pred_*`` twins) as numpy int32
-  arrays when numpy is present, plain lists otherwise.
+  (``succ_indptr``/``succ_ids`` and the ``pred_*`` twins) -- numpy int32
+  arrays when numpy is present *and* the function has at least
+  ``VECTOR_LIVENESS_MIN_BLOCKS`` blocks (the vectorized liveness sweep is
+  their only array-level consumer), plain Python lists otherwise (the
+  small-function fast path: no asarray cost, and the scalar worklist
+  indexes lists faster than it indexes numpy arrays).
 
 Invalidation: the arena is a snapshot.  It is valid from construction
 until the function is mutated (CFG edits *or* in-place instruction edits);
@@ -42,7 +46,7 @@ from repro.perf.varindex import VarIndex
 
 try:  # numpy is optional at runtime; the arena works without it
     import numpy as _np
-except Exception:  # pragma: no cover - numpy is present in the dev image
+except ImportError:  # pragma: no cover - numpy is present in the dev image
     _np = None
 
 #: Block count at or above which the vectorized (numpy) liveness sweep is
@@ -175,12 +179,18 @@ class FunctionArena:
         for plist in preds:
             pred_ids.extend(plist)
             pred_indptr.append(len(pred_ids))
-        if _np is not None:
+        # Small-function fast path: the numpy CSR arrays exist for the
+        # vectorized liveness sweep (their only array-level consumer),
+        # which never runs below VECTOR_LIVENESS_MIN_BLOCKS -- and the
+        # scalar worklist indexes plain lists *faster* than numpy arrays
+        # (each numpy index boxes an int32 scalar).  So tiny functions
+        # skip the four asarray conversions entirely and keep the lists.
+        if _np is not None and len(labels) >= VECTOR_LIVENESS_MIN_BLOCKS:
             self.succ_indptr = _np.asarray(succ_indptr, dtype=_np.int32)
             self.succ_ids = _np.asarray(succ_ids, dtype=_np.int32)
             self.pred_indptr = _np.asarray(pred_indptr, dtype=_np.int32)
             self.pred_ids = _np.asarray(pred_ids, dtype=_np.int32)
-        else:  # pragma: no cover - numpy present in the dev image
+        else:
             self.succ_indptr = succ_indptr
             self.succ_ids = succ_ids
             self.pred_indptr = pred_indptr

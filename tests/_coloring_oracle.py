@@ -1,96 +1,37 @@
-"""Graph coloring with preferences (paper section 3, "Coloring").
+"""Frozen pre-dense-array coloring engine, kept verbatim as a
+differential-testing oracle.
 
-The engine implements the Briggs-style optimistic scheme the paper adopts:
-every node is eventually pushed on the "colorable stack" -- nodes with fewer
-than ``k`` conflicts first, then spill candidates in order of increasing
-value -- and actual spilling is decided only when a popped node finds no
-color.  Preference handling follows the paper:
+This is the dict-based ``color_graph`` exactly as it shipped before the
+select loop moved onto dense arrays (commit b80a166's version, function
+renamed).  The hypothesis differentials in ``test_coloring.py`` drive the
+live engine and this oracle with identical inputs and assert bit-identical
+results -- assignment, spilled set, used-color order, and stack order.
 
-* a node may carry a *local preference* (a specific color it wants);
-* preference *pairs* want to share some arbitrary color: when one member is
-  colored, uncolored partners inherit the color as their local preference;
-* when coloring a node without a local preference, colors that are local
-  preferences of still-uncolored conflicting neighbours are avoided; if that
-  leaves nothing, the engine "reverts to standard coloring techniques";
-* *boundary* nodes (globals live at tile boundaries) try to take a color
-  "separate from any other color already used subject to the constraint of
-  using only ||R|| colors" so the top-down phase retains freedom to bind
-  local and global colors independently.
-
-The engine is **integer-core**: it runs directly over the graph's id-level
-masks (see :class:`~repro.graph.interference.InterferenceGraph`), colors are
-interned to small ids so forbidden/avoid sets are single-int bitmasks, and
-every name comparison in the original heaps is replaced by a *rank* (the
-node's position in the sorted name list), which orders identically.  All
-per-node hot state (degree, priority, assigned color, dynamic preference,
-rank) lives in dense Python lists indexed by graph id -- seeded from the
-graph's incrementally maintained neighbour/degree/rank caches -- so the
-per-edge inner loops (``decrement_neighbors``, ``forbidden_for``,
-``neighbour_pref_colors``) index C arrays and never probe a dict.  The
-string behaviour is exactly preserved -- inputs and results are plain
-string mappings.
-
-Invariants callers rely on:
-
-* :func:`color_graph` never mutates its inputs -- the graph, priority,
-  precolored and preference mappings are only read, so a caller may pass
-  the same graph through repeated recoloring rounds.
-* the outcome is a pure function of the inputs: node selection is driven
-  by (degree, rank) / (metric, rank) heaps and the color-reuse list is
-  seeded in sorted order, so no decision inherits hash-salted iteration
-  order (the cross-process determinism gate depends on this).
-* nodes in ``never_spill`` either receive a color or raise
-  :class:`NoColorForRequiredNode`; they are never silently spilled.
-* the optional ``trace_hook`` is strictly observational (it receives
-  preference outcomes and must not feed anything back).
+Not a test module (no ``test_`` prefix); imported as
+``tests._coloring_oracle``.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.graph.coloring import ColoringResult, NoColorForRequiredNode
 from repro.graph.interference import InterferenceGraph
 
 
-class NoColorForRequiredNode(RuntimeError):
-    """A node that must receive a color (infinite spill cost or a required
-    physical register) could not be colored."""
-
-    def __init__(self, message: str, node: str) -> None:
-        super().__init__(message)
-        self.node = node
-
-
-class ColoringInvariantError(RuntimeError):
-    """An internal invariant of the coloring engine was violated.
-
-    The lazy-heap select loop relies on every remaining ``>= k``-degree
-    node keeping at least one valid spill-heap entry (a fresh one is
-    pushed on every degree decrement).  If the heap nevertheless runs
-    dry -- which takes a corrupted graph cache or lost entries, never a
-    legal input -- the engine raises this instead of a bare
-    ``IndexError`` so :func:`repro.errors.classify_exception` can map it
-    to a stable error class and the batch degradation ladder can fall
-    back to a simpler allocator rather than crash the module."""
-
-
-@dataclass
-class ColoringResult:
-    """Outcome of one coloring run."""
-
-    assignment: Dict[str, str]
-    spilled: Set[str]
-    used_colors: List[str]
-    stack_order: List[str] = field(default_factory=list)
-
-    def color_of(self, var: str) -> Optional[str]:
-        return self.assignment.get(var)
-
-
-def color_graph(
+def oracle_color_graph(
     graph: InterferenceGraph,
     k: int,
     color_order: Sequence[str],
@@ -151,6 +92,7 @@ def color_graph(
     # ------------------------------------------------------------------
     g_ids = graph.node_ids()
     g_names = graph.id_names()
+    masks = graph.id_masks()
     # Copy-on-write: extras (precolored nodes or pair members outside the
     # graph) are rare, so the graph's own dicts are shared until the first
     # fresh interning actually happens.
@@ -207,16 +149,6 @@ def color_graph(
     for var, color in precolored.items():
         precolored_ids[local_intern(var)] = cintern(color)
 
-    # Local preferences are interned up front too, so every id this run
-    # will ever touch exists before the dense arrays are sized.  (Extra
-    # node ids and color ids are pure identities -- their numeric values
-    # never steer an outcome -- so hoisting this above the simplify loop
-    # is behaviour-preserving.)
-    pref_seed: List[Tuple[int, int]] = [
-        (local_intern(var), cintern(color))
-        for var, color in local_prefs.items()
-    ]
-
     never_mask = 0
     for var in never_spill:
         i = ids.get(var)
@@ -231,38 +163,19 @@ def color_graph(
     # ------------------------------------------------------------------
     # Simplify: push nodes onto the colorable stack.
     # ------------------------------------------------------------------
-    # All per-node hot state is dense lists indexed by id (ids are
-    # bounded by ``nxt``; subgraphs keep parent ids, so the lists may
-    # have holes).  ``deg_arr`` is seeded from the graph's incrementally
-    # maintained degree cache, ``rank`` is its memoized dense rank view,
-    # and ``prio`` is filled only for nodes whose *initial* degree
-    # reaches k -- degrees only ever decrease, so no other node can
-    # enter the spill heap.
-    size = nxt
-    deg_arr: List[int] = [0] * size
-    prio: List[float] = [0.0] * size
-    node_color: List[int] = [-1] * size
-    dyn_pref: List[int] = [-1] * size
-
-    precolored_mask = 0
-    for i, ci in precolored_ids.items():
-        node_color[i] = ci
-        precolored_mask |= 1 << i
-    n_dyn = 0
-    for i, ci in pref_seed:
-        dyn_pref[i] = ci
-        n_dyn += 1
-
-    # ``in_play`` replaces the remaining-node bitmask with list flags:
-    # the simplify loop tests membership once per heap pop and once per
-    # neighbour decrement, and list indexing beats a big-int shift at
-    # both sites.  ``n_remaining`` carries the loop condition.
-    in_play: List[int] = [0] * size
-    n_remaining = 0
+    # One C-level dict copy of the memoized degree map replaces the
+    # per-call bit_count loop; ``prio`` is filled only for nodes whose
+    # *initial* degree reaches k -- degrees only ever decrease, so no other
+    # node can enter the spill heap.
+    degrees: Dict[int, int] = dict(graph.degree_map())
+    remaining_mask = 0
     stack: List[int] = []
     spilled: Set[str] = set()
+    prio: Dict[int, float] = {}
     priorities_get = priorities.get
+    masks_get = masks.get
     nbrs = graph.neighbor_ids()
+    nbrs_get = nbrs.get
 
     if spill_heuristic == "cost":
 
@@ -287,9 +200,8 @@ def color_graph(
     # global ranks restricted to them are order-isomorphic to their own
     # sorted positions.  Ranks are unique, so later tuple elements never
     # tie-break.  The rank table is memoized on the graph across recolor
-    # rounds and phases; ``rank`` is its dense list view.
-    rank = graph.name_rank_array()
-    _, id_of_rank = graph.name_ranks()
+    # rounds and phases.
+    rank, id_of_rank = graph.name_ranks()
 
     # Two lazy heaps drive node selection: ``low_heap`` orders the
     # trivially-colorable nodes by (degree, rank), ``spill_heap`` orders
@@ -303,12 +215,10 @@ def color_graph(
     # else lowest (metric, rank) overall, at O(log) per operation.
     low_heap: List[Tuple[int, int]] = []
     spill_heap: List[Tuple[float, int, int]] = []
-    for i, d in graph.degree_map().items():
-        deg_arr[i] = d
-        if precolored_mask >> i & 1:
+    for i, d in degrees.items():
+        if i in precolored_ids:
             continue
-        in_play[i] = 1
-        n_remaining += 1
+        remaining_mask |= 1 << i
         if d < k:
             low_heap.append((d, rank[i]))
         else:
@@ -319,88 +229,51 @@ def color_graph(
 
     heappush = heapq.heappush
 
-    if spill_heuristic == "cost_over_degree":
-        # The default heuristic, specialized with the metric inlined:
-        # the decrement loop runs once per (node, neighbour) edge and a
-        # closure call per spill push is measurable there.  Same floats
-        # as ``spill_metric`` (``d >= k`` here, so ``max(d, 1)`` keeps
-        # the k == 0 corner identical).
-        inf = math.inf
-
-        def decrement_neighbors(i: int) -> None:
-            # Out-of-play neighbours (popped, spilled or precolored) skip
-            # the decrement entirely: their ``deg_arr`` slot is never read
-            # again -- validity checks and spill metrics only consult
-            # remaining nodes.
-            for other in nbrs[i]:
-                if in_play[other]:
-                    d = deg_arr[other] = deg_arr[other] - 1
-                    if d < k:
-                        heappush(low_heap, (d, rank[other]))
-                    elif never_mask >> other & 1:
-                        heappush(spill_heap, (inf, rank[other], d))
-                    else:
-                        heappush(
-                            spill_heap,
-                            (prio[other] / max(d, 1), rank[other], d),
-                        )
-
-    else:
-
-        def decrement_neighbors(i: int) -> None:
-            for other in nbrs[i]:
-                if in_play[other]:
-                    d = deg_arr[other] = deg_arr[other] - 1
-                    if d < k:
-                        heappush(low_heap, (d, rank[other]))
-                    else:
-                        heappush(
-                            spill_heap,
-                            (spill_metric(other, d), rank[other], d),
-                        )
+    def decrement_neighbors(i: int) -> None:
+        for other in nbrs_get(i, ()):
+            d = degrees[other] = degrees[other] - 1
+            if remaining_mask >> other & 1:
+                if d < k:
+                    heappush(low_heap, (d, rank[other]))
+                else:
+                    heappush(
+                        spill_heap, (spill_metric(other, d), rank[other], d)
+                    )
 
     heappop = heapq.heappop
-    while n_remaining:
+    while remaining_mask:
         var = -1
         while low_heap:
             d, r = heappop(low_heap)
             v = id_of_rank[r]
-            if in_play[v] and deg_arr[v] == d:
+            if remaining_mask >> v & 1 and degrees[v] == d:
                 var = v
                 break
         if var < 0:
             # All remaining nodes have >= k conflicts: pick the least
-            # valuable as the next (potential) spill.  Every remaining
-            # >= k node keeps at least one valid entry (a fresh one is
-            # pushed on each decrement), so running the heap dry means
-            # the invariant broke -- raise the classified error rather
-            # than a bare IndexError so the degradation ladder can act.
-            while spill_heap:
+            # valuable as the next (potential) spill.
+            while True:
                 _, r, d = heappop(spill_heap)
                 v = id_of_rank[r]
-                if in_play[v] and deg_arr[v] == d:
+                if remaining_mask >> v & 1 and degrees[v] == d:
                     var = v
                     break
-            if var < 0:
-                raise ColoringInvariantError(
-                    f"spill heap exhausted with {n_remaining} uncolored "
-                    "nodes remaining -- graph degree/neighbour caches "
-                    "are inconsistent"
-                )
             if pessimistic and not never_mask >> var & 1:
                 spilled.add(names[var])
-                in_play[var] = 0
-                n_remaining -= 1
+                remaining_mask &= ~(1 << var)
                 decrement_neighbors(var)
                 continue
-        in_play[var] = 0
-        n_remaining -= 1
+        remaining_mask &= ~(1 << var)
         stack.append(var)
         decrement_neighbors(var)
 
     # ------------------------------------------------------------------
     # Select: pop and color.
     # ------------------------------------------------------------------
+    node_color: Dict[int, int] = dict(precolored_ids)
+    assigned_mask = 0
+    for i in node_color:
+        assigned_mask |= 1 << i
     # Seed the reuse list in sorted color order: ``_pick`` returns the
     # first non-forbidden entry, so the list order is outcome-relevant and
     # must not inherit the caller's dict iteration order.
@@ -412,30 +285,31 @@ def color_graph(
             if not used_mask >> ci & 1:
                 used.append(ci)
                 used_mask |= 1 << ci
+    dynamic_prefs: Dict[int, int] = {
+        local_intern(var): cintern(color)
+        for var, color in local_prefs.items()
+    }
 
-    # Both scans walk the cached neighbour-id list against the dense
-    # color arrays instead of intersecting big-int masks: by select time
-    # most neighbours are assigned, so the mask walk decoded nearly every
-    # bit anyway, and two list reads per neighbour are cheaper than a
-    # shift-and-bit_length per set bit.  ``node_color[n] >= 0`` is exactly
-    # "assigned" (precolored or taken).
     def forbidden_for(i: int) -> int:
         out = 0
-        for other in nbrs[i]:
-            ci = node_color[other]
-            if ci >= 0:
-                out |= 1 << ci
+        mask = masks_get(i, 0) & assigned_mask
+        while mask:
+            low = mask & -mask
+            out |= 1 << node_color[low.bit_length() - 1]
+            mask ^= low
         return out
 
     def neighbour_pref_colors(i: int) -> int:
-        if not n_dyn:  # nothing to avoid, skip the scan
+        if not dynamic_prefs:  # nothing to avoid, skip the scan
             return 0
         out = 0
-        for other in nbrs[i]:
-            if node_color[other] < 0:
-                ci = dyn_pref[other]
-                if ci >= 0:
-                    out |= 1 << ci
+        mask = masks_get(i, 0) & ~assigned_mask
+        while mask:
+            low = mask & -mask
+            ci = dynamic_prefs.get(low.bit_length() - 1)
+            if ci is not None:
+                out |= 1 << ci
+            mask ^= low
         return out
 
     def fresh_color(forbidden: int) -> int:
@@ -455,16 +329,16 @@ def color_graph(
     take_order: List[int] = []
 
     def take(i: int, ci: int) -> None:
-        nonlocal used_mask, n_dyn
+        nonlocal assigned_mask, used_mask
         node_color[i] = ci
+        assigned_mask |= 1 << i
         take_order.append(i)
         if not used_mask >> ci & 1:
             used.append(ci)
             used_mask |= 1 << ci
         for p in partner_sorted.get(i, ()):
-            if node_color[p] < 0 and dyn_pref[p] < 0:
-                dyn_pref[p] = ci
-                n_dyn += 1
+            if p not in node_color and p not in dynamic_prefs:
+                dynamic_prefs[p] = ci
 
     order: List[str] = []
     while stack:
@@ -473,8 +347,8 @@ def color_graph(
         forbidden = forbidden_for(var)
 
         # 1. Explicit local preference wins when available.
-        pref = dyn_pref[var]
-        if pref >= 0 and not forbidden >> pref & 1:
+        pref = dynamic_prefs.get(var)
+        if pref is not None and not forbidden >> pref & 1:
             if used_mask >> pref & 1 or len(used) < k:
                 take(var, pref)
                 if trace_hook is not None:
@@ -487,8 +361,8 @@ def color_graph(
         if plist:
             chosen = -1
             for p in plist:
-                ci = node_color[p]
-                if ci >= 0 and not forbidden >> ci & 1:
+                ci = node_color.get(p)
+                if ci is not None and not forbidden >> ci & 1:
                     chosen = ci
                     break
             if chosen >= 0:
@@ -541,15 +415,3 @@ def color_graph(
         used_colors=[cnames[ci] for ci in used],
         stack_order=order,
     )
-
-
-def verify_coloring(
-    graph: InterferenceGraph, assignment: Mapping[str, str]
-) -> List[Tuple[str, str]]:
-    """Conflicting node pairs that share a color (empty list == valid)."""
-    bad = []
-    for a, b in graph.edges():
-        ca, cb = assignment.get(a), assignment.get(b)
-        if ca is not None and ca == cb:
-            bad.append((a, b))
-    return bad

@@ -209,3 +209,137 @@ def test_restricted_to_empty_blocks_only():
     _assert_interference_matches(
         fn, labels=["hop_a", "hop_b", "mid"], relevant={"x", "n"}
     )
+
+
+# ----------------------------------------------------------------------
+# differential: arena-indexed temp-node insertion vs the object walk
+# ----------------------------------------------------------------------
+
+def _shadow_graph(graph):
+    """Name-level clone: same nodes and edges, fresh ids.  The object
+    walk in ``_add_temp_nodes`` operates purely on names, so a clone with
+    remapped ids is a valid substrate for the shadow run."""
+    from repro.graph.interference import InterferenceGraph
+
+    g = InterferenceGraph()
+    for node in graph.nodes():
+        g.add_node(node)
+    for a, b in graph.edges():
+        g.add_edge(a, b)
+    return g
+
+
+def _edge_sets(graph):
+    return {n: sorted(graph.neighbors(n)) for n in graph.nodes()}
+
+
+def _allocate_with_temp_node_differential(fn, registers):
+    """Run the hierarchical allocator with ``_add_temp_nodes`` replaced
+    by a shim that executes BOTH paths -- the arena-indexed one on the
+    real graph, the per-instruction object walk on a shadow clone -- and
+    asserts they add the same temps with identical edge sets and leave
+    the same per-uid peer index behind.  Returns how many calls actually
+    created temps."""
+    from repro.core import HierarchicalAllocator, HierarchicalConfig
+    from repro.core import tilecolor
+    from repro.machine.target import Machine
+    from repro.pipeline import prepare
+
+    real = tilecolor._add_temp_nodes
+    productive_calls = [0]
+
+    def differential(ctx, own_labels, graph, new_vars, all_spilled,
+                     temps_by_uid):
+        shadow = _shadow_graph(graph)
+        shadow_uid = {
+            uid: (list(u), list(d)) for uid, (u, d) in temps_by_uid.items()
+        }
+        arena = ctx.arena
+        added = real(
+            ctx, own_labels, graph, new_vars, all_spilled, temps_by_uid
+        )
+        if arena is not None and not (
+            arena.fn is not ctx.fn or arena.retired
+        ):
+            # Force the object fallback for the shadow run.
+            ctx.arena = None
+            try:
+                shadow_added = real(
+                    ctx, own_labels, shadow, new_vars, all_spilled,
+                    shadow_uid,
+                )
+            finally:
+                ctx.arena = arena
+            assert shadow_added == added
+            assert sorted(shadow.nodes()) == sorted(graph.nodes())
+            assert _edge_sets(shadow) == _edge_sets(graph)
+            assert shadow_uid == temps_by_uid
+            if added:
+                productive_calls[0] += 1
+        return added
+
+    tilecolor._add_temp_nodes = differential
+    try:
+        outcome = HierarchicalAllocator(HierarchicalConfig()).allocate(
+            prepare(fn), Machine.simple(registers)
+        )
+    finally:
+        tilecolor._add_temp_nodes = real
+    return outcome, productive_calls[0]
+
+
+@given(seed=SEEDS)
+@COMMON
+def test_arena_temp_nodes_match_object_walk(seed):
+    """Node-for-node: for every ``_add_temp_nodes`` call during a real
+    allocation, the arena-indexed path and the per-instruction object
+    walk produce the same temp nodes, the same conflict edge sets, and
+    the same peer index."""
+    fn = random_program(seed)
+    _allocate_with_temp_node_differential(fn, registers=3)
+
+
+def test_arena_temp_node_differential_is_exercised():
+    """The differential above is only as strong as its coverage: under
+    register pressure the shim must actually see productive calls (temps
+    created through both paths)."""
+    productive = 0
+    for seed in range(20):
+        _, calls = _allocate_with_temp_node_differential(
+            random_program(seed), registers=2
+        )
+        productive += calls
+    assert productive > 0
+
+
+# ----------------------------------------------------------------------
+# tiny-function fast path: list CSR (worklist) vs numpy CSR (vectorized)
+# ----------------------------------------------------------------------
+
+def test_small_function_list_csr_matches_vectorized(monkeypatch):
+    """Functions below ``VECTOR_LIVENESS_MIN_BLOCKS`` keep plain-list CSR
+    and solve liveness with the scalar worklist; forcing the threshold to
+    1 builds numpy CSR and runs the vectorized sweep.  Same fixed point
+    either way."""
+    import pytest
+
+    from repro.perf import arena as arena_mod
+
+    if arena_mod._np is None:
+        pytest.skip("numpy unavailable")
+    for seed in (0, 7, 23, 91):
+        fn = random_program(seed)
+        assert len(fn.blocks) < arena_mod.VECTOR_LIVENESS_MIN_BLOCKS
+
+        plain = build_arena(fn)
+        assert isinstance(plain.succ_indptr, list)
+        plain.compute_liveness()
+
+        monkeypatch.setattr(arena_mod, "VECTOR_LIVENESS_MIN_BLOCKS", 1)
+        vec = build_arena(fn)
+        assert not isinstance(vec.succ_indptr, list)
+        vec.compute_liveness()
+        monkeypatch.undo()
+
+        assert plain.live_in == vec.live_in
+        assert plain.live_out == vec.live_out

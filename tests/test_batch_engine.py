@@ -355,3 +355,69 @@ class TestBatchConfigValidation:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
             BatchConfig(batch_workers=-1)
+
+
+class TestClockDiscipline:
+    """Interval math must survive wall-clock steps (NTP, DST, manual
+    set): durations and ``BatchStats.wall_s`` come from
+    ``time.monotonic()``; ``time.time()`` is only ever a trace
+    *timestamp*."""
+
+    def test_backwards_wall_clock_step_cannot_negate_intervals(
+        self, monkeypatch
+    ):
+        import time as _time
+
+        real_time = _time.time
+        # Every wall-clock read jumps 1000s *backwards* -- with
+        # time.time()-based interval math this drives every duration
+        # (and wall_s) negative.
+        state = {"offset": 0.0}
+
+        def stepping_time():
+            state["offset"] -= 1000.0
+            return real_time() + state["offset"]
+
+        monkeypatch.setattr(_time, "time", stepping_time)
+
+        module = synthetic_module(4)
+        with BatchEngine(batch=BatchConfig(cache_policy="off")) as engine:
+            allocation = engine.allocate_module(module)
+
+        assert len(allocation) == 4
+        assert allocation.ok
+        assert engine.stats.wall_s >= 0.0
+        for result in allocation:
+            assert result.duration >= 0.0
+        assert engine.stats.functions_per_sec >= 0.0
+
+    def test_trace_task_rows_still_use_wall_stamps(self, monkeypatch):
+        """Trace rows deliberately keep wall-clock ``start`` stamps (they
+        are offset against the engine's wall-clock epoch and must be
+        comparable across processes)."""
+        import time as _time
+
+        real_time = _time.time
+        state = {"offset": 0.0}
+
+        def stepping_time():
+            state["offset"] -= 1000.0
+            return real_time() + state["offset"]
+
+        monkeypatch.setattr(_time, "time", stepping_time)
+
+        sink = MemorySink()
+        tracer = AllocationTracer([sink])
+        module = synthetic_module(2)
+        with BatchEngine(
+            batch=BatchConfig(cache_policy="off"), tracer=tracer
+        ) as engine:
+            engine.allocate_module(module)
+
+        rows = sink.of_type(BatchTask)
+        assert len(rows) == 2
+        for row in rows:
+            # duration is monotonic-derived, never negative, even while
+            # the wall clock (which feeds ``start``) is stepping wildly.
+            assert row.duration >= 0.0
+        assert engine.stats.wall_s >= 0.0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.graph.coloring import (
+    ColoringInvariantError,
     NoColorForRequiredNode,
     color_graph,
     verify_coloring,
@@ -195,3 +196,177 @@ class TestNeverSpill:
                 never_spill={"t1", "t2", "t3"},
             )
         assert info.value.node in {"t1", "t2", "t3"}
+
+
+class TestSpillHeapInvariantGuard:
+    """When the spill heap runs dry with uncolored nodes remaining (a
+    broken degree/neighbour cache -- impossible with legal inputs, since
+    every decrement pushes a fresh entry), the engine raises the
+    classified :class:`ColoringInvariantError` instead of a bare
+    ``IndexError``."""
+
+    def test_exhausted_spill_heap_raises_classified_error(self, monkeypatch):
+        import heapq
+
+        real_heappush = heapq.heappush
+
+        def dropping_heappush(heap, item):
+            # Spill entries are (metric, rank, degree) 3-tuples; dropping
+            # them starves the spill heap of the fresh entries every
+            # degree decrement is supposed to push, so the surviving
+            # entries all go stale and the heap runs dry.
+            if len(item) == 3:
+                return None
+            return real_heappush(heap, item)
+
+        monkeypatch.setattr(heapq, "heappush", dropping_heappush)
+        g = clique(["a", "b", "c", "d"])
+        with pytest.raises(ColoringInvariantError) as excinfo:
+            color_graph(g, k=2, color_order=REGS[:2])
+        assert "spill heap exhausted" in str(excinfo.value)
+
+    def test_error_is_classified_permanent_internal(self):
+        from repro.errors import PERMANENT, classify_exception
+
+        error_class, permanence = classify_exception(
+            ColoringInvariantError("spill heap exhausted")
+        )
+        assert error_class == "coloring_invariant"
+        assert permanence == PERMANENT
+
+
+# ----------------------------------------------------------------------
+# Differential: dense-array engine vs the frozen dict-based oracle
+# ----------------------------------------------------------------------
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests._coloring_oracle import oracle_color_graph
+
+DIFF_SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_coloring_scenario(seed):
+    """One random (graph, kwargs) coloring problem.
+
+    Exercises every input the engine takes: priorities, precolored nodes
+    (including extras absent from the graph), local preferences,
+    preference pairs, never-spill and boundary sets, both optimism modes,
+    all three spill heuristics, and -- half the time -- a tile-restricted
+    subgraph so node ids are non-dense, exactly as recolor rounds see
+    them.
+    """
+    rng = random.Random(seed)
+    n = rng.randint(2, 16)
+    # Mixed name shapes so rank order differs from insertion order.
+    names = [rng.choice(["v", "a", "t", "x"]) + str(i) for i in range(n)]
+    g = InterferenceGraph()
+    for name in names:
+        g.add_node(name)
+    p = rng.uniform(0.1, 0.7)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(names[i], names[j])
+    if rng.random() < 0.5 and n > 3:
+        keep = {name for name in names if rng.random() < 0.7}
+        if len(keep) >= 2:
+            g = g.subgraph(keep)
+            names = sorted(keep)
+
+    k = rng.randint(2, 4)
+    colors = [f"R{i}" for i in range(6)]
+    kwargs = dict(
+        k=k,
+        color_order=colors,
+        priorities={
+            v: round(rng.uniform(0.0, 20.0), 3)
+            for v in names
+            if rng.random() < 0.8
+        },
+        pessimistic=rng.random() < 0.3,
+        spill_heuristic=rng.choice(["cost_over_degree", "cost", "degree"]),
+    )
+    if rng.random() < 0.5:
+        pre = {}
+        for v in rng.sample(names, min(2, len(names))):
+            pre[v] = rng.choice(colors[:k])
+        if rng.random() < 0.5:
+            pre[f"extern{rng.randint(0, 3)}"] = rng.choice(colors[:k])
+        kwargs["precolored"] = pre
+    if rng.random() < 0.5:
+        kwargs["local_prefs"] = {
+            v: rng.choice(colors[:k])
+            for v in names
+            if rng.random() < 0.3
+        }
+    if rng.random() < 0.5:
+        pairs = []
+        pool = names + [f"extern{i}" for i in range(2)]
+        for _ in range(rng.randint(1, 4)):
+            pairs.append((rng.choice(pool), rng.choice(pool)))
+        kwargs["pref_pairs"] = pairs
+    if rng.random() < 0.4:
+        kwargs["never_spill"] = {
+            v for v in names if rng.random() < 0.15
+        }
+    if rng.random() < 0.4:
+        kwargs["boundary"] = {v for v in names if rng.random() < 0.25}
+    return g, kwargs
+
+
+def _run_engine(fn, g, kwargs):
+    """(result-or-None, raised NoColorForRequiredNode node-or-None)."""
+    try:
+        return fn(g, **kwargs), None
+    except NoColorForRequiredNode as exc:
+        return None, exc.node
+
+
+class TestDenseEngineMatchesOracle:
+    """The dense-array select loop must be bit-identical to the frozen
+    dict-based implementation on every field of the result."""
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @DIFF_SETTINGS
+    def test_differential(self, seed):
+        g, kwargs = _random_coloring_scenario(seed)
+        new, new_raised = _run_engine(color_graph, g, kwargs)
+        old, old_raised = _run_engine(oracle_color_graph, g, kwargs)
+        assert new_raised == old_raised
+        if new is None:
+            assert old is None
+            return
+        assert new.assignment == old.assignment
+        assert new.spilled == old.spilled
+        assert new.used_colors == old.used_colors
+        assert new.stack_order == old.stack_order
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @DIFF_SETTINGS
+    def test_differential_on_subgraph_of_subgraph(self, seed):
+        """Recolor rounds color subgraphs of subgraphs: ids stay sparse
+        through two restrictions and rank memos transfer."""
+        rng = random.Random(seed ^ 0x5A5A)
+        g, kwargs = _random_coloring_scenario(seed)
+        nodes = g.nodes()
+        if len(nodes) < 4:
+            return
+        keep = set(rng.sample(nodes, len(nodes) - 2))
+        sub = g.subgraph(keep)
+        new, new_raised = _run_engine(color_graph, sub, kwargs)
+        old, old_raised = _run_engine(oracle_color_graph, sub, kwargs)
+        assert new_raised == old_raised
+        if new is None:
+            assert old is None
+            return
+        assert new.assignment == old.assignment
+        assert new.spilled == old.spilled
+        assert new.used_colors == old.used_colors
+        assert new.stack_order == old.stack_order
