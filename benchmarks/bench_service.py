@@ -1,0 +1,269 @@
+"""E19 -- allocation service under concurrent load (latency + coalescing).
+
+The batch engine (E18) measures module throughput for one caller; this
+bench measures the *service* front-end (``repro.service``) under many
+concurrent callers sharing one engine: 1000 concurrent HTTP requests
+over 200 distinct functions, through real loopback sockets and the real
+client, against a single inline-engine service.
+
+Three scenarios, each summarized as client-observed p50/p99 latency and
+request throughput in ``BENCH_service.json``:
+
+* **cold** -- empty cache, 1000 requests / 200 distinct functions.  Every
+  distinct function is computed exactly once no matter how many requests
+  race (cross-request coalescing): engine misses == distinct cache keys.
+* **warm** -- the same 1000 requests again on the same service: every
+  function is a cache hit, nothing new is computed.
+* **coalesced** -- a fresh service, 1000 requests / 20 distinct
+  functions: a worst-case duplicate storm where ~98% of requests attach
+  to an in-flight computation.
+
+Gates (the acceptance criteria of the serving layer):
+
+* zero dropped or failed requests in every scenario -- all 1000 get a
+  200 with an ``ok`` result;
+* coalescing verified: ``engine.computed == distinct`` after cold and
+  after the burst, and unchanged after warm;
+* warm throughput must beat cold throughput (the shared cache must pay).
+
+``python bench_service.py --quick`` (or ``pytest bench_service.py -k
+quick``) runs a reduced gate for CI; the full run regenerates
+``BENCH_service.json``.  Run from the ``benchmarks/`` directory.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+from conftest import fmt_row, report
+
+from repro.batch import BatchConfig, synthetic_module
+from repro.ir import format_function
+from repro.service import AllocationService, ServiceClient, ServiceConfig
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_service.json"
+)
+
+FULL_REQUESTS = 1000
+FULL_DISTINCT = 200
+FULL_BURST_DISTINCT = 20
+
+QUICK_REQUESTS = 60
+QUICK_DISTINCT = 12
+QUICK_BURST_DISTINCT = 5
+
+#: Client-side socket bound.  Well under the fd ceiling, far above the
+#: single engine thread's service rate, so queueing happens server-side
+#: (where the bounded queue and coalescer live), not in the client.
+CLIENT_CONNECTIONS = 256
+
+WARM_SPEEDUP_FLOOR = 1.5
+
+
+def _distinct_texts(count):
+    """*count* textually-distinct functions from the synthetic module
+    generator (the same corpus E18 measures engine throughput on)."""
+    texts = [format_function(w.fn) for w in synthetic_module(count)]
+    assert len(set(texts)) == count, "synthetic corpus collided"
+    return texts
+
+
+def _percentile_ms(sorted_s, q):
+    if not sorted_s:
+        return 0.0
+    index = min(len(sorted_s) - 1, int(q * len(sorted_s)))
+    return round(sorted_s[index] * 1000.0, 2)
+
+
+async def _fire(client, specs):
+    """All requests concurrently; returns per-request latencies (s).
+
+    Asserts the zero-drop contract: every request resolves to a 200
+    whose result is ``ok``.
+    """
+    async def one(spec):
+        start = time.perf_counter()
+        reply = await client.allocate([spec])
+        elapsed = time.perf_counter() - start
+        assert reply.status == 200, (
+            f"request failed: {reply.status} {reply.data}"
+        )
+        (result,) = reply.data["results"]
+        assert result["ok"], f"allocation failed: {result['error']}"
+        return elapsed, result["coalesced"]
+
+    wall_start = time.perf_counter()
+    outcomes = await asyncio.gather(*(one(spec) for spec in specs))
+    wall_s = time.perf_counter() - wall_start
+    latencies = sorted(o[0] for o in outcomes)
+    coalesced = sum(1 for o in outcomes if o[1])
+    return wall_s, latencies, coalesced
+
+
+def _summary(name, requests, distinct, wall_s, latencies, coalesced,
+             computed):
+    return {
+        "scenario": name,
+        "requests": requests,
+        "distinct_functions": distinct,
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(requests / max(wall_s, 1e-9), 1),
+        "p50_ms": _percentile_ms(latencies, 0.50),
+        "p99_ms": _percentile_ms(latencies, 0.99),
+        "max_ms": round(latencies[-1] * 1000.0, 2) if latencies else 0.0,
+        "failures": 0,  # _fire asserts every request succeeded
+        "coalesced": coalesced,
+        "engine_computed": computed,
+    }
+
+
+async def _bench(requests, distinct, burst_distinct):
+    results = {}
+
+    def specs_over(texts):
+        return [{"text": texts[i % len(texts)]} for i in range(requests)]
+
+    def fresh_config():
+        # simulate off: the bench measures serving, not the simulator,
+        # and static allocation keys purely on function text.
+        return ServiceConfig(
+            batch=BatchConfig(batch_workers=0, simulate=False)
+        )
+
+    texts = _distinct_texts(distinct)
+    async with AllocationService(fresh_config()) as service:
+        async with ServiceClient(
+            "127.0.0.1", service.port, max_connections=CLIENT_CONNECTIONS
+        ) as client:
+            wall_s, latencies, coalesced = await _fire(
+                client, specs_over(texts)
+            )
+            computed = service.engine.stats.computed
+            assert computed == distinct, (
+                f"cold: computed {computed} != distinct {distinct} -- "
+                "coalescing failed to collapse concurrent duplicates"
+            )
+            results["cold"] = _summary(
+                "cold", requests, distinct, wall_s, latencies, coalesced,
+                computed,
+            )
+
+            wall_s, latencies, coalesced = await _fire(
+                client, specs_over(texts)
+            )
+            computed = service.engine.stats.computed
+            assert computed == distinct, (
+                f"warm: computed grew to {computed} -- cache missed"
+            )
+            results["warm"] = _summary(
+                "warm", requests, distinct, wall_s, latencies, coalesced,
+                computed - distinct,
+            )
+
+    burst_texts = _distinct_texts(burst_distinct)
+    async with AllocationService(fresh_config()) as service:
+        async with ServiceClient(
+            "127.0.0.1", service.port, max_connections=CLIENT_CONNECTIONS
+        ) as client:
+            wall_s, latencies, coalesced = await _fire(
+                client, specs_over(burst_texts)
+            )
+            computed = service.engine.stats.computed
+            assert computed == burst_distinct, (
+                f"burst: computed {computed} != distinct {burst_distinct}"
+            )
+            results["coalesced"] = _summary(
+                "coalesced", requests, burst_distinct, wall_s, latencies,
+                coalesced, computed,
+            )
+
+    warm_speedup = (
+        results["warm"]["throughput_rps"]
+        / max(results["cold"]["throughput_rps"], 1e-9)
+    )
+    assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm throughput only {warm_speedup:.2f}x cold "
+        f"(need >= {WARM_SPEEDUP_FLOOR}x): the shared cache is not paying"
+    )
+    return results
+
+
+def _print_results(name, results):
+    widths = [11, 9, 9, 9, 11, 9, 9, 10]
+    rows = [fmt_row(
+        ["scenario", "requests", "distinct", "wall (s)", "thru (r/s)",
+         "p50 (ms)", "p99 (ms)", "coalesced"],
+        widths,
+    )]
+    for scenario in ("cold", "warm", "coalesced"):
+        d = results[scenario]
+        rows.append(fmt_row(
+            [scenario, d["requests"], d["distinct_functions"], d["wall_s"],
+             d["throughput_rps"], d["p50_ms"], d["p99_ms"], d["coalesced"]],
+            widths,
+        ))
+    rows.append(
+        f"cpu_count={os.cpu_count()}, inline engine, "
+        f"{CLIENT_CONNECTIONS} client connections"
+    )
+    report(name, rows)
+
+
+def _save(results):
+    data = {}
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as fh:
+            data = json.load(fh)
+    data["current"] = {
+        "scenarios": results,
+        "cpu_count": os.cpu_count(),
+        "client_connections": CLIENT_CONNECTIONS,
+        "engine_workers": 0,
+    }
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def test_service_load_full():
+    """The acceptance run: 1000 concurrent requests / 200 distinct
+    functions, zero failures, coalescing verified; regenerates
+    BENCH_service.json."""
+    results = asyncio.run(_bench(
+        FULL_REQUESTS, FULL_DISTINCT, FULL_BURST_DISTINCT
+    ))
+    _print_results("E19_service_load", results)
+    _save(results)
+
+
+def test_quick_service_gate():
+    """Reduced CI gate: same invariants (zero drops, misses == distinct,
+    warm speedup) at a size a 1-CPU runner turns around in seconds."""
+    results = asyncio.run(_bench(
+        QUICK_REQUESTS, QUICK_DISTINCT, QUICK_BURST_DISTINCT
+    ))
+    _print_results("E19_quick_service_gate", results)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the reduced CI gate instead of the full load test",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        test_quick_service_gate()
+        print("OK: quick service gate passed")
+        return 0
+    test_service_load_full()
+    print("OK: service load gates passed (results in BENCH_service.json)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,11 @@
 
 Three checks, all run by the CI docs job (and by ``tests/test_docs.py``):
 
-1. every fenced ``python`` code block in ``README.md`` and
-   ``docs/WALKTHROUGH.md`` executes without raising (with ``src/`` on
-   ``sys.path``), so documented snippets cannot rot;
+1. every fenced ``python`` code block in ``README.md``,
+   ``docs/WALKTHROUGH.md`` and ``docs/SERVICE.md`` executes without
+   raising (with ``src/`` on ``sys.path``), so documented snippets
+   cannot rot — the SERVICE.md blocks start a real allocation service
+   on a loopback socket and drive it through the real client;
 2. every backticked ``path`` / ``path:line`` anchor in
    ``docs/PAPER_MAP.md`` points at an existing file (and, when a line
    number is given, at an existing line of it);
@@ -30,7 +32,11 @@ import traceback
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO_ROOT, "src")
 
-EXECUTABLE_DOCS = ["README.md", os.path.join("docs", "WALKTHROUGH.md")]
+EXECUTABLE_DOCS = [
+    "README.md",
+    os.path.join("docs", "WALKTHROUGH.md"),
+    os.path.join("docs", "SERVICE.md"),
+]
 ANCHOR_DOC = os.path.join("docs", "PAPER_MAP.md")
 
 #: `path` or `path:line` inside backticks; the path must contain a slash

@@ -396,6 +396,54 @@ class BatchEngine:
             ))
 
     # ------------------------------------------------------------------
+    # observation hooks (used by the service layer)
+    # ------------------------------------------------------------------
+    def entry_for(self, workload) -> Tuple[str, str, str, str]:
+        """``(name, canonical_text, fingerprint, cache_key)`` for one
+        workload -- exactly what :meth:`allocate_module` computes before
+        its cache lookup.
+
+        This is the hook the allocation service builds its cross-request
+        coalescing on: two workloads share an in-flight computation if
+        and only if their cache keys are equal, and key parity with the
+        engine is guaranteed because both call this one method.
+        """
+        name = workload.label()
+        text = format_function(workload.fn)
+        fingerprint = text_fingerprint(text)
+        inputs = (
+            inputs_digest(workload.args, workload.arrays)
+            if self.batch.simulate
+            else ""
+        )
+        return name, text, fingerprint, cache_key(
+            fingerprint, self._invalidation, inputs
+        )
+
+    def pool_health(self) -> Dict[str, object]:
+        """Liveness view of the worker pool (for ``/healthz``).
+
+        ``configured`` is ``batch_workers``; ``running`` says whether a
+        pool currently exists (it is started lazily, so ``False`` is
+        healthy before the first pooled miss); ``alive`` counts worker
+        processes still running; ``broken`` reflects the executor's own
+        broken flag.  ``restarts`` mirrors ``stats.pool_restarts``.
+        """
+        pool = self._pool
+        health: Dict[str, object] = {
+            "configured": self.batch.batch_workers,
+            "running": pool is not None,
+            "alive": 0,
+            "broken": False,
+            "restarts": self.stats.pool_restarts,
+        }
+        if pool is not None:
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            health["alive"] = sum(1 for p in processes if p.is_alive())
+            health["broken"] = bool(getattr(pool, "_broken", False))
+        return health
+
+    # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
     def allocate_module(self, workloads: Sequence) -> ModuleAllocation:
@@ -414,21 +462,11 @@ class BatchEngine:
         results: List[Optional[BatchResult]] = [None] * len(workloads)
         miss_groups: Dict[str, List[int]] = {}
         for index, workload in enumerate(workloads):
-            name = workload.label()
-            text = format_function(workload.fn)
-            # The fingerprint is sha256 of exactly this text; hash it
-            # directly rather than formatting the function a second time.
-            fingerprint = text_fingerprint(text)
             # Records carry simulated costs/returned when inputs are
             # present, so the key must distinguish inputs -- for the
             # cache lookup *and* for the miss dedup below, which assumes
             # one key == one (function, inputs) computation.
-            inputs = (
-                inputs_digest(workload.args, workload.arrays)
-                if self.batch.simulate
-                else ""
-            )
-            key = cache_key(fingerprint, self._invalidation, inputs)
+            name, text, fingerprint, key = self.entry_for(workload)
             entries.append((name, text, fingerprint, workload))
             record = None
             cached_source = None

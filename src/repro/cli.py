@@ -18,6 +18,11 @@ Four subcommands over textual IR files (the format of
   optionally persistent with ``--cache``) in front of a process pool
   (``--workers``); ``--stats`` prints hits/misses/evictions and
   functions/sec, ``--chrome`` writes the per-worker timeline.
+* ``serve`` -- run the batch engine as a long-lived HTTP/JSON service
+  (``POST /allocate``, ``GET /metrics``, ``GET /healthz``) with a shared
+  allocation cache, cross-request coalescing and bounded-queue
+  backpressure; drains gracefully on SIGINT/SIGTERM.  See
+  ``docs/SERVICE.md``.
 
 Examples::
 
@@ -27,6 +32,8 @@ Examples::
         --jsonl events.jsonl --chrome sched.json --workers 4
     python -m repro batch examples/programs --workers 4 \
         --cache /tmp/alloc-cache --stats
+    python -m repro serve --port 8421 --workers 4 \
+        --cache /tmp/alloc-cache --queue-limit 512
 """
 
 from __future__ import annotations
@@ -345,6 +352,43 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.batch import BatchConfig
+    from repro.service import ServiceConfig, run_service
+
+    policy = args.policy
+    if args.cache and policy == "memory":
+        policy = "disk"
+    batch = BatchConfig(
+        batch_workers=args.workers,
+        cache_dir=args.cache,
+        cache_policy=policy,
+        registers=args.registers,
+        simulate=not args.no_simulate,
+        max_retries=args.max_retries,
+        task_timeout_s=args.task_timeout,
+        on_error=args.on_error,
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+        max_functions=args.max_functions,
+        drain_timeout_s=args.drain_timeout,
+        batch=batch,
+    )
+    tracer = AllocationTracer([JSONLSink(args.jsonl)]) if args.jsonl else None
+    try:
+        run_service(config, tracer=tracer, out=out)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.jsonl:
+        print(f"# [events written to {args.jsonl}]", file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -490,6 +534,79 @@ def build_parser() -> argparse.ArgumentParser:
         "format",
     )
     batch_p.set_defaults(func=cmd_batch)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the batch engine as an HTTP/JSON allocation service "
+        "(shared cache, cross-request coalescing, bounded-queue "
+        "backpressure)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8421,
+        help="TCP port (0 picks a free ephemeral port; default: 8421)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="engine worker processes for cache misses "
+        "(0 = allocate in-process)",
+    )
+    serve_p.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="persistent cache directory (implies --policy disk)",
+    )
+    serve_p.add_argument(
+        "--policy", choices=["memory", "disk", "off"], default="memory",
+        help="cache policy (default: in-memory LRU; 'disk' needs --cache)",
+    )
+    serve_p.add_argument("--registers", type=int, default=8)
+    serve_p.add_argument(
+        "--no-simulate", action="store_true",
+        help="static allocation only: skip the simulator, ignore "
+        "submitted args/arrays for cache keying",
+    )
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=1024, metavar="N",
+        help="max pending allocations before /allocate answers 429 "
+        "(default: 1024)",
+    )
+    serve_p.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="max distinct allocations per engine dispatch round "
+        "(default: 64)",
+    )
+    serve_p.add_argument(
+        "--max-functions", type=int, default=256, metavar="N",
+        help="max functions in one /allocate request (default: 256)",
+    )
+    serve_p.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="graceful-shutdown budget for queued + in-flight work "
+        "(default: 30)",
+    )
+    serve_p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="bounded retries per task for transient failures (default: 2)",
+    )
+    serve_p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget for pooled tasks (default: none)",
+    )
+    serve_p.add_argument(
+        "--on-error", choices=["fail", "skip", "degrade"],
+        default="degrade",
+        help="engine final-failure policy (default: degrade through the "
+        "chaitin/naive fallback ladder); 'fail' is translated to "
+        "per-function failure results, never a dead service",
+    )
+    serve_p.add_argument(
+        "--jsonl", metavar="PATH",
+        help="write ServiceRequest + engine events as JSON Lines",
+    )
+    serve_p.set_defaults(func=cmd_serve)
     return parser
 
 

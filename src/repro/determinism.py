@@ -172,11 +172,93 @@ def batch_fingerprints(
     return out
 
 
+def service_fingerprints(
+    names: Sequence[str],
+    registers: int = 8,
+) -> Dict[str, Dict[str, object]]:
+    """Fingerprints of *names* served over HTTP by the allocation service.
+
+    Starts a real :class:`~repro.service.AllocationService` on a loopback
+    ephemeral port, submits the workloads twice through the real client
+    (functions as text, simulator inputs attached) and rebuilds the
+    determinism fingerprint from the wire payloads.  Raises if any
+    request fails, if the warm pass missed the service's shared cache, or
+    if cold and warm payloads diverge -- so a passing ``check --service``
+    proves the serving layer transports allocations bit-for-bit.
+    """
+    import asyncio
+
+    from repro.batch import BatchConfig
+    from repro.service import AllocationService, ServiceClient, ServiceConfig
+
+    workloads = [build_workload(name) for name in names]
+    specs = [
+        {
+            "text": format_function(workload.fn),
+            "name": workload.label(),
+            "args": dict(workload.args),
+            "arrays": {k: list(v) for k, v in workload.arrays.items()},
+        }
+        for workload in workloads
+    ]
+
+    async def _serve_and_allocate():
+        config = ServiceConfig(batch=BatchConfig(
+            batch_workers=0, registers=registers, simulate=True,
+        ))
+        async with AllocationService(config) as service:
+            async with ServiceClient("127.0.0.1", service.port) as client:
+                cold = await client.allocate(specs)
+                warm = await client.allocate(specs)
+                return cold, warm
+
+    cold, warm = asyncio.run(_serve_and_allocate())
+    for reply, label in ((cold, "cold"), (warm, "warm")):
+        if reply.status != 200:
+            raise RuntimeError(
+                f"service {label} request failed: {reply.status} "
+                f"{reply.data}"
+            )
+
+    def _payload_fingerprint(payload: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "workload": payload["name"],
+            "blocks": payload["blocks"],
+            "program_sha256": payload["allocated_sha256"],
+            "spilled": list(payload["spilled"]),
+            "costs": dict(payload["costs"]),
+        }
+
+    out: Dict[str, Dict[str, object]] = {}
+    for name, c, w in zip(names, cold.data["results"],
+                          warm.data["results"]):
+        if not (c["ok"] and w["ok"]):
+            raise RuntimeError(
+                f"{name}: service allocation failed: "
+                f"{c['error'] or w['error']}"
+            )
+        if not w["cached"]:
+            raise RuntimeError(
+                f"{name}: warm served request missed the shared cache"
+            )
+        cold_fp = _payload_fingerprint(c)
+        warm_fp = _payload_fingerprint(w)
+        if cold_fp != warm_fp:
+            raise RuntimeError(
+                f"{name}: warm served payload diverges from cold:\n"
+                f"  cold: {json.dumps(cold_fp, sort_keys=True)}\n"
+                f"  warm: {json.dumps(warm_fp, sort_keys=True)}"
+            )
+        out[name] = cold_fp
+    return out
+
+
 def fingerprint_workloads(
     names: Sequence[str],
     workers: int = 0,
     registers: int = 8,
     batch_workers: Optional[int] = None,
+    service: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     """Fingerprints for *names*, in order, under one allocator config.
 
@@ -185,6 +267,11 @@ def fingerprint_workloads(
     fingerprints -- after asserting the cold batch result is identical to
     the directly-computed fingerprint, so ``check`` compares cached,
     pooled and direct allocations across all its (seed, workers) combos.
+
+    With *service* set, the workloads are additionally round-tripped over
+    HTTP through a live :class:`~repro.service.AllocationService`; each
+    served payload must be bit-identical to the direct fingerprint and
+    joins the dict under ``"service"``.
     """
     machine = Machine.simple(registers)
     config = _config_for(workers)
@@ -194,6 +281,17 @@ def fingerprint_workloads(
         )
         for name in names
     }
+    served: Optional[Dict[str, Dict[str, object]]] = None
+    if service:
+        served = service_fingerprints(names, registers=registers)
+        for name in names:
+            if served[name] != prints[name]:
+                raise RuntimeError(
+                    f"{name}: served fingerprint diverges from the direct "
+                    f"pipeline:\n"
+                    f"  direct: {json.dumps(prints[name], sort_keys=True)}\n"
+                    f"  served: {json.dumps(served[name], sort_keys=True)}"
+                )
     if batch_workers is not None:
         batched = batch_fingerprints(
             names, batch_workers=batch_workers, registers=registers
@@ -208,6 +306,11 @@ def fingerprint_workloads(
                     f"{json.dumps(batched[name]['cold'], sort_keys=True)}"
                 )
             prints[name]["batch"] = batched[name]
+    if served is not None:
+        # Attached last: the batch comparison above matches against the
+        # bare direct fingerprint.
+        for name in names:
+            prints[name]["service"] = served[name]
     return prints
 
 
@@ -229,6 +332,7 @@ def fingerprint_in_subprocess(
     workers: int = 0,
     registers: int = 8,
     batch_workers: Optional[int] = None,
+    service: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     """Run ``fingerprint`` in a fresh interpreter under *hash_seed*."""
     env = dict(os.environ)
@@ -248,6 +352,8 @@ def fingerprint_in_subprocess(
     ]
     if batch_workers is not None:
         cmd += ["--batch", str(batch_workers)]
+    if service:
+        cmd += ["--service"]
     proc = subprocess.run(
         cmd, env=env, capture_output=True, text=True, timeout=600
     )
@@ -265,13 +371,17 @@ def cross_process_check(
     worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
     registers: int = 8,
     batch_workers: Optional[int] = None,
+    service: bool = False,
 ) -> List[str]:
     """Compare fingerprints across every (hash seed, workers) combination.
 
     With *batch_workers* set, each subprocess additionally pushes the
     module through the batch engine twice (cold compute + warm cache) and
     the batch fingerprints join the comparison -- one divergent cached
-    byte anywhere in the matrix fails the check.
+    byte anywhere in the matrix fails the check.  With *service* set,
+    each subprocess also serves the module over HTTP through a live
+    allocation service and the served payloads join the comparison --
+    one divergent served byte anywhere in the matrix fails the check.
 
     Returns a list of human-readable mismatch descriptions; empty means
     every combination produced bit-identical results.
@@ -281,7 +391,7 @@ def cross_process_check(
         for workers in worker_counts:
             runs[(seed, workers)] = fingerprint_in_subprocess(
                 names, seed, workers=workers, registers=registers,
-                batch_workers=batch_workers,
+                batch_workers=batch_workers, service=service,
             )
 
     baseline_key = (hash_seeds[0], worker_counts[0])
@@ -326,6 +436,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also fingerprint via the batch engine (cold + warm cache) "
         "with N pool workers (0 = in-process)",
     )
+    fp.add_argument(
+        "--service", action="store_true",
+        help="also round-trip the workloads over HTTP through a live "
+        "allocation service; served payloads must match the direct "
+        "pipeline bit-for-bit",
+    )
 
     ck = sub.add_parser(
         "check",
@@ -346,6 +462,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="include batch-engine cold/warm cache fingerprints (N pool "
         "workers, 0 = in-process) in every combination",
     )
+    ck.add_argument(
+        "--service", action="store_true",
+        help="include HTTP-served fingerprints (a live allocation "
+        "service per subprocess) in every combination",
+    )
 
     args = parser.parse_args(argv)
     names = _parse_names(args.workloads)
@@ -353,7 +474,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "fingerprint":
         prints = fingerprint_workloads(
             names, workers=args.workers, registers=args.registers,
-            batch_workers=args.batch,
+            batch_workers=args.batch, service=args.service,
         )
         json.dump(prints, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
@@ -364,6 +485,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     problems = cross_process_check(
         names, hash_seeds=seeds, worker_counts=workers,
         registers=args.registers, batch_workers=args.batch,
+        service=args.service,
     )
     combos = len(seeds) * len(workers)
     if problems:

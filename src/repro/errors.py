@@ -93,10 +93,11 @@ def classify_exception(exc: BaseException) -> Tuple[str, str]:
     from repro.ir.validate import IRValidationError
     from repro.machine.rewrite import AllocationCheckError
     from repro.machine.simulator import SimulationError
+    from repro.minilang import MiniLangError
 
     if isinstance(exc, InjectedFault):
         return "injected", exc.permanence
-    if isinstance(exc, IRParseError):
+    if isinstance(exc, (IRParseError, MiniLangError)):
         return "parse", PERMANENT
     if isinstance(exc, IRValidationError):
         return "validate", PERMANENT

@@ -1,0 +1,40 @@
+"""Allocation-as-a-service: an asyncio HTTP/JSON front-end on the batch
+engine.
+
+See :mod:`repro.service.server` for the serving model (coalescing,
+backpressure, micro-batched dispatch, graceful drain) and
+``docs/SERVICE.md`` for the operator's manual.  Start one with::
+
+    python -m repro serve --port 8421
+
+or in-process::
+
+    async with AllocationService(ServiceConfig()) as service:
+        async with ServiceClient("127.0.0.1", service.port) as client:
+            reply = await client.allocate_text("let x = 1 + 2; return x;")
+"""
+
+from repro.service.client import ServiceClient, ServiceReply
+from repro.service.config import (
+    SERVICE_ERROR_CLASSES,
+    ServiceConfig,
+    describe_config,
+)
+from repro.service.server import (
+    AllocationService,
+    ServiceError,
+    load_function_source,
+    run_service,
+)
+
+__all__ = [
+    "AllocationService",
+    "ServiceClient",
+    "ServiceReply",
+    "ServiceConfig",
+    "ServiceError",
+    "SERVICE_ERROR_CLASSES",
+    "describe_config",
+    "load_function_source",
+    "run_service",
+]

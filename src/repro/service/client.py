@@ -1,0 +1,212 @@
+"""Async client for the allocation service.
+
+:class:`ServiceClient` is what the tests, the determinism gate's
+``--service`` mode and the load bench all use, so the service is always
+exercised through real sockets and the same protocol code as any outside
+caller.  It maintains a keep-alive connection pool: a request reuses an
+idle connection when one exists, opens a fresh one otherwise, and --
+because the server (or an idle timeout) may close a pooled connection
+between requests -- transparently retries *once* on a reused connection
+that dies before yielding a response.  Allocation submissions are safe
+to retry: the engine is deterministic and content-addressed, so a
+replay is at worst a cache hit.
+
+``max_connections`` bounds concurrent sockets, not concurrent callers:
+any number of coroutines may share one client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.http import (
+    READ_LIMIT,
+    ProtocolError,
+    Response,
+    read_response,
+    request_bytes,
+)
+
+__all__ = ["ServiceClient", "ServiceReply"]
+
+
+class _Connection:
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+        reused: bool,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        #: True when popped from the idle pool -- the retry-once rule
+        #: applies only to these (a fresh connection that dies is a real
+        #: error, not a stale keep-alive race).
+        self.reused = reused
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:  # noqa: BLE001 -- closing a dead socket is fine
+            pass
+
+
+class ServiceReply:
+    """Status + parsed JSON payload(s) of one request.
+
+    ``data`` is the parsed body for fixed-length responses and ``None``
+    for streamed ones; ``lines`` is the parsed NDJSON sequence for
+    streamed responses (one dict per chunk, final ``{"done": ...}``
+    summary included) and ``()`` otherwise.  ``headers`` keeps the raw
+    response headers (lower-cased names) -- ``Retry-After`` on 429/503
+    lives there.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        data: Optional[dict],
+        lines: Tuple[dict, ...] = (),
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.status = status
+        self.data = data
+        self.lines = lines
+        self.headers = headers or {}
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServiceReply(status={self.status}, data={self.data!r})"
+
+
+class ServiceClient:
+    def __init__(
+        self, host: str, port: int, max_connections: int = 128
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._idle: List[_Connection] = []
+        self._sem = asyncio.Semaphore(max_connections)
+        self._closed = False
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._closed = True
+        for conn in self._idle:
+            conn.close()
+        self._idle.clear()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    async def _acquire(self) -> _Connection:
+        while self._idle:
+            conn = self._idle.pop()
+            if not conn.writer.is_closing():
+                conn.reused = True
+                return conn
+            conn.close()
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port, limit=READ_LIMIT
+        )
+        return _Connection(reader, writer, reused=False)
+
+    def _release(self, conn: _Connection, response: Response) -> None:
+        if self._closed or not response.keep_alive:
+            conn.close()
+        else:
+            self._idle.append(conn)
+
+    async def _roundtrip(self, data: bytes) -> Response:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        async with self._sem:
+            for attempt in (0, 1):
+                conn = await self._acquire()
+                try:
+                    conn.writer.write(data)
+                    await conn.writer.drain()
+                    response = await read_response(conn.reader)
+                except (
+                    ConnectionError,
+                    asyncio.IncompleteReadError,
+                    ProtocolError,
+                    OSError,
+                ):
+                    conn.close()
+                    if attempt or not conn.reused:
+                        raise
+                    continue  # stale keep-alive: retry on a fresh socket
+                self._release(conn, response)
+                return response
+        raise AssertionError("unreachable")
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body_obj: Optional[object] = None,
+    ) -> ServiceReply:
+        body = (
+            json.dumps(body_obj).encode("utf-8")
+            if body_obj is not None else b""
+        )
+        response = await self._roundtrip(request_bytes(
+            method, path, host=f"{self.host}:{self.port}", body=body,
+        ))
+        if response.chunks:
+            lines = tuple(
+                json.loads(chunk) for chunk in response.chunks if chunk.strip()
+            )
+            return ServiceReply(
+                response.status, None, lines, headers=response.headers
+            )
+        data = json.loads(response.body) if response.body else None
+        return ServiceReply(response.status, data, headers=response.headers)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    async def allocate(
+        self,
+        functions: Sequence[Dict[str, object]],
+        stream: bool = False,
+        include_text: bool = False,
+    ) -> ServiceReply:
+        """``POST /allocate``.
+
+        *functions* is the wire schema directly: dicts with ``text`` and
+        optional ``name`` / ``lang`` / ``args`` / ``arrays``.
+        """
+        params = []
+        if stream:
+            params.append("stream=1")
+        if include_text:
+            params.append("text=1")
+        path = "/allocate" + ("?" + "&".join(params) if params else "")
+        return await self.request(
+            "POST", path, body_obj={"functions": list(functions)}
+        )
+
+    async def allocate_text(
+        self, text: str, name: Optional[str] = None, **spec: object
+    ) -> ServiceReply:
+        """Single-function convenience wrapper over :meth:`allocate`."""
+        fn_spec: Dict[str, object] = {"text": text, **spec}
+        if name is not None:
+            fn_spec["name"] = name
+        return await self.allocate([fn_spec])
+
+    async def metrics(self) -> ServiceReply:
+        return await self.request("GET", "/metrics")
+
+    async def healthz(self) -> ServiceReply:
+        return await self.request("GET", "/healthz")

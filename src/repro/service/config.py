@@ -1,0 +1,116 @@
+"""Configuration for the allocation service.
+
+:class:`ServiceConfig` composes a :class:`~repro.core.config.BatchConfig`
+(what one engine does) with the service-only knobs (how many requests may
+wait, how large a body may be, how long a drain may take).  Like the
+batch knobs, nothing here changes what the allocator decides for any
+single function -- the determinism gate's ``--service`` mode proves
+served results are bit-identical to direct allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import BatchConfig
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for :class:`~repro.service.server.AllocationService`.
+
+    Attributes:
+        host: interface to bind (loopback by default; the service speaks
+            plaintext HTTP and authenticates nobody).
+        port: TCP port; ``0`` picks a free ephemeral port (the bound port
+            is on ``AllocationService.port`` after start -- what the
+            tests, the docs blocks and the bench use).
+        queue_limit: maximum *pending* distinct allocations (enqueued,
+            not yet handed to the engine).  A request whose new work
+            would push the queue past this is rejected whole with
+            ``429`` + ``Retry-After`` and enqueues nothing -- admission
+            is all-or-nothing, so a rejected request never half-warms
+            the cache.  Coalesced work (attached to an in-flight
+            computation) occupies no queue slot.
+        max_batch: upper bound on distinct allocations handed to the
+            engine per dispatch round.  While a round runs, arrivals
+            accumulate into the next round (micro-batching): the engine
+            sees modules, not single functions, so its own per-batch
+            miss dedup and process pool stay effective.
+        max_body_bytes: request-body cap; larger submissions get ``413``.
+        max_functions: per-request cap on submitted functions.
+        drain_timeout_s: how long a graceful shutdown waits for queued +
+            in-flight work before giving up (pending futures then fail
+            with a ``shutdown`` error instead of hanging forever).
+        retry_after_s: value of the ``Retry-After`` header on ``429``
+            and ``503`` responses.
+        batch: the engine configuration (worker processes, cache policy,
+            retries, timeouts, degradation ladder -- see
+            :class:`~repro.core.config.BatchConfig`).  The service adds
+            no allocation semantics of its own.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    queue_limit: int = 1024
+    max_batch: int = 64
+    max_body_bytes: int = 8 * 1024 * 1024
+    max_functions: int = 256
+    drain_timeout_s: float = 30.0
+    retry_after_s: int = 1
+    batch: BatchConfig = field(default_factory=BatchConfig)
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+        if self.max_functions < 1:
+            raise ValueError(
+                f"max_functions must be >= 1, got {self.max_functions}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ValueError(
+                f"drain_timeout_s must be > 0, got {self.drain_timeout_s}"
+            )
+        if self.retry_after_s < 0:
+            raise ValueError(
+                f"retry_after_s must be >= 0, got {self.retry_after_s}"
+            )
+
+
+#: Error classes the service can add on top of :mod:`repro.errors`
+#: (engine-side failures keep their taxonomy classes unchanged).
+SERVICE_ERROR_CLASSES = (
+    "bad_request",   # malformed JSON / schema / unparseable function
+    "overloaded",    # queue full: 429, retry after Retry-After seconds
+    "draining",      # graceful shutdown in progress: 503
+    "shutdown",      # drained past drain_timeout_s; work abandoned
+    "not_found",     # unknown route: 404
+    "method_not_allowed",  # known route, wrong verb: 405
+    "protocol",      # HTTP-level violation: 400/413/505
+    "internal",      # unexpected coordinator-side exception: 500
+)
+
+
+def describe_config(config: ServiceConfig) -> dict:
+    """JSON-ready view of the effective configuration (``/healthz``)."""
+    return {
+        "queue_limit": config.queue_limit,
+        "max_batch": config.max_batch,
+        "max_functions": config.max_functions,
+        "max_body_bytes": config.max_body_bytes,
+        "drain_timeout_s": config.drain_timeout_s,
+        "batch_workers": config.batch.batch_workers,
+        "cache_policy": config.batch.cache_policy,
+        "registers": config.batch.registers,
+        "simulate": config.batch.simulate,
+        "on_error": config.batch.on_error,
+    }

@@ -34,6 +34,7 @@ from repro.trace.events import (
     PoolRestarted,
     PreferenceApplied,
     PseudoBound,
+    ServiceRequest,
     SpillDecision,
     StageTiming,
     TaskFailed,
@@ -68,6 +69,7 @@ __all__ = [
     "PoolRestarted",
     "PreferenceApplied",
     "PseudoBound",
+    "ServiceRequest",
     "SpillDecision",
     "StageTiming",
     "TaskFailed",

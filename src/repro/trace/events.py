@@ -237,6 +237,31 @@ class Degraded:
 
 
 @dataclass(frozen=True)
+class ServiceRequest:
+    """One HTTP request handled by the allocation service.
+
+    Request-scoped accounting for :mod:`repro.service`: ``endpoint`` is
+    the route (``"allocate"`` / ``"metrics"`` / ``"healthz"``),
+    ``status`` the HTTP status returned, ``functions`` how many
+    functions the request carried (0 for non-allocate endpoints), and
+    ``coalesced`` how many of those were attached to an allocation
+    already in flight for another request instead of being enqueued.
+
+    Like :class:`StageTiming`, this event is *not* covered by the
+    determinism contract: ``duration_ms`` is wall clock, and status
+    codes depend on run-specific load (a 429 exists only under
+    backpressure).
+    """
+
+    endpoint: str
+    method: str
+    status: int
+    functions: int
+    coalesced: int
+    duration_ms: float
+
+
+@dataclass(frozen=True)
 class StageTiming:
     """Wall-clock interval of one pipeline stage or per-tile task.
 
