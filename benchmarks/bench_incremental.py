@@ -1,0 +1,326 @@
+"""E20 -- incremental re-allocation via the per-tile memoization store.
+
+An edit session recompiles the same module over and over with tiny
+diffs.  The tile cache (``repro.core.incremental``) memoizes phase-1
+summaries and phase-2 bindings per tile, content-addressed by a
+fingerprint of everything a tile's coloring can observe, so
+re-allocating an edited function recomputes only the dirty tile and its
+ancestor chain and replays every clean subtree from the store --
+bit-identical to a cold allocation (``repro.determinism check
+--incremental`` is the proof; this bench measures what the identity
+buys).
+
+Two scenarios, recorded in ``BENCH_incremental.json``:
+
+* **module edit** -- a >= 100-function synthetic module through the
+  batch engine with ``tile_cache=True``: cold pass, then one
+  single-block edit and a warm pass.  The unchanged functions hit the
+  function-level result cache; the *edited* function recomputes with the
+  tile store and must reuse its clean subtrees (counter-verified).
+  Gate: warm module pass >= 5x faster than the cold pass, and the
+  edited function's recompute ratio (dirty tiles / total tiles) <= 0.5.
+* **function edit** -- the tile cache in isolation, no function-level
+  cache to hide behind: allocate ``seq_loops_200`` with a store, edit
+  one block, re-allocate warm vs. a fresh cold allocation of the same
+  edited text.  Gate: only the dirty chain recomputes (``tile_misses <=
+  tree height + 1``) and the warm run is not slower than cold.
+
+``python benchmarks/bench_incremental.py --quick`` runs the reduced CI
+gate (smaller module, same assertions).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+from conftest import fmt_row, report
+
+from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.core.incremental import TileCacheStore
+from repro.determinism import build_workload, edit_one_block
+from repro.ir.printer import format_function
+from repro.machine.target import Machine
+from repro.pipeline import Workload, prepare
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_incremental.json"
+)
+
+MACHINE = Machine.simple(8)
+MODULE_SIZE = 120
+QUICK_SIZE = 40
+MODULE_SPEEDUP_FLOOR = 5.0
+RECOMPUTE_RATIO_CEILING = 0.5
+FUNCTION_WORKLOAD = "seq_loops_200"
+
+
+def _git_sha():
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _load_baseline():
+    if not os.path.exists(BASELINE_PATH):
+        return {}
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def _save_baseline(section, payload):
+    data = _load_baseline()
+    current = data.setdefault("current", {})
+    current[section] = payload
+    current["environment"] = {
+        "python_hashseed": os.environ.get("PYTHONHASHSEED", "random"),
+        "python_version": ".".join(str(v) for v in sys.version_info[:3]),
+    }
+    history = data.setdefault("history", [])
+    sha = _git_sha()
+    if not history or history[-1].get("git_sha") != sha:
+        history.append({
+            "git_sha": sha,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        })
+        del history[:-50]
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _edited_module(workloads, index):
+    """The same module with one deterministic single-block edit at
+    *index* (clone-and-edit; the input list is untouched)."""
+    edited = list(workloads)
+    victim = workloads[index]
+    fn = victim.fn.clone()
+    edit_one_block(fn)
+    edited[index] = Workload(
+        fn, dict(victim.args),
+        {k: list(v) for k, v in victim.arrays.items()},
+        name=victim.label(),
+    )
+    return edited
+
+
+def _pick_editable(workloads):
+    """Index of the largest function the deterministic edit applies to.
+
+    Larger functions have more tiles, so the dirty chain (edited tile +
+    ancestors) is a small fraction of the tree and the recompute-ratio
+    gate measures subtree reuse rather than rounding noise."""
+    from repro.ir.instructions import Opcode
+
+    best = None
+    for index, workload in enumerate(workloads):
+        if any(
+            instr.op is Opcode.CONST and isinstance(instr.imm, int)
+            for block in workload.fn
+            for instr in block.instrs
+        ):
+            key = (len(workload.fn.blocks), -index)
+            if best is None or key > best[0]:
+                best = (key, index)
+    if best is None:
+        raise RuntimeError("no editable function in the module")
+    return best[1]
+
+
+def run_module_edit(size):
+    """Cold module pass, one edit, warm pass; returns the recorded dict."""
+    from repro.batch import BatchConfig, BatchEngine, synthetic_module
+
+    workloads = synthetic_module(size)
+    index = _pick_editable(workloads)
+    edited = _edited_module(workloads, index)
+
+    batch = BatchConfig(
+        batch_workers=0, tile_cache=True, tile_cache_entries=65536
+    )
+    with BatchEngine(batch=batch) as engine:
+        start = time.perf_counter()
+        cold = engine.allocate_module(workloads)
+        cold_s = time.perf_counter() - start
+        assert not cold.failures, "cold pass had failures"
+        assert not any(r.cached for r in cold), "cold pass hit the cache"
+
+        before = (
+            engine.stats.tile_hits,
+            engine.stats.tile_misses,
+            engine.stats.subtrees_reused,
+        )
+        start = time.perf_counter()
+        warm = engine.allocate_module(edited)
+        warm_s = time.perf_counter() - start
+        assert not warm.failures, "warm pass had failures"
+        counters = {
+            "tile_hits": engine.stats.tile_hits - before[0],
+            "tile_misses": engine.stats.tile_misses - before[1],
+            "subtrees_reused": engine.stats.subtrees_reused - before[2],
+        }
+
+    recomputed = [r for r in warm if not r.cached]
+    assert len(recomputed) == 1, (
+        f"warm pass recomputed {len(recomputed)} functions, expected only "
+        f"the edited one"
+    )
+    assert recomputed[0].name == workloads[index].label()
+    # The edited function's clean subtrees must come from the tile store,
+    # not be recomputed: the single dirty tile plus its ancestors miss,
+    # everything else hits.
+    total = counters["tile_hits"] + counters["tile_misses"]
+    ratio = counters["tile_misses"] / max(total, 1)
+    assert counters["subtrees_reused"] >= 1, counters
+    assert ratio <= RECOMPUTE_RATIO_CEILING, (
+        f"edited function recomputed {ratio:.0%} of its tiles {counters}"
+    )
+    speedup = cold_s / max(warm_s, 1e-9)
+    assert speedup >= MODULE_SPEEDUP_FLOOR, (
+        f"warm edited-module pass only {speedup:.2f}x faster than cold "
+        f"(need >= {MODULE_SPEEDUP_FLOOR}x)"
+    )
+    return {
+        "module_functions": len(workloads),
+        "edited_function": workloads[index].label(),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "recompute_ratio": round(ratio, 4),
+        "tile_counters_warm": counters,
+    }
+
+
+def run_function_edit(name=FUNCTION_WORKLOAD, repeats=3):
+    """The tile cache alone: warm incremental re-allocation of an edited
+    function vs. a fresh cold allocation of the same edited text."""
+    base = prepare(build_workload(name).fn)
+    edited_fn = build_workload(name).fn
+    edit_one_block(edited_fn)
+    edited = prepare(edited_fn)
+
+    best_warm = float("inf")
+    best_cold = float("inf")
+    counters = None
+    warm_out = cold_out = None
+    for _ in range(repeats):
+        store = TileCacheStore(capacity=65536)
+        allocator = HierarchicalAllocator(
+            HierarchicalConfig(), tile_store=store
+        )
+        allocator.allocate(base.clone(), MACHINE)
+        start = time.perf_counter()
+        warm_out = allocator.allocate(edited.clone(), MACHINE)
+        best_warm = min(best_warm, time.perf_counter() - start)
+        counters = dict(allocator.last_tile_cache)
+
+        cold_alloc = HierarchicalAllocator(HierarchicalConfig())
+        start = time.perf_counter()
+        cold_out = cold_alloc.allocate(edited.clone(), MACHINE)
+        best_cold = min(best_cold, time.perf_counter() - start)
+
+    assert format_function(warm_out.fn) == format_function(cold_out.fn), (
+        "warm incremental output diverges from cold full allocation"
+    )
+    total = counters["tile_hits"] + counters["tile_misses"]
+    height = warm_out.stats.extra["tree_height"]
+    # Only the dirty chain recomputes: the edited tile plus its ancestors,
+    # which is at most one tile per tree level.
+    assert counters["tile_misses"] <= height + 1, (
+        f"dirty chain {counters['tile_misses']} tiles exceeds tree height "
+        f"{height} + 1 -- a clean tile was spuriously invalidated"
+    )
+    speedup = best_cold / max(best_warm, 1e-9)
+    assert speedup >= 1.0, (
+        f"warm incremental {best_warm * 1e3:.1f}ms slower than cold "
+        f"{best_cold * 1e3:.1f}ms"
+    )
+    return {
+        "workload": name,
+        "cold_full_s": round(best_cold, 4),
+        "warm_incremental_s": round(best_warm, 4),
+        "speedup": round(speedup, 2),
+        "dirty_tiles": counters["tile_misses"],
+        "total_tiles": total,
+        "recompute_ratio": round(counters["tile_misses"] / max(total, 1), 4),
+        "counters": counters,
+    }
+
+
+def _report(module_row, function_row):
+    widths = [26, 14]
+    rows = [fmt_row(["metric", "value"], widths)]
+    rows.append("module edit (1 function of N edited):")
+    for key in ("module_functions", "cold_s", "warm_s", "speedup",
+                "recompute_ratio"):
+        rows.append(fmt_row([f"  {key}", module_row[key]], widths))
+    rows.append(fmt_row(
+        ["  subtrees_reused",
+         module_row["tile_counters_warm"]["subtrees_reused"]], widths
+    ))
+    rows.append("function edit (tile cache only):")
+    for key in ("workload", "cold_full_s", "warm_incremental_s", "speedup",
+                "dirty_tiles", "total_tiles"):
+        rows.append(fmt_row([f"  {key}", function_row[key]], widths))
+    report("E20_incremental", rows)
+
+
+def test_incremental_module_edit(benchmark):
+    """Full-size module-edit scenario; refreshes BENCH_incremental.json."""
+    module_row = run_module_edit(MODULE_SIZE)
+    function_row = run_function_edit()
+    _report(module_row, function_row)
+    _save_baseline("module_edit", module_row)
+    _save_baseline("function_edit", function_row)
+
+    base = prepare(build_workload("seq_loops_100").fn)
+    edited_fn = build_workload("seq_loops_100").fn
+    edit_one_block(edited_fn)
+    edited = prepare(edited_fn)
+    store = TileCacheStore()
+    allocator = HierarchicalAllocator(HierarchicalConfig(), tile_store=store)
+    allocator.allocate(base.clone(), MACHINE)
+    benchmark(lambda: allocator.allocate(edited.clone(), MACHINE))
+
+
+def test_quick_incremental_gate():
+    """Reduced CI gate: same assertions on a smaller module (runs via
+    ``--quick`` in the batch-gate CI step)."""
+    module_row = run_module_edit(QUICK_SIZE)
+    function_row = run_function_edit(repeats=2)
+    _report(module_row, function_row)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the reduced CI gate instead of the full scenario",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        test_quick_incremental_gate()
+        print("OK: quick incremental gate passed")
+        return 0
+    module_row = run_module_edit(MODULE_SIZE)
+    function_row = run_function_edit()
+    _report(module_row, function_row)
+    _save_baseline("module_edit", module_row)
+    _save_baseline("function_edit", function_row)
+    print("OK: incremental re-allocation gates passed "
+          f"(results in {os.path.basename(BASELINE_PATH)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

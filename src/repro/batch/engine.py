@@ -160,6 +160,12 @@ class BatchStats:
     degraded: int = 0
     pool_restarts: int = 0
     quarantined: int = 0
+    #: per-tile memoization counters (``BatchConfig.tile_cache``),
+    #: summed across functions and worker processes: phase-1 summaries
+    #: reused / recomputed, and maximal clean subtrees reused verbatim.
+    tile_hits: int = 0
+    tile_misses: int = 0
+    subtrees_reused: int = 0
     wall_s: float = 0.0
     stage_times: Dict[str, float] = field(default_factory=dict)
 
@@ -180,6 +186,9 @@ class BatchStats:
             "degraded": self.degraded,
             "pool_restarts": self.pool_restarts,
             "quarantined": self.quarantined,
+            "tile_hits": self.tile_hits,
+            "tile_misses": self.tile_misses,
+            "subtrees_reused": self.subtrees_reused,
             "wall_s": round(self.wall_s, 4),
             "functions_per_sec": round(self.functions_per_sec, 2),
         }
@@ -310,6 +319,17 @@ class BatchEngine:
             # the cache disabled rather than risk stale hits.
             self.cache = None
             self._invalidation = ""
+        #: coordinator-side per-tile memoization store, used by inline
+        #: tasks; pool workers hold their own (see ``worker_init``).
+        #: Disabled alongside the result cache for uncacheable configs:
+        #: tile fingerprints reuse the same invalidation key.
+        self.tile_store = None
+        if self.batch.tile_cache and self._invalidation:
+            from repro.core.incremental import TileCacheStore
+
+            self.tile_store = TileCacheStore(
+                capacity=self.batch.tile_cache_entries
+            )
         self._pool: Optional[ProcessPoolExecutor] = None
         # Deliberately wall-clock: trace rows subtract it from worker
         # ``start`` stamps, which cross process boundaries.  All *interval*
@@ -347,6 +367,8 @@ class BatchEngine:
                     self.config,
                     self.machine,
                     self.batch.simulate,
+                    self.tile_store is not None,
+                    self.batch.tile_cache_entries,
                 ),
             )
 
@@ -381,6 +403,17 @@ class BatchEngine:
 
     def _record_teardown_error(self, exc: BaseException) -> None:
         self.teardown_errors.append(task_error_from_exception(exc))
+
+    def _merge_tile_counters(self, counters) -> None:
+        """Fold one allocation's per-tile reuse counters (inline result
+        or a pool worker's ``timing["tile_cache"]``) into the stats."""
+        if not counters:
+            return
+        self.stats.tile_hits += int(counters.get("tile_hits", 0))
+        self.stats.tile_misses += int(counters.get("tile_misses", 0))
+        self.stats.subtrees_reused += int(
+            counters.get("subtrees_reused", 0)
+        )
 
     def _restart_pool(self, resubmitted: int) -> None:
         """Tear down a broken/hung pool, start a fresh one, and account
@@ -697,6 +730,7 @@ class BatchEngine:
                             timing=timing, attempts=task.attempt + 1,
                         )
                         self.timers.merge(timing.get("stage_times", {}))
+                        self._merge_tile_counters(timing.get("tile_cache"))
                     else:
                         self._handle_failure(
                             task,
@@ -730,13 +764,14 @@ class BatchEngine:
                     # function of the content address, and block *dict
                     # order* -- which canonical text does not capture --
                     # can otherwise steer tie-breaks.
-                    record, stage_times = compute_record(
+                    record, stage_times, tile_cache = compute_record(
                         task.name, parse_function(task.text), self.config,
                         self.machine,
                         args=task.workload.args,
                         arrays=task.workload.arrays,
                         simulate=self.batch.simulate,
                         fingerprint=task.fingerprint,
+                        tile_store=self.tile_store,
                     )
                 except Exception as exc:
                     error_class, permanence = classify_exception(exc)
@@ -764,6 +799,7 @@ class BatchEngine:
                         attempts=task.attempt + 1,
                     )
                     self.timers.merge(stage_times)
+                    self._merge_tile_counters(tile_cache)
                     break
 
     def _apply_degradation(
@@ -787,7 +823,7 @@ class BatchEngine:
                 start = time.time()  # wall: trace timestamp only
                 start_mono = time.monotonic()
                 try:
-                    record, _ = compute_record(
+                    record, _, _ = compute_record(
                         task.name, parse_function(task.text), self.config,
                         self.machine,
                         args=task.workload.args,

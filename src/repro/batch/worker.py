@@ -56,9 +56,9 @@ from repro.machine.target import Machine
 DEGRADATION_LADDER = ("chaitin", "naive")
 
 
-def _make_allocator(name: str, config: HierarchicalConfig):
+def _make_allocator(name: str, config: HierarchicalConfig, tile_store=None):
     if name == "hierarchical":
-        return HierarchicalAllocator(config)
+        return HierarchicalAllocator(config, tile_store=tile_store)
     if name == "chaitin":
         from repro.allocators import ChaitinAllocator
 
@@ -80,20 +80,26 @@ def compute_record(
     simulate: bool = True,
     fingerprint: Optional[str] = None,
     allocator: str = "hierarchical",
-) -> Tuple[AllocationRecord, Dict[str, float]]:
+    tile_store=None,
+) -> Tuple[AllocationRecord, Dict[str, float], Optional[Dict[str, int]]]:
     """Allocate *fn* and condense the outcome into a cacheable record.
 
     With *simulate* and inputs present, the full pipeline runs (reference
     run, allocation, allocated run, differential verification) and the
     record carries the dynamic cost counters; otherwise the function is
     allocated and validated statically and ``costs`` is ``None``.
-    Returns the record plus the allocator's per-stage wall times (which
-    the engine aggregates across workers; never part of the record).
+    Returns the record, the allocator's per-stage wall times (which the
+    engine aggregates across workers; never part of the record), and --
+    when a *tile_store* was attached -- the per-tile reuse counters
+    (``tile_hits`` / ``tile_misses`` / ``subtrees_reused``; ``None``
+    otherwise).
 
     *allocator* selects the algorithm: ``"hierarchical"`` (default), or
     the degradation-ladder fallbacks ``"chaitin"`` / ``"naive"`` (those
     produce no per-tile bindings; everything else in the record is
-    constructed identically).
+    constructed identically).  *tile_store* is a
+    :class:`repro.core.incremental.TileCacheStore` for incremental
+    re-allocation; only the hierarchical allocator uses it.
     """
     from repro.pipeline import Workload, compile_function, prepare
 
@@ -107,7 +113,7 @@ def compute_record(
     if run_simulation:
         result = compile_function(
             Workload(fn, args, arrays, name=name),
-            _make_allocator(allocator, config),
+            _make_allocator(allocator, config, tile_store),
             machine,
         )
         outcome = result.outcome
@@ -125,7 +131,7 @@ def compute_record(
         from repro.machine.rewrite import remove_self_moves
 
         prepared = prepare(fn)
-        alloc = _make_allocator(allocator, config)
+        alloc = _make_allocator(allocator, config, tile_store)
         outcome = alloc.allocate(prepared, machine)
         remove_self_moves(outcome.fn)
         validate_function(outcome.fn, allow_unreachable=True)
@@ -134,6 +140,7 @@ def compute_record(
 
     text = format_function(outcome.fn)
     stage_times = dict(outcome.stats.extra.get("stage_times", {}))
+    tile_cache = outcome.stats.extra.get("tile_cache")
     record = AllocationRecord(
         version=FORMAT_VERSION,
         function=name,
@@ -151,8 +158,11 @@ def compute_record(
         costs=costs,
         returned=returned,
         allocator=allocator,
+        tile_fingerprints=tuple(
+            outcome.stats.extra.get("tile_fingerprints", ())
+        ),
     )
-    return record, stage_times
+    return record, stage_times, tile_cache
 
 
 def _final_bindings(ctx, allocations) -> Tuple[Tuple[str, str], ...]:
@@ -187,10 +197,16 @@ def worker_init(
     config: HierarchicalConfig,
     machine: Machine,
     simulate: bool,
+    tile_cache: bool = False,
+    tile_cache_entries: int = 4096,
 ) -> None:
     """Per-process initializer: make ``import repro`` work regardless of
     start method, pin ``PYTHONHASHSEED`` for any grandchildren, and stash
-    the shared configuration once instead of per task."""
+    the shared configuration once instead of per task.  With *tile_cache*
+    set, the worker owns a process-local
+    :class:`~repro.core.incremental.TileCacheStore` that persists across
+    tasks -- re-submissions of edited functions hit it as long as they
+    land on the same worker."""
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
     if hash_seed is not None:
@@ -198,6 +214,14 @@ def worker_init(
     _WORKER_STATE["config"] = config
     _WORKER_STATE["machine"] = machine
     _WORKER_STATE["simulate"] = simulate
+    if tile_cache:
+        from repro.core.incremental import TileCacheStore
+
+        _WORKER_STATE["tile_store"] = TileCacheStore(
+            capacity=tile_cache_entries
+        )
+    else:
+        _WORKER_STATE["tile_store"] = None
 
 
 def run_task(
@@ -226,10 +250,11 @@ def run_task(
     start = time.time()  # wall: trace timestamp only
     start_mono = time.monotonic()
     stage_times: Dict[str, float] = {}
+    tile_cache: Optional[Dict[str, int]] = None
     try:
         active_plan().maybe_fail_task(index, attempt, in_worker=True)
         fn = parse_function(text)
-        record, stage_times = compute_record(
+        record, stage_times, tile_cache = compute_record(
             name,
             fn,
             _WORKER_STATE["config"],
@@ -238,6 +263,7 @@ def run_task(
             arrays=arrays,
             simulate=_WORKER_STATE["simulate"],
             fingerprint=fingerprint,
+            tile_store=_WORKER_STATE.get("tile_store"),
         )
         payload: Dict[str, object] = {
             "ok": True,
@@ -257,4 +283,6 @@ def run_task(
         "pid": os.getpid(),
         "stage_times": stage_times,
     }
+    if tile_cache is not None:
+        timing["tile_cache"] = tile_cache
     return index, payload, timing

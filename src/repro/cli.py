@@ -267,6 +267,8 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
         max_retries=args.max_retries,
         task_timeout_s=args.task_timeout,
         on_error=args.on_error,
+        tile_cache=args.tile_cache,
+        tile_cache_entries=args.tile_cache_entries,
     )
 
     sinks: List[object] = []
@@ -323,10 +325,13 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
     if args.stats:
         stats = module.stats.as_dict()
         print("# batch stats", file=out)
-        for key in ("functions", "computed", "hits", "misses",
-                    "evictions", "disk_hits", "failures", "retries",
-                    "degraded", "pool_restarts", "quarantined", "wall_s",
-                    "functions_per_sec"):
+        keys = ["functions", "computed", "hits", "misses",
+                "evictions", "disk_hits", "failures", "retries",
+                "degraded", "pool_restarts", "quarantined"]
+        if args.tile_cache:
+            keys += ["tile_hits", "tile_misses", "subtrees_reused"]
+        keys += ["wall_s", "functions_per_sec"]
+        for key in keys:
             print(f"#   {key}: {stats[key]}", file=out)
     if args.profile and engine is not None:
         print("# stage profile (summed across functions/workers):",
@@ -368,6 +373,8 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         max_retries=args.max_retries,
         task_timeout_s=args.task_timeout,
         on_error=args.on_error,
+        tile_cache=not args.no_tile_cache,
+        tile_cache_entries=args.tile_cache_entries,
     )
     config = ServiceConfig(
         host=args.host,
@@ -517,6 +524,16 @@ def build_parser() -> argparse.ArgumentParser:
         "structured failure, 'fail' aborts the run",
     )
     batch_p.add_argument(
+        "--tile-cache", action="store_true",
+        help="attach per-process tile memoization stores: re-submissions "
+        "of edited functions reuse clean subtrees and recompute only "
+        "dirty tiles (bit-identical output)",
+    )
+    batch_p.add_argument(
+        "--tile-cache-entries", type=int, default=4096, metavar="N",
+        help="LRU capacity of each per-process tile store (default: 4096)",
+    )
+    batch_p.add_argument(
         "--stats", action="store_true",
         help="print cache hit/miss/eviction counts and functions/sec",
     )
@@ -601,6 +618,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine final-failure policy (default: degrade through the "
         "chaitin/naive fallback ladder); 'fail' is translated to "
         "per-function failure results, never a dead service",
+    )
+    serve_p.add_argument(
+        "--no-tile-cache", action="store_true",
+        help="disable the per-process tile memoization stores (on by "
+        "default for the service: edit-resubmit round-trips reuse "
+        "clean subtrees across requests)",
+    )
+    serve_p.add_argument(
+        "--tile-cache-entries", type=int, default=4096, metavar="N",
+        help="LRU capacity of each per-process tile store (default: 4096)",
     )
     serve_p.add_argument(
         "--jsonl", metavar="PATH",

@@ -20,6 +20,12 @@ from repro.allocators.base import (
     record_spill_blocks,
 )
 from repro.core.config import HierarchicalConfig
+from repro.core.incremental import (
+    TileCacheStore,
+    run_phase1_incremental,
+    run_phase2_incremental,
+    tile_invalidation_key,
+)
 from repro.core.info import FunctionContext, build_context
 from repro.core.phase1 import allocate_tile, run_phase1
 from repro.core.phase2 import bind_tile, run_phase2
@@ -49,12 +55,22 @@ class HierarchicalAllocator(Allocator):
         self,
         config: Optional[HierarchicalConfig] = None,
         tracer: Optional[NullTracer] = None,
+        tile_store: Optional[TileCacheStore] = None,
     ) -> None:
         self.config = config or HierarchicalConfig()
         #: structured-event recorder (see :mod:`repro.trace`); the shared
         #: null tracer by default, so untraced allocation pays only
         #: ``tracer.enabled`` checks.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: per-tile memoization store (:mod:`repro.core.incremental`);
+        #: ``None`` (the default) allocates cold.  With a store attached,
+        #: re-allocating an edited function reuses every clean subtree's
+        #: phase-1 summary and phase-2 binding and recomputes only dirty
+        #: tiles -- output is bit-identical to a cold run.
+        self.tile_store = tile_store
+        #: reuse counters of the most recent :meth:`allocate` call when a
+        #: store was attached (also published in ``stats.extra``).
+        self.last_tile_cache: Optional[Dict[str, int]] = None
         #: populated by :meth:`allocate` for introspection by examples,
         #: tests and benches.
         self.last_context: Optional[FunctionContext] = None
@@ -74,6 +90,14 @@ class HierarchicalAllocator(Allocator):
                 ),
             )
             validate_tile_tree(build.tree)
+            # Normalize the process-global ids embedded in derived names
+            # (summary vars ``ts:{tid}:...``, pseudo colors ``t{tid}.p{i}``,
+            # operand temps ``tmp:{uid}:...``): preorder tile ids and
+            # ordinal instruction uids make allocation a pure function of
+            # (text, config, machine) instead of process history -- the
+            # property the per-tile content-addressed cache keys on.
+            build.tree.renumber()
+            work.renumber_uids()
         with timers.stage("context", tracer):
             ctx = build_context(
                 work, machine, build.tree, build.fixup, config.frequencies,
@@ -83,9 +107,23 @@ class HierarchicalAllocator(Allocator):
         # Small trees fall back to the sequential driver even with
         # ``parallel=True``: the thread pool cannot recover its overhead
         # under the GIL (see ``schedule.should_parallelize``).  Output is
-        # identical either way -- only the schedule differs.
-        use_scheduler = should_parallelize(config, len(build.tree))
-        if use_scheduler:
+        # identical either way -- only the schedule differs.  The
+        # incremental drivers are sequential-only (the dirty chain is a
+        # dependency chain anyway); with a store attached they take
+        # precedence over the thread scheduler.
+        store = self.tile_store
+        state = None
+        use_scheduler = store is None and should_parallelize(
+            config, len(build.tree)
+        )
+        if store is not None:
+            invalidation = tile_invalidation_key(config, machine)
+            with timers.stage("phase1", tracer):
+                state = run_phase1_incremental(ctx, config, store, invalidation)
+                allocations = state.allocations
+            with timers.stage("phase2", tracer):
+                run_phase2_incremental(ctx, config, store, state)
+        elif use_scheduler:
             with timers.stage("phase1", tracer):
                 allocations = run_phase1_scheduled(ctx, config)
             with timers.stage("phase2", tracer):
@@ -109,8 +147,17 @@ class HierarchicalAllocator(Allocator):
         stats.extra["stage_times"] = timers.as_dict()
         stats.extra["stage_counts"] = timers.counts()
         stats.extra["driver"] = (
-            "dep_parallel" if use_scheduler else "sequential"
+            "incremental"
+            if store is not None
+            else "dep_parallel" if use_scheduler else "sequential"
         )
+        self.last_tile_cache = None
+        if state is not None:
+            self.last_tile_cache = state.counters(ctx.tree)
+            stats.extra["tile_cache"] = self.last_tile_cache
+            stats.extra["tile_fingerprints"] = tuple(
+                state.fingerprints[t.tid] for t in ctx.tree.postorder()
+            )
         record_spill_blocks(out, stats)
         self.last_context = ctx
         self.last_allocations = allocations
@@ -126,8 +173,14 @@ class HierarchicalAllocator(Allocator):
         stats.iterations = 1
         recolor = 0
         for alloc in allocations.values():
-            nodes = len(alloc.graph)
-            edges = alloc.graph.edge_count()
+            if alloc.graph_counts is not None:
+                # A memoized phase-2 overlay was applied: the live graph
+                # is the pristine phase-1 version, the recorded counts
+                # are the post-phase-2 ones a cold run would report.
+                nodes, edges = alloc.graph_counts
+            else:
+                nodes = len(alloc.graph)
+                edges = alloc.graph.edge_count()
             stats.observe_graph(nodes, edges)
             recolor += max(alloc.recolor_rounds - 1, 0)
             for var in alloc.spilled:

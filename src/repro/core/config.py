@@ -145,6 +145,18 @@ class BatchConfig:
             if every rung fails; ``"skip"`` yields an error result
             immediately; ``"fail"`` re-raises (strict mode:
             :class:`repro.errors.BatchFunctionError`).
+        tile_cache: attach a per-tile memoization store
+            (:mod:`repro.core.incremental`) to every hierarchical
+            allocation the engine runs.  Re-allocating an edited function
+            then reuses each clean subtree's phase-1 summary and phase-2
+            binding and recomputes only dirty tiles -- bit-identical
+            output, proven by ``repro.determinism check --incremental``.
+            Stores are per-process (the coordinator holds one for inline
+            tasks, each pool worker holds its own), complementary to the
+            function-level result cache: that one only hits on identical
+            *whole functions*, this one hits on identical *tiles*.
+        tile_cache_entries: LRU capacity (phase-1 entries plus phase-2
+            overlays) of each per-process tile store.
     """
 
     batch_workers: int = 0
@@ -157,6 +169,8 @@ class BatchConfig:
     retry_backoff_s: float = 0.05
     task_timeout_s: Optional[float] = None
     on_error: str = "degrade"
+    tile_cache: bool = False
+    tile_cache_entries: int = 4096
 
     def __post_init__(self) -> None:
         if self.cache_policy not in ("memory", "disk", "off"):
@@ -193,4 +207,9 @@ class BatchConfig:
             raise ValueError(
                 f"unknown on_error {self.on_error!r} "
                 "(choose fail, skip, or degrade)"
+            )
+        if self.tile_cache_entries < 1:
+            raise ValueError(
+                f"tile_cache_entries must be >= 1, "
+                f"got {self.tile_cache_entries}"
             )

@@ -120,6 +120,10 @@ class TileAllocation:
     phys: Dict[str, str] = field(default_factory=dict)
     #: summary var -> physical register (or MEM) chosen by the parent.
     summary_phys: Dict[str, str] = field(default_factory=dict)
+    #: post-phase-2 (node count, edge count), recorded when a memoized
+    #: phase-2 overlay was applied without materializing the mutated
+    #: graph; ``None`` means read the live ``graph`` instead.
+    graph_counts: Optional[Tuple[int, int]] = None
 
     def location(self, var: str) -> Optional[str]:
         """Final location of *var* at this tile's level (phase 2)."""

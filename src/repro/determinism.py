@@ -12,17 +12,24 @@ workers, or the platform.  This module is the proof harness:
   workloads, so a *fresh interpreter* can be asked for its view;
 * the ``check`` CLI command re-runs ``fingerprint`` in subprocesses under
   several distinct ``PYTHONHASHSEED`` values and worker counts and fails
-  loudly on any divergence.
+  loudly on any divergence;
+* the ``--incremental`` flag extends both commands with the memoization
+  proof: allocate each workload with a tile store attached, apply a
+  deterministic single-block edit, re-allocate warm (clean subtrees come
+  from the store) and compare bit-for-bit against a fresh full
+  allocation of the edited function -- with the per-tile reuse counters
+  joining the fingerprint, so a combination that silently recomputed
+  everything (or reused a stale tile) fails the check.
 
 ``tests/determinism/``, ``benchmarks/bench_determinism.py`` and the CI
 determinism gate all drive the same code paths, so "deterministic" means
 one thing everywhere.
 
-Fingerprints are comparable only between runs that process the *same
-workload list in the same order*: tile ids come from a process-global
-counter, so the absolute ids (which appear in no output, but seed the
-per-tile pseudo-color namespaces) depend on how many tiles were built
-earlier in the process.
+Tile ids and instruction uids come from process-global counters, but the
+allocator renumbers both on its private clone before any derived name is
+minted (see ``HierarchicalAllocator.allocate``), so fingerprints -- and
+the per-tile cache keys the incremental mode exercises -- are pure
+functions of (text, config, machine), not of process history.
 """
 
 from __future__ import annotations
@@ -105,9 +112,14 @@ def allocation_fingerprint(
     machine = machine or Machine.simple(8)
     allocator = HierarchicalAllocator(config or HierarchicalConfig())
     result = compile_function(workload, allocator, machine)
+    return _result_fingerprint(workload.label(), result)
+
+
+def _result_fingerprint(label: str, result) -> Dict[str, object]:
+    """The determinism fingerprint of one ``compile_function`` result."""
     text = format_function(result.fn)
     return {
-        "workload": workload.label(),
+        "workload": label,
         "blocks": len(result.fn.blocks),
         "program_sha256": hashlib.sha256(text.encode()).hexdigest(),
         "spilled": sorted(result.stats.spilled_vars),
@@ -118,6 +130,100 @@ def allocation_fingerprint(
             "program_refs": result.allocated_run.program_memory_refs,
         },
     }
+
+
+def edit_one_block(fn: Function) -> str:
+    """Apply a deterministic single-block edit to *fn* in place.
+
+    Bumps the immediate of one ``CONST`` instruction (the middle one in
+    block order, skipping the start block when possible) by 1 and returns
+    the edited block's label.  The edit is a pure function of the input,
+    so two independently-built copies of the same workload receive the
+    same edit -- which is what lets the incremental check compare a warm
+    re-allocation against a fresh allocation of "the same edit".
+    """
+    from repro.ir.instructions import Opcode
+
+    sites = [
+        (block.label, i)
+        for block in fn
+        for i, instr in enumerate(block.instrs)
+        if instr.op is Opcode.CONST and isinstance(instr.imm, int)
+    ]
+    inner = [s for s in sites if s[0] != fn.start_label]
+    sites = inner or sites
+    if not sites:
+        raise RuntimeError(f"{fn.name}: no CONST instruction to edit")
+    label, index = sites[len(sites) // 2]
+    fn.block(label).instrs[index].imm += 1
+    return label
+
+
+def incremental_fingerprints(
+    names: Sequence[str],
+    workers: int = 0,
+    registers: int = 8,
+) -> Dict[str, Dict[str, object]]:
+    """The per-tile memoization proof for *names* (tentpole determinism).
+
+    For each workload: allocate cold with a tile store attached (filling
+    it), apply the deterministic single-block edit of
+    :func:`edit_one_block`, re-allocate *warm* against the same store,
+    and allocate the same edited function *fresh* with no store.  Raises
+    unless the warm incremental result is bit-identical to the fresh full
+    one AND the reuse counters prove clean subtrees actually came from
+    the store (at least one subtree reused, at least one dirty tile
+    recomputed).  Returns, per workload, the cold/warm/full fingerprints
+    plus the reuse counters -- all deterministic, so they join the
+    cross-process comparison matrix.
+    """
+    from repro.core.incremental import TileCacheStore
+
+    machine = Machine.simple(registers)
+    config = _config_for(workers)
+    out: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        base = build_workload(name)
+        edited = build_workload(name)
+        edited_label = edit_one_block(edited.fn)
+
+        store = TileCacheStore()
+        allocator = HierarchicalAllocator(config, tile_store=store)
+        cold = compile_function(base, allocator, machine)
+        base_fp = _result_fingerprint(base.label(), cold)
+        warm = compile_function(edited, allocator, machine)
+        counters = dict(allocator.last_tile_cache or {})
+        warm_fp = _result_fingerprint(edited.label(), warm)
+
+        fresh = build_workload(name)
+        edit_one_block(fresh.fn)
+        full_fp = allocation_fingerprint(fresh, config=config, machine=machine)
+
+        if warm_fp != full_fp:
+            raise RuntimeError(
+                f"{name}: warm incremental re-allocation diverges from the "
+                f"fresh full allocation of the same edit:\n"
+                f"  full:        {json.dumps(full_fp, sort_keys=True)}\n"
+                f"  incremental: {json.dumps(warm_fp, sort_keys=True)}"
+            )
+        if counters.get("subtrees_reused", 0) < 1:
+            raise RuntimeError(
+                f"{name}: warm re-allocation reused no clean subtree "
+                f"(counters: {counters}) -- the tile cache is not hitting"
+            )
+        if counters.get("tile_misses", 0) < 1:
+            raise RuntimeError(
+                f"{name}: warm re-allocation recomputed nothing "
+                f"(counters: {counters}) -- the edit did not dirty a tile"
+            )
+        out[name] = {
+            "edited_block": edited_label,
+            "base": base_fp,
+            "full": full_fp,
+            "incremental": warm_fp,
+            "reuse": counters,
+        }
+    return out
 
 
 def _config_for(workers: int) -> HierarchicalConfig:
@@ -259,6 +365,7 @@ def fingerprint_workloads(
     registers: int = 8,
     batch_workers: Optional[int] = None,
     service: bool = False,
+    incremental: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     """Fingerprints for *names*, in order, under one allocator config.
 
@@ -272,6 +379,11 @@ def fingerprint_workloads(
     HTTP through a live :class:`~repro.service.AllocationService`; each
     served payload must be bit-identical to the direct fingerprint and
     joins the dict under ``"service"``.
+
+    With *incremental* set, each workload also runs the edit-and-reuse
+    proof of :func:`incremental_fingerprints`; the cold store-attached
+    fingerprint must match the direct one and the whole section joins the
+    dict under ``"incremental"`` (reuse counters included).
     """
     machine = Machine.simple(registers)
     config = _config_for(workers)
@@ -306,6 +418,25 @@ def fingerprint_workloads(
                     f"{json.dumps(batched[name]['cold'], sort_keys=True)}"
                 )
             prints[name]["batch"] = batched[name]
+    if incremental:
+        incr = incremental_fingerprints(
+            names, workers=workers, registers=registers
+        )
+        for name in names:
+            # The batch section may already be attached; compare against
+            # the bare direct fingerprint.
+            bare = {
+                k: v for k, v in prints[name].items() if k != "batch"
+            }
+            if incr[name]["base"] != bare:
+                raise RuntimeError(
+                    f"{name}: cold store-attached allocation diverges from "
+                    f"the direct pipeline:\n"
+                    f"  direct: {json.dumps(bare, sort_keys=True)}\n"
+                    f"  store:  "
+                    f"{json.dumps(incr[name]['base'], sort_keys=True)}"
+                )
+            prints[name]["incremental"] = incr[name]
     if served is not None:
         # Attached last: the batch comparison above matches against the
         # bare direct fingerprint.
@@ -333,6 +464,7 @@ def fingerprint_in_subprocess(
     registers: int = 8,
     batch_workers: Optional[int] = None,
     service: bool = False,
+    incremental: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     """Run ``fingerprint`` in a fresh interpreter under *hash_seed*."""
     env = dict(os.environ)
@@ -354,6 +486,8 @@ def fingerprint_in_subprocess(
         cmd += ["--batch", str(batch_workers)]
     if service:
         cmd += ["--service"]
+    if incremental:
+        cmd += ["--incremental"]
     proc = subprocess.run(
         cmd, env=env, capture_output=True, text=True, timeout=600
     )
@@ -372,6 +506,7 @@ def cross_process_check(
     registers: int = 8,
     batch_workers: Optional[int] = None,
     service: bool = False,
+    incremental: bool = False,
 ) -> List[str]:
     """Compare fingerprints across every (hash seed, workers) combination.
 
@@ -382,6 +517,10 @@ def cross_process_check(
     each subprocess also serves the module over HTTP through a live
     allocation service and the served payloads join the comparison --
     one divergent served byte anywhere in the matrix fails the check.
+    With *incremental* set, each subprocess additionally runs the
+    edit-and-reuse proof (warm incremental re-allocation must be
+    bit-identical to a fresh full allocation of the same edit, with the
+    reuse counters in the compared fingerprints).
 
     Returns a list of human-readable mismatch descriptions; empty means
     every combination produced bit-identical results.
@@ -392,6 +531,7 @@ def cross_process_check(
             runs[(seed, workers)] = fingerprint_in_subprocess(
                 names, seed, workers=workers, registers=registers,
                 batch_workers=batch_workers, service=service,
+                incremental=incremental,
             )
 
     baseline_key = (hash_seeds[0], worker_counts[0])
@@ -442,6 +582,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "allocation service; served payloads must match the direct "
         "pipeline bit-for-bit",
     )
+    fp.add_argument(
+        "--incremental", action="store_true",
+        help="also run the per-tile memoization proof: edit one block, "
+        "re-allocate warm against the tile store, compare bit-for-bit "
+        "against a fresh full allocation of the same edit",
+    )
 
     ck = sub.add_parser(
         "check",
@@ -467,6 +613,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="include HTTP-served fingerprints (a live allocation "
         "service per subprocess) in every combination",
     )
+    ck.add_argument(
+        "--incremental", action="store_true",
+        help="include the per-tile memoization proof (warm incremental "
+        "== fresh full, reuse counters compared) in every combination",
+    )
 
     args = parser.parse_args(argv)
     names = _parse_names(args.workloads)
@@ -475,6 +626,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prints = fingerprint_workloads(
             names, workers=args.workers, registers=args.registers,
             batch_workers=args.batch, service=args.service,
+            incremental=args.incremental,
         )
         json.dump(prints, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
@@ -485,7 +637,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     problems = cross_process_check(
         names, hash_seeds=seeds, worker_counts=workers,
         registers=args.registers, batch_workers=args.batch,
-        service=args.service,
+        service=args.service, incremental=args.incremental,
     )
     combos = len(seeds) * len(workers)
     if problems:

@@ -314,6 +314,21 @@ class InterferenceGraph:
             and bool(self._masks[ia] >> ib & 1)
         )
 
+    def clone(self) -> "InterferenceGraph":
+        """Independent structural copy (same ids, same node order).
+
+        Mutations on either copy never reach the other; the per-tile
+        memoization layer clones a cached pristine graph before phase 2
+        adds intruders/temporaries to it.  Memos are left cold -- they
+        rebuild on demand.
+        """
+        out = InterferenceGraph()
+        out._ids = dict(self._ids)
+        out._names = dict(self._names)
+        out._masks = dict(self._masks)
+        out._next = self._next
+        return out
+
     def subgraph(self, keep: Set[str]) -> "InterferenceGraph":
         """Induced subgraph on ``keep`` (nodes absent from the graph are
         ignored).  One mask AND per kept node; ids are preserved, and node

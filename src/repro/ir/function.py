@@ -231,6 +231,25 @@ class Function:
     def reachable(self) -> Set[str]:
         return set(self.rpo())
 
+    def renumber_uids(self) -> None:
+        """Reassign instruction uids to function-local ordinals (1-based).
+
+        Uids normally come from a process-global counter, so their absolute
+        values depend on how many instructions the process has already
+        parsed or cloned.  Operand-temporary names
+        (``tmp:{uid}:{var}:{kind}``) embed the uid, which would make
+        allocation results -- and the per-tile fingerprints of
+        :mod:`repro.core.incremental` -- a function of process history.
+        Renumbering in block/instruction order makes uids a pure function
+        of the program text.  Only call on a private clone **before** any
+        uid-keyed analysis (arena, liveness memos) is built.
+        """
+        uid = 1
+        for block in self.blocks.values():
+            for instr in block.instrs:
+                instr.uid = uid
+                uid += 1
+
     def clone(self) -> "Function":
         """Deep copy (instruction uids preserved)."""
         fn = Function(self.name, self.params, self.start_label, self.stop_label)

@@ -69,7 +69,7 @@ class FunctionArena:
         "succ_indptr", "succ_ids", "pred_indptr", "pred_ids",
         "copy_sites", "live_in", "live_out",
         "_var_ref_blocks", "_var_def_blocks", "_var_sites", "_retired",
-        "_name_rank", "_var_ref_bmask", "_var_def_bmask",
+        "_name_rank", "_var_ref_bmask", "_var_def_bmask", "_block_digests",
     )
 
     def __init__(self, fn: Function, index: VarIndex) -> None:
@@ -209,6 +209,7 @@ class FunctionArena:
         self._var_def_bmask: Optional[List[int]] = None
         self._var_sites: Dict[int, Tuple[Tuple[int, int], ...]] = {}
         self._name_rank: Optional[List[int]] = None
+        self._block_digests: Optional[List[Optional[str]]] = None
 
     # ------------------------------------------------------------------
     # validity
@@ -424,6 +425,52 @@ class FunctionArena:
             live = (live & ~i_defs[i]) | i_uses[i]
             ins[k] = live
         return outs, ins
+
+    # ------------------------------------------------------------------
+    # per-block content digests (tile fingerprint ingredient)
+    # ------------------------------------------------------------------
+    def block_digest(self, bid: int) -> str:
+        """Canonical sha256 of block *bid*'s identity and content.
+
+        Covers the label, the ordered successor list, and -- per
+        instruction, over the arena's flat index range -- the uid, the
+        canonical text, and the clobber set (clobbers matter for
+        interference but are absent from the printed form).  Two blocks
+        with equal digests are interchangeable as phase-1 inputs; the
+        per-tile memoization layer folds these into tile fingerprints.
+
+        Raises ``RuntimeError`` on a retired arena: after the spill
+        rewrite has mutated the function, the flat ranges describe dead
+        instructions and a digest computed from them could address a
+        stale cache entry.
+        """
+        if self.retired:
+            raise RuntimeError(
+                "block_digest on a retired arena: the function was "
+                "mutated after this snapshot was taken"
+            )
+        digests = self._block_digests
+        if digests is None:
+            digests = self._block_digests = [None] * len(self.labels)
+        cached = digests[bid]
+        if cached is not None:
+            return cached
+        from hashlib import sha256
+
+        from repro.ir.printer import format_instr
+
+        block = self.fn.blocks[self.labels[bid]]
+        h = sha256()
+        h.update(block.label.encode())
+        h.update(("->" + ",".join(block.succ_labels)).encode())
+        for i in range(self.block_start[bid], self.block_start[bid + 1]):
+            instr = self.instrs[i]
+            h.update(f"\n{instr.uid}|{format_instr(instr)}".encode())
+            if instr.clobbers:
+                h.update(("!" + ",".join(instr.clobbers)).encode())
+        digest = h.hexdigest()
+        digests[bid] = digest
+        return digest
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

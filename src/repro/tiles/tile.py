@@ -159,6 +159,28 @@ class TileTree:
     def tiles(self) -> List[Tile]:
         return list(self.preorder())
 
+    def renumber(self) -> None:
+        """Reassign ``tid`` values to preorder positions (root = 0).
+
+        ``Tile.tid`` comes from a process-global counter, so the absolute
+        values depend on how many trees the process has already built.
+        Every derived name (``t{tid}.p{i}`` pseudo colors,
+        ``ts:{tid}:{color}`` summary variables) embeds the tid, which makes
+        allocation results a function of process history rather than of the
+        input program alone.  Renumbering to preorder positions makes tids
+        -- and therefore every tid-derived name -- a pure function of the
+        tile tree's shape, which per-tile memoization
+        (:mod:`repro.core.incremental`) and cross-process fingerprint
+        comparison both rely on.
+
+        Must run before tid-keyed caches fill; it drops the boundary-edge
+        cache itself.
+        """
+        for i, tile in enumerate(self.preorder()):
+            tile.tid = i
+        self._edge_cache.clear()
+        self._edge_cache_version = -1
+
     def height(self) -> int:
         """Longest chain of nested tiles (paper's ``h(T)``)."""
         best = 0

@@ -39,6 +39,7 @@ from repro.trace.events import (
     StageTiming,
     TaskFailed,
     TaskRetried,
+    TileCacheHit,
     TileColored,
 )
 from repro.trace.sinks import (
@@ -74,6 +75,7 @@ __all__ = [
     "StageTiming",
     "TaskFailed",
     "TaskRetried",
+    "TileCacheHit",
     "TileColored",
     "BOUNDARY_ACTIONS",
     "SPILL_REASONS",

@@ -157,6 +157,23 @@ class CacheMiss:
 
 
 @dataclass(frozen=True)
+class TileCacheHit:
+    """One tile was served from the per-tile memoization store
+    (:mod:`repro.core.incremental`) instead of being recomputed.
+
+    ``phase`` says which layer answered: ``"phase1"`` for a reused
+    bottom-up summary, ``"phase2"`` for a reused top-down binding
+    overlay.  ``fingerprint`` is the tile's content address.  On a
+    phase-2 hit this event *replaces* the tile's ``TileColored`` event
+    (the binding was not recomputed, so there is nothing to trace).
+    """
+
+    tile_id: int
+    phase: str
+    fingerprint: str
+
+
+@dataclass(frozen=True)
 class BatchTask:
     """One function's trip through the batch engine.
 
