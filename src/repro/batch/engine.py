@@ -91,6 +91,7 @@ from repro.batch.worker import (
     worker_init,
 )
 from repro.core import HierarchicalConfig
+from repro.core.budget import BudgetExceededError, BudgetLimits, estimate_cost
 from repro.core.config import BatchConfig
 from repro.errors import (
     PERMANENT,
@@ -105,11 +106,14 @@ from repro.ir.printer import format_function
 from repro.machine.target import Machine
 from repro.perf.timers import StageTimers
 from repro.trace.events import (
+    Admitted,
     BatchTask,
+    BudgetExceeded,
     CacheHit,
     CacheMiss,
     Degraded,
     PoolRestarted,
+    Rejected,
     TaskFailed,
     TaskRetried,
 )
@@ -160,6 +164,13 @@ class BatchStats:
     degraded: int = 0
     pool_restarts: int = 0
     quarantined: int = 0
+    #: resource-governance counters: functions refused by admission
+    #: control (``BatchConfig.admission_limit``) and results that landed
+    #: on the degradation ladder because of a resource limit (error
+    #: class ``admission``/``budget``/``deadline``) rather than an
+    #: allocator defect.
+    rejected: int = 0
+    degraded_by_budget: int = 0
     #: per-tile memoization counters (``BatchConfig.tile_cache``),
     #: summed across functions and worker processes: phase-1 summaries
     #: reused / recomputed, and maximal clean subtrees reused verbatim.
@@ -186,6 +197,8 @@ class BatchStats:
             "degraded": self.degraded,
             "pool_restarts": self.pool_restarts,
             "quarantined": self.quarantined,
+            "rejected": self.rejected,
+            "degraded_by_budget": self.degraded_by_budget,
             "tile_hits": self.tile_hits,
             "tile_misses": self.tile_misses,
             "subtrees_reused": self.subtrees_reused,
@@ -294,6 +307,18 @@ class BatchEngine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = BatchStats()
         self.timers = StageTimers()
+        #: per-allocation resource governor built from the batch knobs;
+        #: ``None`` when both limits are off, preserving the allocator's
+        #: zero-cost unbudgeted fast path.
+        self._budget_limits: Optional[BudgetLimits] = None
+        if (
+            self.batch.max_fuel is not None
+            or self.batch.deadline_s is not None
+        ):
+            self._budget_limits = BudgetLimits(
+                max_fuel=self.batch.max_fuel,
+                deadline_s=self.batch.deadline_s,
+            )
         #: Failures swallowed while tearing down the pool, newest last.
         #: Teardown must never raise (close() runs on the error path and
         #: from __exit__), but the failures are not silent either -- each
@@ -369,6 +394,7 @@ class BatchEngine:
                     self.batch.simulate,
                     self.tile_store is not None,
                     self.batch.tile_cache_entries,
+                    self._budget_limits,
                 ),
             )
 
@@ -494,6 +520,9 @@ class BatchEngine:
         entries: List[Tuple[str, str, str, object]] = []
         results: List[Optional[BatchResult]] = [None] * len(workloads)
         miss_groups: Dict[str, List[int]] = {}
+        #: cache keys refused by admission control -> (cost, limit).
+        rejected_keys: Dict[str, Tuple[int, int]] = {}
+        admission_limit = self.batch.admission_limit
         for index, workload in enumerate(workloads):
             # Records carry simulated costs/returned when inputs are
             # present, so the key must distinguish inputs -- for the
@@ -501,6 +530,26 @@ class BatchEngine:
             # one key == one (function, inputs) computation.
             name, text, fingerprint, key = self.entry_for(workload)
             entries.append((name, text, fingerprint, workload))
+            if admission_limit is not None:
+                # Admission is decided *before* the cache is consulted,
+                # so the admit/reject stream is a pure function of the
+                # input module, never of cache state.
+                cost = estimate_cost(workload.fn)
+                if cost > admission_limit:
+                    self.stats.rejected += 1
+                    rejected_keys[key] = (cost, admission_limit)
+                    if tracer.enabled:
+                        tracer.emit(Rejected(
+                            function=name, fingerprint=fingerprint,
+                            cost=cost, limit=admission_limit,
+                        ))
+                    miss_groups.setdefault(key, []).append(index)
+                    continue
+                if tracer.enabled:
+                    tracer.emit(Admitted(
+                        function=name, fingerprint=fingerprint,
+                        cost=cost, limit=admission_limit,
+                    ))
             record = None
             cached_source = None
             if self.cache is not None:
@@ -542,12 +591,37 @@ class BatchEngine:
             ))
         computed: Dict[str, _TaskOutcome] = {}
         if tasks:
-            if self._pool is None and self.batch.batch_workers > 0:
-                self.start()
-            if self._pool is not None:
-                self._run_pooled(tasks, computed)
-            else:
-                self._run_inline(tasks, computed)
+            # Rejected tasks never reach the allocator: they get a
+            # terminal permanent "admission" outcome directly and flow
+            # through the same degradation/merge machinery as any other
+            # permanent failure.
+            run_tasks: List[_Task] = []
+            for task in tasks:
+                rejection = rejected_keys.get(task.key)
+                if rejection is None:
+                    run_tasks.append(task)
+                    continue
+                cost, limit = rejection
+                computed[task.key] = _TaskOutcome(
+                    record=None,
+                    error=TaskError(
+                        error_class="admission",
+                        message=(
+                            f"estimated cost {cost} exceeds admission "
+                            f"limit {limit}"
+                        ),
+                        permanence=PERMANENT,
+                        attempts=0,
+                    ),
+                    attempts=0,
+                )
+            if run_tasks:
+                if self._pool is None and self.batch.batch_workers > 0:
+                    self.start()
+                if self._pool is not None:
+                    self._run_pooled(run_tasks, computed)
+                else:
+                    self._run_inline(run_tasks, computed)
             self._apply_degradation(tasks, computed)
             if self.batch.on_error == "fail":
                 for task in tasks:
@@ -594,6 +668,10 @@ class BatchEngine:
                 self.stats.failures += len(miss_groups[key])
             if outcome.degraded:
                 self.stats.degraded += len(miss_groups[key])
+                if outcome.error is not None and outcome.error.error_class in (
+                    "admission", "budget", "deadline"
+                ):
+                    self.stats.degraded_by_budget += len(miss_groups[key])
             if tracer.enabled:
                 first_name, _, first_fp, _ = entries[miss_groups[key][0]]
                 tracer.emit(BatchTask(
@@ -640,6 +718,7 @@ class BatchEngine:
         outcomes: Dict[str, _TaskOutcome],
         retry_queue: List[_Task],
         timing: Optional[Dict[str, object]] = None,
+        budget_detail: Optional[Dict[str, object]] = None,
     ) -> None:
         """Route one failed attempt: bounded deterministic retry for
         transient failures, terminal :class:`_TaskOutcome` otherwise."""
@@ -649,6 +728,13 @@ class BatchEngine:
                 error_class=error_class, permanence=permanence,
                 attempt=task.attempt, message=message,
             ))
+            if budget_detail:
+                self.tracer.emit(BudgetExceeded(
+                    function=task.name, fingerprint=task.fingerprint,
+                    resource=str(budget_detail.get("resource", "fuel")),
+                    spent=float(budget_detail.get("spent", 0.0)),
+                    limit=float(budget_detail.get("limit", 0.0)),
+                ))
         if permanence == TRANSIENT and task.attempt < self.batch.max_retries:
             backoff = self.batch.retry_backoff_s * (2 ** task.attempt)
             self.stats.retries += 1
@@ -738,6 +824,7 @@ class BatchEngine:
                             str(payload.get("permanence", PERMANENT)),
                             str(payload.get("message", "")),
                             outcomes, retry_queue, timing=timing,
+                            budget_detail=payload.get("budget"),
                         )
             if restart_needed:
                 self._restart_pool(resubmitted=len(retry_queue))
@@ -772,9 +859,17 @@ class BatchEngine:
                         simulate=self.batch.simulate,
                         fingerprint=task.fingerprint,
                         tile_store=self.tile_store,
+                        budget_limits=self._budget_limits,
                     )
                 except Exception as exc:
                     error_class, permanence = classify_exception(exc)
+                    detail = None
+                    if isinstance(exc, BudgetExceededError):
+                        detail = {
+                            "resource": exc.resource,
+                            "spent": exc.spent,
+                            "limit": exc.limit,
+                        }
                     retry_queue: List[_Task] = []
                     self._handle_failure(
                         task, error_class, permanence, str(exc),
@@ -784,6 +879,7 @@ class BatchEngine:
                             "duration": time.monotonic() - start_mono,
                             "pid": os.getpid(),
                         },
+                        budget_detail=detail,
                     )
                     if retry_queue:
                         continue

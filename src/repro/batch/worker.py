@@ -56,9 +56,13 @@ from repro.machine.target import Machine
 DEGRADATION_LADDER = ("chaitin", "naive")
 
 
-def _make_allocator(name: str, config: HierarchicalConfig, tile_store=None):
+def _make_allocator(
+    name: str, config: HierarchicalConfig, tile_store=None, budget_limits=None
+):
     if name == "hierarchical":
-        return HierarchicalAllocator(config, tile_store=tile_store)
+        return HierarchicalAllocator(
+            config, tile_store=tile_store, budget_limits=budget_limits
+        )
     if name == "chaitin":
         from repro.allocators import ChaitinAllocator
 
@@ -81,6 +85,7 @@ def compute_record(
     fingerprint: Optional[str] = None,
     allocator: str = "hierarchical",
     tile_store=None,
+    budget_limits=None,
 ) -> Tuple[AllocationRecord, Dict[str, float], Optional[Dict[str, int]]]:
     """Allocate *fn* and condense the outcome into a cacheable record.
 
@@ -100,6 +105,9 @@ def compute_record(
     constructed identically).  *tile_store* is a
     :class:`repro.core.incremental.TileCacheStore` for incremental
     re-allocation; only the hierarchical allocator uses it.
+    *budget_limits* is a :class:`repro.core.budget.BudgetLimits` resource
+    governor, likewise hierarchical-only -- degradation-ladder rungs run
+    unbudgeted so a fuel-exhausted function can still complete there.
     """
     from repro.pipeline import Workload, compile_function, prepare
 
@@ -113,7 +121,7 @@ def compute_record(
     if run_simulation:
         result = compile_function(
             Workload(fn, args, arrays, name=name),
-            _make_allocator(allocator, config, tile_store),
+            _make_allocator(allocator, config, tile_store, budget_limits),
             machine,
         )
         outcome = result.outcome
@@ -131,7 +139,7 @@ def compute_record(
         from repro.machine.rewrite import remove_self_moves
 
         prepared = prepare(fn)
-        alloc = _make_allocator(allocator, config, tile_store)
+        alloc = _make_allocator(allocator, config, tile_store, budget_limits)
         outcome = alloc.allocate(prepared, machine)
         remove_self_moves(outcome.fn)
         validate_function(outcome.fn, allow_unreachable=True)
@@ -199,6 +207,7 @@ def worker_init(
     simulate: bool,
     tile_cache: bool = False,
     tile_cache_entries: int = 4096,
+    budget_limits=None,
 ) -> None:
     """Per-process initializer: make ``import repro`` work regardless of
     start method, pin ``PYTHONHASHSEED`` for any grandchildren, and stash
@@ -214,6 +223,7 @@ def worker_init(
     _WORKER_STATE["config"] = config
     _WORKER_STATE["machine"] = machine
     _WORKER_STATE["simulate"] = simulate
+    _WORKER_STATE["budget_limits"] = budget_limits
     if tile_cache:
         from repro.core.incremental import TileCacheStore
 
@@ -264,6 +274,7 @@ def run_task(
             simulate=_WORKER_STATE["simulate"],
             fingerprint=fingerprint,
             tile_store=_WORKER_STATE.get("tile_store"),
+            budget_limits=_WORKER_STATE.get("budget_limits"),
         )
         payload: Dict[str, object] = {
             "ok": True,
@@ -277,6 +288,16 @@ def run_task(
             "permanence": permanence,
             "message": str(exc),
         }
+        # Budget failures carry their accounting across the process
+        # boundary as plain data (exceptions are never pickled back).
+        from repro.core.budget import BudgetExceededError
+
+        if isinstance(exc, BudgetExceededError):
+            payload["budget"] = {
+                "resource": exc.resource,
+                "spent": exc.spent,
+                "limit": exc.limit,
+            }
     timing = {
         "start": start,
         "duration": time.monotonic() - start_mono,

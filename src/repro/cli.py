@@ -155,12 +155,26 @@ def cmd_tiles(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _budget_limits_from_args(args: argparse.Namespace):
+    """BudgetLimits from ``--max-fuel`` / ``--deadline`` (None when off)."""
+    max_fuel = getattr(args, "max_fuel", None)
+    deadline = getattr(args, "deadline", None)
+    if max_fuel is None and deadline is None:
+        return None
+    from repro.core.budget import BudgetLimits
+
+    return BudgetLimits(max_fuel=max_fuel, deadline_s=deadline)
+
+
 def cmd_allocate(args: argparse.Namespace, out) -> int:
+    from repro.core.budget import BudgetExceededError
+
     fn = _load(args.file, args.lang)
     machine = Machine.simple(args.registers)
     scalar_args = _parse_kv(args.arg)
     arrays = _parse_arrays(args.array)
 
+    budget_limits = _budget_limits_from_args(args)
     if args.allocator == "hierarchical":
         config = HierarchicalConfig()
         if args.profile_guided:
@@ -168,15 +182,23 @@ def cmd_allocate(args: argparse.Namespace, out) -> int:
             config = HierarchicalConfig(
                 frequencies=frequencies_from_profile(fn, run.profile)
             )
-        allocator = HierarchicalAllocator(config)
+        allocator = HierarchicalAllocator(config, budget_limits=budget_limits)
     else:
+        if budget_limits is not None:
+            raise SystemExit(
+                "--max-fuel/--deadline apply to the hierarchical "
+                "allocator only"
+            )
         allocator = ALLOCATORS[args.allocator]()
 
     workload = Workload(fn, scalar_args, arrays, name=fn.name)
-    result = compile_function(
-        workload, allocator, machine, verify=not args.no_verify,
-        optimize=args.optimize,
-    )
+    try:
+        result = compile_function(
+            workload, allocator, machine, verify=not args.no_verify,
+            optimize=args.optimize,
+        )
+    except BudgetExceededError as exc:
+        raise SystemExit(f"allocation aborted by resource budget: {exc}")
     print(format_function(result.fn), file=out)
     print(f"# allocator: {args.allocator}", file=out)
     print(f"# registers: {args.registers}", file=out)
@@ -187,6 +209,14 @@ def cmd_allocate(args: argparse.Namespace, out) -> int:
     print(f"# spilled variables:    {sorted(result.stats.spilled_vars)}", file=out)
     if not args.no_verify:
         print("# verification: PASSED (differential run matched)", file=out)
+    if budget_limits is not None and allocator.last_budget is not None:
+        snap = allocator.last_budget
+        print(
+            f"# budget: spent {snap['spent']} fuel "
+            f"(max_fuel={snap['max_fuel']}, deadline_s={snap['deadline_s']}, "
+            f"counters={snap['counters']})",
+            file=out,
+        )
     if getattr(args, "profile", False):
         timers = StageTimers.from_snapshot(
             result.stats.extra.get("stage_times", {}),
@@ -269,6 +299,9 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
         on_error=args.on_error,
         tile_cache=args.tile_cache,
         tile_cache_entries=args.tile_cache_entries,
+        max_fuel=args.max_fuel,
+        deadline_s=args.deadline,
+        admission_limit=args.admission_limit,
     )
 
     sinks: List[object] = []
@@ -328,6 +361,12 @@ def cmd_batch(args: argparse.Namespace, out) -> int:
         keys = ["functions", "computed", "hits", "misses",
                 "evictions", "disk_hits", "failures", "retries",
                 "degraded", "pool_restarts", "quarantined"]
+        if (
+            args.max_fuel is not None
+            or args.deadline is not None
+            or args.admission_limit is not None
+        ):
+            keys += ["rejected", "degraded_by_budget"]
         if args.tile_cache:
             keys += ["tile_hits", "tile_misses", "subtrees_reused"]
         keys += ["wall_s", "functions_per_sec"]
@@ -375,6 +414,9 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         on_error=args.on_error,
         tile_cache=not args.no_tile_cache,
         tile_cache_entries=args.tile_cache_entries,
+        max_fuel=args.max_fuel,
+        deadline_s=args.deadline,
+        admission_limit=args.admission_limit,
     )
     config = ServiceConfig(
         host=args.host,
@@ -440,6 +482,16 @@ def build_parser() -> argparse.ArgumentParser:
     alloc_p.add_argument(
         "--profile", action="store_true",
         help="print per-stage time attribution for the allocation pipeline",
+    )
+    alloc_p.add_argument(
+        "--max-fuel", type=int, default=None, metavar="N",
+        help="deterministic fuel budget for the hierarchical allocator; "
+        "exhaustion aborts with a classified error (default: unlimited)",
+    )
+    alloc_p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock backstop for the hierarchical allocator "
+        "(default: none)",
     )
     alloc_p.set_defaults(func=cmd_allocate)
 
@@ -532,6 +584,23 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument(
         "--tile-cache-entries", type=int, default=4096, metavar="N",
         help="LRU capacity of each per-process tile store (default: 4096)",
+    )
+    batch_p.add_argument(
+        "--max-fuel", type=int, default=None, metavar="N",
+        help="deterministic fuel budget per hierarchical allocation; "
+        "exhausted functions degrade through the fallback ladder "
+        "(default: unlimited)",
+    )
+    batch_p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock backstop per hierarchical allocation; a blown "
+        "deadline is transient and retried (default: none)",
+    )
+    batch_p.add_argument(
+        "--admission-limit", type=int, default=None, metavar="COST",
+        help="reject functions whose estimated cost (blocks + instrs * "
+        "(1 + vars)) exceeds COST before allocating; rejected functions "
+        "go straight to the fallback ladder (default: admit everything)",
     )
     batch_p.add_argument(
         "--stats", action="store_true",
@@ -628,6 +697,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--tile-cache-entries", type=int, default=4096, metavar="N",
         help="LRU capacity of each per-process tile store (default: 4096)",
+    )
+    serve_p.add_argument(
+        "--max-fuel", type=int, default=None, metavar="N",
+        help="deterministic fuel budget per hierarchical allocation "
+        "(default: unlimited)",
+    )
+    serve_p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock backstop per hierarchical allocation "
+        "(default: none)",
+    )
+    serve_p.add_argument(
+        "--admission-limit", type=int, default=None, metavar="COST",
+        help="answer 413 for requests containing functions whose "
+        "estimated cost exceeds COST (default: admit everything)",
     )
     serve_p.add_argument(
         "--jsonl", metavar="PATH",

@@ -19,6 +19,7 @@ from repro.allocators.base import (
     AllocStats,
     record_spill_blocks,
 )
+from repro.core.budget import BudgetLimits
 from repro.core.config import HierarchicalConfig
 from repro.core.incremental import (
     TileCacheStore,
@@ -56,8 +57,15 @@ class HierarchicalAllocator(Allocator):
         config: Optional[HierarchicalConfig] = None,
         tracer: Optional[NullTracer] = None,
         tile_store: Optional[TileCacheStore] = None,
+        budget_limits: Optional[BudgetLimits] = None,
     ) -> None:
         self.config = config or HierarchicalConfig()
+        #: resource governor (:mod:`repro.core.budget`).  ``None`` or an
+        #: unlimited :class:`BudgetLimits` keeps the zero-cost fast path;
+        #: otherwise each :meth:`allocate` call mints a fresh
+        #: :class:`~repro.core.budget.AllocationBudget` so fuel spend is a
+        #: pure function of the input, never of allocator history.
+        self.budget_limits = budget_limits
         #: structured-event recorder (see :mod:`repro.trace`); the shared
         #: null tracer by default, so untraced allocation pays only
         #: ``tracer.enabled`` checks.
@@ -75,10 +83,17 @@ class HierarchicalAllocator(Allocator):
         #: tests and benches.
         self.last_context: Optional[FunctionContext] = None
         self.last_allocations: Optional[Dict[int, TileAllocation]] = None
+        #: fuel accounting of the most recent budgeted allocate() call
+        #: (``AllocationBudget.snapshot()``), also published in
+        #: ``stats.extra["budget"]``.
+        self.last_budget: Optional[Dict] = None
 
     def allocate(self, fn: Function, machine: Machine) -> AllocationOutcome:
         config = self.config
         tracer = self.tracer
+        budget = (
+            self.budget_limits.start() if self.budget_limits is not None else None
+        )
         timers = StageTimers()
         with timers.stage("tile_tree", tracer):
             work = fn.clone()
@@ -98,10 +113,14 @@ class HierarchicalAllocator(Allocator):
             # property the per-tile content-addressed cache keys on.
             build.tree.renumber()
             work.renumber_uids()
+            if budget is not None:
+                # Tile-tree depth is fuel too: pathological nesting burns
+                # budget before either phase walks the tree.
+                budget.charge(len(build.tree) + build.tree.height(), "tiles")
         with timers.stage("context", tracer):
             ctx = build_context(
                 work, machine, build.tree, build.fixup, config.frequencies,
-                tracer=tracer,
+                tracer=tracer, budget=budget,
             )
 
         # Small trees fall back to the sequential driver even with
@@ -146,6 +165,10 @@ class HierarchicalAllocator(Allocator):
         stats = self._gather_stats(ctx, allocations, build)
         stats.extra["stage_times"] = timers.as_dict()
         stats.extra["stage_counts"] = timers.counts()
+        self.last_budget = None
+        if budget is not None:
+            self.last_budget = budget.snapshot()
+            stats.extra["budget"] = self.last_budget
         stats.extra["driver"] = (
             "incremental"
             if store is not None

@@ -157,6 +157,24 @@ class BatchConfig:
             *whole functions*, this one hits on identical *tiles*.
         tile_cache_entries: LRU capacity (phase-1 entries plus phase-2
             overlays) of each per-process tile store.
+        max_fuel: deterministic fuel budget per hierarchical allocation
+            (see :mod:`repro.core.budget`).  Exhaustion is a *permanent*
+            failure (error class ``"budget"``) that feeds the degradation
+            ladder; the same input with the same fuel always fails or
+            succeeds identically.  ``None`` (default) is unlimited and
+            keeps the zero-cost fast path.  Degradation-ladder rungs
+            always run unbudgeted so they can complete.
+        deadline_s: wall-clock backstop per hierarchical allocation.
+            Unlike fuel, elapsed time is not deterministic, so a blown
+            deadline is a *transient* failure (error class
+            ``"deadline"``) eligible for retry.  ``None`` disables it.
+        admission_limit: admission control -- functions whose
+            :func:`repro.core.budget.estimate_cost` exceeds this are
+            never handed to the hierarchical allocator at all; they fail
+            with permanent error class ``"admission"`` and route
+            straight to the degradation ladder (or skip/fail, per
+            *on_error*).  A pure function of the input, independent of
+            cache state.  ``None`` admits everything.
     """
 
     batch_workers: int = 0
@@ -171,6 +189,9 @@ class BatchConfig:
     on_error: str = "degrade"
     tile_cache: bool = False
     tile_cache_entries: int = 4096
+    max_fuel: Optional[int] = None
+    deadline_s: Optional[float] = None
+    admission_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cache_policy not in ("memory", "disk", "off"):
@@ -212,4 +233,16 @@ class BatchConfig:
             raise ValueError(
                 f"tile_cache_entries must be >= 1, "
                 f"got {self.tile_cache_entries}"
+            )
+        if self.max_fuel is not None and self.max_fuel < 1:
+            raise ValueError(
+                f"max_fuel must be >= 1, got {self.max_fuel}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+        if self.admission_limit is not None and self.admission_limit < 1:
+            raise ValueError(
+                f"admission_limit must be >= 1, got {self.admission_limit}"
             )

@@ -15,6 +15,7 @@ from repro.analysis.liveness import (
     compute_liveness,
     liveness_from_arena,
 )
+from repro.core.budget import AllocationBudget
 from repro.ir.function import Function
 from repro.machine.target import Machine
 from repro.perf.arena import FunctionArena, build_arena
@@ -49,6 +50,9 @@ class FunctionContext:
     #: :data:`~repro.trace.tracer.NULL_TRACER` keeps untraced runs free
     #: (call sites guard on ``tracer.enabled``).
     tracer: NullTracer = field(default=NULL_TRACER, repr=False)
+    #: per-allocation resource budget; ``None`` (the default) keeps every
+    #: checkpoint site on its single-identity-test fast path.
+    budget: Optional["AllocationBudget"] = field(default=None, repr=False)
     #: tile id -> OR of live-on-edge bitsets over the tile's boundary
     _boundary_live: Dict[int, int] = field(default_factory=dict, repr=False)
     #: tile id -> var -> summed boundary transfer frequency (section 4)
@@ -348,6 +352,7 @@ def build_context(
     fixup: FixupStats,
     frequencies: Optional[FrequencyInfo],
     tracer: Optional[NullTracer] = None,
+    budget: Optional[AllocationBudget] = None,
 ) -> FunctionContext:
     """Assemble a :class:`FunctionContext` (liveness and frequency included).
 
@@ -355,7 +360,7 @@ def build_context(
     first; liveness runs over the flat tables and both phases consume the
     arena through the context's mask-based helpers.
     """
-    arena = build_arena(fn)
+    arena = build_arena(fn, budget=budget)
     liveness = liveness_from_arena(arena)
     freq = frequencies or estimate_frequencies(fn)
     ctx = FunctionContext(
@@ -368,5 +373,6 @@ def build_context(
         orig_edge=dict(fixup.orig_edge),
         arena=arena,
         tracer=tracer if tracer is not None else NULL_TRACER,
+        budget=budget,
     )
     return ctx

@@ -60,7 +60,10 @@ def run_phase1(
 ) -> Dict[int, TileAllocation]:
     """Allocate every tile bottom-up; returns allocations keyed by tile id."""
     allocations: Dict[int, TileAllocation] = {}
+    budget = ctx.budget
     for tile in ctx.tree.postorder():
+        if budget is not None:
+            budget.charge(1, "tiles")
         allocations[tile.tid] = allocate_tile(ctx, config, tile, allocations)
     return allocations
 
@@ -91,7 +94,10 @@ def allocate_tile(
     # ------------------------------------------------------------------
     # interference graph
     # ------------------------------------------------------------------
-    graph = build_interference(ctx.fn, ctx.liveness, labels=sorted(own), relevant=visible)
+    graph = build_interference(
+        ctx.fn, ctx.liveness, labels=sorted(own), relevant=visible,
+        budget=ctx.budget,
+    )
     # Sorted once, reused below: node insertion order is the canonical
     # order for every downstream dict walk (subgraphs, phase-2
     # precoloring), so it must not inherit the hash-salted iteration

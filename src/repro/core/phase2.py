@@ -50,7 +50,10 @@ def run_phase2(
     allocations: Dict[int, TileAllocation],
 ) -> None:
     """Bind every tile top-down; fills ``alloc.phys`` per tile."""
+    budget = ctx.budget
     for tile in ctx.tree.preorder():
+        if budget is not None:
+            budget.charge(1, "tiles")
         bind_tile(ctx, config, tile, allocations)
 
 

@@ -52,7 +52,10 @@ def plan_boundary_code(
     plans: Dict[Tuple[str, str], EdgePlan] = {}
     tree = ctx.tree
     tracer = ctx.tracer
+    budget = ctx.budget
     for src, dst in ctx.fn.edges():
+        if budget is not None:
+            budget.charge(1, "edges")
         t_src = tree.tile_of(src)
         t_dst = tree.tile_of(dst)
         if t_src is t_dst:
@@ -127,7 +130,8 @@ def _boundary_case(parent_loc: str, child_loc: str) -> str:
 
 
 def sequence_moves(
-    plan: EdgePlan, registers: List[str], edge: Tuple[str, str]
+    plan: EdgePlan, registers: List[str], edge: Tuple[str, str],
+    budget=None,
 ) -> List[Instr]:
     """Order one edge's operations; break register-move cycles.
 
@@ -149,6 +153,8 @@ def sequence_moves(
     free_candidates = [r for r in registers if r not in plan.busy]
 
     while pending:
+        if budget is not None:
+            budget.charge(1, "moves")
         sources = set(pending.values())
         movable = [d for d in pending if d not in sources]
         if movable:
@@ -210,7 +216,9 @@ def rewrite_program(
     # arms coincide, the edge appears twice in the successor list and the
     # spill block must intercept both traversals.
     for (src, dst), plan in sorted(plans.items()):
-        instrs = sequence_moves(plan, ctx.machine.registers, (src, dst))
+        instrs = sequence_moves(
+            plan, ctx.machine.registers, (src, dst), budget=ctx.budget
+        )
         block = fn.insert_block_on_edge(
             src, dst, label=fn.new_label("sp"), all_occurrences=True
         )

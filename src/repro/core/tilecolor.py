@@ -124,9 +124,12 @@ def color_tile(
     for t in temp_nodes:
         priorities[t] = float("inf")
 
+    budget = ctx.budget
     rounds = 0
     while True:
         rounds += 1
+        if budget is not None:
+            budget.charge(1, "rounds")
         if rounds > MAX_RECOLOR_ROUNDS:
             raise RuntimeError(
                 f"tile #{tile.tid}: no coloring fixed point after "
@@ -171,6 +174,7 @@ def color_tile(
                 boundary=spec.boundary,
                 spill_heuristic=spec.spill_heuristic,
                 trace_hook=trace_hook,
+                budget=budget,
             )
         except NoColorForRequiredNode as exc:
             # Extreme pressure: an unspillable node (operand temporary) has

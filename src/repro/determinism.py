@@ -43,6 +43,7 @@ import sys
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import HierarchicalAllocator, HierarchicalConfig
+from repro.core.budget import BudgetLimits
 from repro.ir.function import Function
 from repro.ir.printer import format_function
 from repro.machine.target import Machine
@@ -359,6 +360,46 @@ def service_fingerprints(
     return out
 
 
+def budgeted_fingerprints(
+    names: Sequence[str],
+    fuel: int,
+    workers: int = 0,
+    registers: int = 8,
+) -> Dict[str, Dict[str, object]]:
+    """Fingerprints of *names* allocated under a ``max_fuel`` budget.
+
+    Proves the budget layer's determinism contract: charges only count
+    and abort, they never alter decisions, so a budgeted run that
+    completes is bit-identical to the unbudgeted run -- and the fuel
+    spend itself is a pure function of the input.  Each dict carries the
+    full allocation fingerprint plus a ``"budget"`` section (``fuel``,
+    ``spent``, per-counter breakdown), so the cross-process ``check``
+    also fails if two processes *charge* differently, even when they
+    allocate identically.
+
+    *fuel* must be generous enough for every named workload to complete;
+    a workload that exhausts it raises (this is a determinism proof, not
+    the survival harness -- ``benchmarks/bench_guard.py`` owns aborts).
+    """
+    machine = Machine.simple(registers)
+    config = _config_for(workers)
+    out: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        allocator = HierarchicalAllocator(
+            config, budget_limits=BudgetLimits(max_fuel=fuel)
+        )
+        result = compile_function(build_workload(name), allocator, machine)
+        fp = _result_fingerprint(name, result)
+        snap = allocator.last_budget or {}
+        fp["budget"] = {
+            "fuel": fuel,
+            "spent": snap.get("spent"),
+            "counters": snap.get("counters", {}),
+        }
+        out[name] = fp
+    return out
+
+
 def fingerprint_workloads(
     names: Sequence[str],
     workers: int = 0,
@@ -366,6 +407,7 @@ def fingerprint_workloads(
     batch_workers: Optional[int] = None,
     service: bool = False,
     incremental: bool = False,
+    budget_fuel: Optional[int] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Fingerprints for *names*, in order, under one allocator config.
 
@@ -384,6 +426,12 @@ def fingerprint_workloads(
     proof of :func:`incremental_fingerprints`; the cold store-attached
     fingerprint must match the direct one and the whole section joins the
     dict under ``"incremental"`` (reuse counters included).
+
+    With *budget_fuel* set, each workload is additionally allocated under
+    a ``max_fuel`` budget of that many units; the budgeted result must be
+    bit-identical to the unbudgeted fingerprint (charges never change
+    decisions) and the fuel-spend section joins the dict under
+    ``"budget"``.
     """
     machine = Machine.simple(registers)
     config = _config_for(workers)
@@ -437,6 +485,25 @@ def fingerprint_workloads(
                     f"{json.dumps(incr[name]['base'], sort_keys=True)}"
                 )
             prints[name]["incremental"] = incr[name]
+    if budget_fuel is not None:
+        budgeted = budgeted_fingerprints(
+            names, budget_fuel, workers=workers, registers=registers
+        )
+        for name in names:
+            bare = {
+                k: v for k, v in prints[name].items()
+                if k not in ("batch", "incremental")
+            }
+            got = {k: v for k, v in budgeted[name].items() if k != "budget"}
+            if got != bare:
+                raise RuntimeError(
+                    f"{name}: budgeted allocation diverges from the "
+                    f"unbudgeted pipeline (charges must never alter "
+                    f"decisions):\n"
+                    f"  unbudgeted: {json.dumps(bare, sort_keys=True)}\n"
+                    f"  budgeted:   {json.dumps(got, sort_keys=True)}"
+                )
+            prints[name]["budget"] = budgeted[name]["budget"]
     if served is not None:
         # Attached last: the batch comparison above matches against the
         # bare direct fingerprint.
@@ -465,6 +532,7 @@ def fingerprint_in_subprocess(
     batch_workers: Optional[int] = None,
     service: bool = False,
     incremental: bool = False,
+    budget_fuel: Optional[int] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Run ``fingerprint`` in a fresh interpreter under *hash_seed*."""
     env = dict(os.environ)
@@ -488,6 +556,8 @@ def fingerprint_in_subprocess(
         cmd += ["--service"]
     if incremental:
         cmd += ["--incremental"]
+    if budget_fuel is not None:
+        cmd += ["--budget", str(budget_fuel)]
     proc = subprocess.run(
         cmd, env=env, capture_output=True, text=True, timeout=600
     )
@@ -507,6 +577,7 @@ def cross_process_check(
     batch_workers: Optional[int] = None,
     service: bool = False,
     incremental: bool = False,
+    budget_fuel: Optional[int] = None,
 ) -> List[str]:
     """Compare fingerprints across every (hash seed, workers) combination.
 
@@ -520,7 +591,10 @@ def cross_process_check(
     With *incremental* set, each subprocess additionally runs the
     edit-and-reuse proof (warm incremental re-allocation must be
     bit-identical to a fresh full allocation of the same edit, with the
-    reuse counters in the compared fingerprints).
+    reuse counters in the compared fingerprints).  With *budget_fuel*
+    set, each subprocess additionally allocates under a fuel budget and
+    the spend counters join the comparison -- a process that charges
+    differently fails even if it allocates identically.
 
     Returns a list of human-readable mismatch descriptions; empty means
     every combination produced bit-identical results.
@@ -531,7 +605,7 @@ def cross_process_check(
             runs[(seed, workers)] = fingerprint_in_subprocess(
                 names, seed, workers=workers, registers=registers,
                 batch_workers=batch_workers, service=service,
-                incremental=incremental,
+                incremental=incremental, budget_fuel=budget_fuel,
             )
 
     baseline_key = (hash_seeds[0], worker_counts[0])
@@ -588,6 +662,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "re-allocate warm against the tile store, compare bit-for-bit "
         "against a fresh full allocation of the same edit",
     )
+    fp.add_argument(
+        "--budget", type=int, default=None, metavar="FUEL",
+        help="also allocate each workload under a max_fuel budget of "
+        "FUEL units; the budgeted result must be bit-identical to the "
+        "unbudgeted one and the fuel-spend counters join the fingerprint",
+    )
 
     ck = sub.add_parser(
         "check",
@@ -618,6 +698,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="include the per-tile memoization proof (warm incremental "
         "== fresh full, reuse counters compared) in every combination",
     )
+    ck.add_argument(
+        "--budget", type=int, default=None, metavar="FUEL",
+        help="include budgeted-allocation fingerprints (max_fuel=FUEL; "
+        "fuel-spend counters compared) in every combination",
+    )
 
     args = parser.parse_args(argv)
     names = _parse_names(args.workloads)
@@ -626,7 +711,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prints = fingerprint_workloads(
             names, workers=args.workers, registers=args.registers,
             batch_workers=args.batch, service=args.service,
-            incremental=args.incremental,
+            incremental=args.incremental, budget_fuel=args.budget,
         )
         json.dump(prints, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
@@ -638,6 +723,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names, hash_seeds=seeds, worker_counts=workers,
         registers=args.registers, batch_workers=args.batch,
         service=args.service, incremental=args.incremental,
+        budget_fuel=args.budget,
     )
     combos = len(seeds) * len(workers)
     if problems:

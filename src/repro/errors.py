@@ -88,6 +88,7 @@ def classify_exception(exc: BaseException) -> Tuple[str, str]:
 
     from repro.batch.faultinject import InjectedFault
     from repro.batch.serialize import UncacheableConfigError
+    from repro.core.budget import BudgetExceededError
     from repro.graph.coloring import ColoringInvariantError, NoColorForRequiredNode
     from repro.ir.parser import IRParseError
     from repro.ir.validate import IRValidationError
@@ -97,6 +98,14 @@ def classify_exception(exc: BaseException) -> Tuple[str, str]:
 
     if isinstance(exc, InjectedFault):
         return "injected", exc.permanence
+    if isinstance(exc, BudgetExceededError):
+        # Fuel spend is a pure function of (input, config, budget), so
+        # exhaustion recurs on every retry -- route it to the ladder.
+        # The wall-clock deadline is the one nondeterministic limit: a
+        # retry on an unloaded worker may well fit, so it is transient.
+        if exc.resource == "fuel":
+            return "budget", PERMANENT
+        return "deadline", TRANSIENT
     if isinstance(exc, (IRParseError, MiniLangError)):
         return "parse", PERMANENT
     if isinstance(exc, IRValidationError):
@@ -118,8 +127,18 @@ def classify_exception(exc: BaseException) -> Tuple[str, str]:
         return "timeout", TRANSIENT
     if isinstance(exc, BrokenExecutor):
         return "pool", TRANSIENT
+    if isinstance(exc, RecursionError):
+        # Structural: the input's nesting blew the interpreter stack.
+        # The identical task recurses identically on any worker, so a
+        # retry just burns budget -- degrade instead.  (RecursionError
+        # subclasses RuntimeError, not OSError, so order here is free.)
+        return "recursion", PERMANENT
     if isinstance(exc, MemoryError):
-        return "oom", TRANSIENT
+        # The allocator's footprint is a deterministic function of the
+        # input; a task that exhausts memory exhausts it again on retry
+        # (workers are long-lived, so "some other task bloated the
+        # process" self-heals via the pool restart path, not retries).
+        return "oom", PERMANENT
     if isinstance(exc, OSError):
         return "os", TRANSIENT
     return "internal", PERMANENT

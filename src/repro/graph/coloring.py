@@ -103,6 +103,7 @@ def color_graph(
     pessimistic: bool = False,
     spill_heuristic: str = "cost_over_degree",
     trace_hook: Optional[Callable[[str, str, str], None]] = None,
+    budget=None,
 ) -> ColoringResult:
     """Color *graph* with at most *k* distinct colors.
 
@@ -134,6 +135,9 @@ def color_graph(
             when a preference is honored -- ``kind`` is ``"local"`` for a
             local-preference hit, ``"partner"`` for an inherited partner
             color (see :mod:`repro.trace`).
+        budget: optional :class:`~repro.core.budget.AllocationBudget`
+            charged once per simplify-loop pop (the select loop replays
+            the same stack, so one charge covers both).
     """
     if spill_heuristic not in ("cost_over_degree", "cost", "degree"):
         raise ValueError(f"unknown spill heuristic {spill_heuristic!r}")
@@ -361,6 +365,8 @@ def color_graph(
 
     heappop = heapq.heappop
     while n_remaining:
+        if budget is not None:
+            budget.charge(1, "simplify")
         var = -1
         while low_heap:
             d, r = heappop(low_heap)

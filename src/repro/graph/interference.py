@@ -509,6 +509,7 @@ def build_interference(
     liveness: Liveness,
     labels: Optional[Iterable[str]] = None,
     relevant: Optional[Set[str]] = None,
+    budget=None,
 ) -> InterferenceGraph:
     """Chaitin-style conflict graph construction.
 
@@ -520,6 +521,9 @@ def build_interference(
         relevant: if given, only variables in this set become nodes; others
             are ignored entirely (the paper's tile graphs only represent
             variables referenced in the tile, see section 3).
+        budget: optional :class:`~repro.core.budget.AllocationBudget`
+            charged per visited block (instruction-weighted) and for the
+            nodes/edges the finished graph carries.
 
     Every variable referenced in the visited blocks becomes a node even if
     it never conflicts.  At each definition the defined variables conflict
@@ -561,6 +565,10 @@ def build_interference(
         i_written_vids = arena.i_written_vids
         for label in labels:
             bid = block_id[label]
+            if budget is not None:
+                budget.charge(
+                    1 + block_start[bid + 1] - block_start[bid], "graph"
+                )
             live_out_per_instr = liveness.instr_live_out_bits(label)
             start = block_start[bid]
             for k in range(block_start[bid + 1] - start):
@@ -589,6 +597,8 @@ def build_interference(
     else:
         for label in labels:
             block = fn.blocks[label]
+            if budget is not None:
+                budget.charge(1 + len(block.instrs), "graph")
             live_out_per_instr = liveness.instr_live_out_bits(label)
             for instr, live_after in zip(block.instrs, live_out_per_instr):
                 referenced = 0
@@ -692,4 +702,11 @@ def build_interference(
     graph._nbr_lists = nbr_lists
     graph._degs = {i: len(l) for i, l in nbr_lists.items()}
     graph._next = len(local)
+    if budget is not None:
+        # Bulk node/edge accounting: a high-degree clique burns fuel
+        # proportional to the edges it actually materialized, even when
+        # it came from few blocks.
+        budget.charge(
+            len(local) + sum(len(l) for l in nbr_lists.values()), "graph"
+        )
     return graph

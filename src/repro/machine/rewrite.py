@@ -19,9 +19,6 @@ from repro.analysis.liveness import compute_liveness
 from repro.ir.function import Function
 from repro.ir.instructions import Instr, Opcode, is_phys
 
-_temp_counter = itertools.count(1)
-
-
 def spill_slot(var: str) -> str:
     """The memory slot key for a spilled variable.
 
@@ -31,9 +28,18 @@ def spill_slot(var: str) -> str:
     return f"slot:{var}"
 
 
-def fresh_temp(var: str) -> str:
-    """A fresh operand-temporary name for a spilled variable reference."""
-    return f"{var}@t{next(_temp_counter)}"
+def fresh_temp(var: str, counter: "itertools.count") -> str:
+    """A fresh operand-temporary name for a spilled variable reference.
+
+    *counter* is per ``rewrite_spilled`` call, never process-global:
+    temp names must be a pure function of the input so flat-allocator
+    output (the degradation ladder's fallback rungs included) is
+    bit-identical across repeated allocations in one process.  No
+    cross-round collision is possible: a variable spilled in round *n*
+    no longer appears as an operand in round *n+1*, and re-spilled temps
+    get a longer ``@t``-suffixed name.
+    """
+    return f"{var}@t{next(counter)}"
 
 
 def rewrite_spilled(
@@ -56,6 +62,7 @@ def rewrite_spilled(
     out = fn.clone()
     temps: Set[str] = set()
     reused: Set[str] = set()
+    temp_counter = itertools.count(1)
     for block in out.blocks.values():
         new_instrs: List[Instr] = []
         cached: Dict[str, str] = {}  # spilled var -> temp currently holding it
@@ -68,7 +75,7 @@ def rewrite_spilled(
                     use_map[var] = cached[var]
                     reused.add(cached[var])
                     continue
-                temp = fresh_temp(var)
+                temp = fresh_temp(var, temp_counter)
                 temps.add(temp)
                 new_instrs.append(
                     Instr(Opcode.SPILL_LD, defs=(temp,), imm=spill_slot(var))
@@ -81,7 +88,7 @@ def rewrite_spilled(
             for var in instr.defs:
                 if var not in spilled:
                     continue
-                temp = fresh_temp(var)
+                temp = fresh_temp(var, temp_counter)
                 temps.add(temp)
                 def_map[var] = temp
                 stores.append(

@@ -11,11 +11,27 @@ _CMP_OPS = ("<", "<=", "==", "!=", ">", ">=")
 _ADD_OPS = ("+", "-")
 _MUL_OPS = ("*", "/", "%")
 
+#: Maximum combined statement/expression nesting depth.  Recursive
+#: descent costs up to ~8 interpreter frames per level (the precedence
+#: chain), so 64 keeps the worst case far below CPython's recursion
+#: limit: adversarial inputs get a classified :class:`MiniLangError`,
+#: never a raw ``RecursionError``.  Real programs nest nowhere near it.
+MAX_PARSE_DEPTH = 64
+
 
 class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._pos = 0
+        self._depth = 0
+
+    def _enter(self, line: int) -> None:
+        self._depth += 1
+        if self._depth > MAX_PARSE_DEPTH:
+            raise MiniLangError(
+                f"nesting exceeds the parser depth limit "
+                f"({MAX_PARSE_DEPTH})", line,
+            )
 
     # ------------------------------------------------------------------
     # token plumbing
@@ -71,6 +87,13 @@ class _Parser:
         return statements
 
     def statement(self) -> ast.Node:
+        self._enter(self.current.line)
+        try:
+            return self._statement()
+        finally:
+            self._depth -= 1
+
+    def _statement(self) -> ast.Node:
         token = self.current
         if token.kind == "var":
             self.advance()
@@ -132,7 +155,11 @@ class _Parser:
 
     # expression precedence: || < && < comparison < additive < multiplicative
     def expression(self) -> ast.Node:
-        return self._or()
+        self._enter(self.current.line)
+        try:
+            return self._or()
+        finally:
+            self._depth -= 1
 
     def _or(self) -> ast.Node:
         node = self._and()
@@ -178,9 +205,15 @@ class _Parser:
     def _unary(self) -> ast.Node:
         token = self.current
         if token.kind in ("-", "!"):
-            self.advance()
-            return ast.Unary(line=token.line, op=token.kind,
-                             operand=self._unary())
+            # Counted against the depth limit: `----x` chains recurse
+            # here without passing through expression().
+            self._enter(token.line)
+            try:
+                self.advance()
+                return ast.Unary(line=token.line, op=token.kind,
+                                 operand=self._unary())
+            finally:
+                self._depth -= 1
         return self._primary()
 
     def _primary(self) -> ast.Node:

@@ -67,15 +67,16 @@ class FunctionArena:
         "i_written", "i_ref", "i_exempt", "i_written_vids",
         "block_use", "block_def", "block_ref",
         "succ_indptr", "succ_ids", "pred_indptr", "pred_ids",
-        "copy_sites", "live_in", "live_out",
+        "copy_sites", "live_in", "live_out", "budget",
         "_var_ref_blocks", "_var_def_blocks", "_var_sites", "_retired",
         "_name_rank", "_var_ref_bmask", "_var_def_bmask", "_block_digests",
     )
 
-    def __init__(self, fn: Function, index: VarIndex) -> None:
+    def __init__(self, fn: Function, index: VarIndex, budget=None) -> None:
         self.fn = fn
         self.index = index
         self.cfg_version = getattr(fn, "cfg_version", None)
+        self.budget = budget
         self._retired = False
 
         # ---- pass 1: interning in the classic liveness order ----------
@@ -91,6 +92,8 @@ class FunctionArena:
         i_defs: List[int] = []
         i_uses: List[int] = []
         for label, block in fn.blocks.items():
+            if budget is not None:
+                budget.charge(1 + len(block.instrs), "instrs")
             labels.append(label)
             use_mask = 0
             def_mask = 0
@@ -351,7 +354,10 @@ class FunctionArena:
         pred_indptr = self.pred_indptr
         pred_ids = self.pred_ids
 
+        budget = self.budget
         while worklist:
+            if budget is not None:
+                budget.charge(1, "liveness")
             bid = worklist.pop()
             in_worklist.discard(bid)
             new_out = 0
@@ -389,9 +395,12 @@ class FunctionArena:
         )
         dst = _np.asarray(self.succ_ids)
 
+        budget = self.budget
         live_in = use_m.copy()
         live_out = _np.zeros_like(use_m)
         for _ in range(4 * nblocks + 8):  # LFP reached long before this
+            if budget is not None:
+                budget.charge(nblocks, "liveness")
             new_out = _np.zeros_like(live_out)
             if len(src):
                 _np.bitwise_or.at(new_out, src, live_in[dst])
@@ -509,6 +518,14 @@ def _unpack_rows(matrix) -> List[int]:
     ]
 
 
-def build_arena(fn: Function, index: Optional[VarIndex] = None) -> FunctionArena:
-    """Lower *fn* into a fresh arena (interning into *index* if given)."""
-    return FunctionArena(fn, index if index is not None else VarIndex())
+def build_arena(
+    fn: Function, index: Optional[VarIndex] = None, budget=None
+) -> FunctionArena:
+    """Lower *fn* into a fresh arena (interning into *index* if given).
+
+    *budget*, when given, is charged for every instruction lowered and
+    every liveness worklist/sweep step (see :mod:`repro.core.budget`).
+    """
+    return FunctionArena(
+        fn, index if index is not None else VarIndex(), budget=budget
+    )

@@ -90,6 +90,7 @@ class ServiceConfig:
 #: (engine-side failures keep their taxonomy classes unchanged).
 SERVICE_ERROR_CLASSES = (
     "bad_request",   # malformed JSON / schema / unparseable function
+    "unadmittable",  # admission control: estimated cost over limit, 413
     "overloaded",    # queue full: 429, retry after Retry-After seconds
     "draining",      # graceful shutdown in progress: 503
     "shutdown",      # drained past drain_timeout_s; work abandoned
@@ -113,4 +114,7 @@ def describe_config(config: ServiceConfig) -> dict:
         "registers": config.batch.registers,
         "simulate": config.batch.simulate,
         "on_error": config.batch.on_error,
+        "max_fuel": config.batch.max_fuel,
+        "deadline_s": config.batch.deadline_s,
+        "admission_limit": config.batch.admission_limit,
     }

@@ -240,6 +240,7 @@ class AllocationService:
         self._functions_total = 0
         self._coalesced_total = 0
         self._rejected_total = 0
+        self._unadmitted_total = 0
         self._streamed_total = 0
         self._queue_peak = 0
 
@@ -549,6 +550,7 @@ class AllocationService:
     ) -> Tuple[int, int, int]:
         """Returns ``(status, functions, coalesced)`` for accounting."""
         parsed = self._parse_allocate_body(request.body)
+        self._check_admission(parsed)
         if self._draining:
             raise ServiceError(
                 503, "draining", "service is shutting down; resubmit "
@@ -691,6 +693,39 @@ class AllocationService:
         )
         return workload.label(), workload
 
+    def _check_admission(
+        self, parsed: Sequence[Tuple[str, object]]
+    ) -> None:
+        """Admission control against ``batch.admission_limit``.
+
+        Functions whose deterministic cost estimate
+        (:func:`repro.core.budget.estimate_cost`) exceeds the configured
+        limit fail the whole request with a structured ``413`` -- like
+        parse errors, all-or-nothing, so the admit/reject answer is a
+        pure function of the submission.  The engine applies the same
+        check itself; rejecting here keeps un-admittable work out of the
+        queue entirely and gives the client a request-level answer
+        instead of a per-function ``admission`` failure.
+        """
+        limit = self.config.batch.admission_limit
+        if limit is None:
+            return
+        from repro.core.budget import estimate_cost
+
+        over: List[Dict[str, object]] = []
+        for index, (name, workload) in enumerate(parsed):
+            cost = estimate_cost(workload.fn)
+            if cost > limit:
+                over.append({"index": index, "name": name, "cost": cost})
+        if over:
+            self._unadmitted_total += 1
+            raise ServiceError(
+                413, "unadmittable",
+                f"{len(over)} of {len(parsed)} function(s) exceed the "
+                f"admission limit ({limit} estimated cost units)",
+                detail={"admission_limit": limit, "functions": over},
+            )
+
     def _admit(
         self, parsed: Sequence[Tuple[str, object]]
     ) -> List[Tuple[str, _Entry, bool]]:
@@ -802,6 +837,7 @@ class AllocationService:
                 "functions": self._functions_total,
                 "coalesced": self._coalesced_total,
                 "rejected": self._rejected_total,
+                "unadmitted": self._unadmitted_total,
                 "streamed": self._streamed_total,
                 "queue": {
                     "depth": len(self._pending),

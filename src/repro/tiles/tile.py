@@ -311,17 +311,22 @@ class TileTree:
         return sum(1 for _ in self.preorder())
 
     def format(self) -> str:
-        """Readable ASCII rendering of the tree (tests and examples)."""
-        lines: List[str] = []
+        """Readable ASCII rendering of the tree (tests and examples).
 
-        def rec(tile: Tile, indent: int) -> None:
+        Iterative like every other traversal here: tile-tree depth is
+        input-controlled, so no walk may recurse.
+        """
+        lines: List[str] = []
+        stack: List[Tuple[Tile, int]] = [(self.root, 0)]
+        while stack:
+            tile, indent = stack.pop()
             own = ",".join(sorted(tile.own_blocks()))
             lines.append(
                 "  " * indent
                 + f"Tile#{tile.tid}[{tile.kind}] blocks={{{own}}}"
             )
-            for child in sorted(tile.children, key=lambda t: t.tid):
-                rec(child, indent + 1)
-
-        rec(self.root, 0)
+            for child in sorted(
+                tile.children, key=lambda t: t.tid, reverse=True
+            ):
+                stack.append((child, indent + 1))
         return "\n".join(lines)

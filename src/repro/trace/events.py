@@ -238,6 +238,55 @@ class PoolRestarted:
 
 
 @dataclass(frozen=True)
+class Admitted:
+    """Admission control let one function through to the allocator.
+
+    Emitted only when an admission limit is configured
+    (``BatchConfig.admission_limit``).  ``cost`` is
+    :func:`repro.core.budget.estimate_cost` of the input function --
+    deterministic, so the admit/reject stream is too.
+    """
+
+    function: str
+    fingerprint: str
+    cost: int
+    limit: int
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """Admission control refused one function.
+
+    Its estimated cost exceeded ``BatchConfig.admission_limit``; the
+    function never reaches the hierarchical allocator and fails with
+    permanent error class ``"admission"`` (routing to the degradation
+    ladder, or skipping/failing, per ``on_error``).
+    """
+
+    function: str
+    fingerprint: str
+    cost: int
+    limit: int
+
+
+@dataclass(frozen=True)
+class BudgetExceeded:
+    """A budgeted allocation ran out of fuel or past its deadline.
+
+    ``resource`` is ``"fuel"`` (deterministic, permanent) or
+    ``"deadline"`` (wall clock, transient); ``spent`` / ``limit`` are in
+    fuel units or seconds accordingly.  Fuel events are covered by the
+    determinism contract; deadline events are not.
+    """
+
+    function: str
+    fingerprint: str
+    resource: str  # "fuel" | "deadline"
+    spent: float
+    limit: float
+
+
+@dataclass(frozen=True)
 class Degraded:
     """A function landed on the degradation ladder.
 

@@ -16,6 +16,15 @@ from repro.workloads.kernels import (
     unrolled_dot,
     all_kernel_workloads,
 )
+from repro.workloads.adversarial import (
+    AdversarialCase,
+    adversarial_corpus,
+    deep_loop_nest,
+    deep_minilang_source,
+    high_degree_clique,
+    irreducible_mesh,
+    spill_churn,
+)
 from repro.workloads.generators import random_program, random_workload
 from repro.workloads.minilang_fuzz import (
     random_minilang_source,
@@ -40,6 +49,13 @@ __all__ = [
     "all_kernel_workloads",
     "random_program",
     "random_workload",
+    "AdversarialCase",
+    "adversarial_corpus",
+    "deep_loop_nest",
+    "deep_minilang_source",
+    "high_degree_clique",
+    "irreducible_mesh",
+    "spill_churn",
     "random_minilang_source",
     "random_minilang_workload",
 ]

@@ -1,0 +1,336 @@
+"""Adversarial workload corpus for the resource-governance harness.
+
+Each family here is a seed-parameterized generator of inputs chosen to
+stress one axis the budget layer must survive:
+
+* :func:`deep_loop_nest` -- loop nests far past typical tile depths, so
+  tile construction, phase 1/phase 2 walks and boundary planning see
+  tall trees.
+* :func:`irreducible_mesh` -- multi-entry cycles (irreducible CFGs) with
+  cross edges, so tile construction falls back to ``"irreducible"``
+  tiles and edge classification sees unstructured boundaries.
+* :func:`high_degree_clique` -- many simultaneously-live variables, so
+  the interference graph is a dense clique and coloring/spilling churn
+  is maximal.
+* :func:`spill_churn` -- live ranges threaded through a loop across many
+  redefinition phases, so pressure repeatedly exceeds k and boundary
+  spill code (Spill/Reload/Transfer) is planned over and over.
+* :func:`deep_minilang_source` -- MiniLang sources nested past
+  :data:`~repro.minilang.parser.MAX_PARSE_DEPTH`, so the front end must
+  reject with a classified error instead of a raw ``RecursionError``.
+
+Every generator is a pure function of its arguments (``random.Random``
+seeded explicitly, no global state), so the corpus is bit-reproducible:
+the survival harness and the determinism gate both rely on
+``adversarial_corpus(seed)`` returning the same inputs every run.
+
+All IR families produce *valid, terminating* functions -- every loop is
+counted -- so they can be simulated as well as statically allocated.
+The point is not malformed input (the validator owns that) but
+well-formed input that is expensive: the budget layer must degrade or
+reject it deterministically, never hang or die uncaught.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+
+#: Family tags, in corpus order.
+FAMILIES = (
+    "deep_nest",
+    "mesh",
+    "clique",
+    "churn",
+    "minilang_nest",
+)
+
+
+@dataclass(frozen=True)
+class AdversarialCase:
+    """One corpus entry: either an IR function or a MiniLang source.
+
+    Attributes:
+        name: stable unique label (``family/seed`` based).
+        family: one of :data:`FAMILIES`.
+        fn: the IR function, for IR-level families.
+        source: MiniLang text, for front-end families.
+        expect_reject: True when a *correct* implementation refuses the
+            input with a classified error even with no budget configured
+            (currently: sources past the parser depth limit).  The
+            survival harness treats a classified rejection of these as
+            success, not failure.
+    """
+
+    name: str
+    family: str
+    fn: Optional[Function] = None
+    source: Optional[str] = None
+    expect_reject: bool = False
+
+
+# ----------------------------------------------------------------------
+# family 1: deep loop nests
+# ----------------------------------------------------------------------
+def deep_loop_nest(seed: int, depth: int = 24) -> Function:
+    """A ``depth``-deep nest of counted single-trip loops.
+
+    Each level defines a value before its loop and uses it after, so
+    every tile boundary carries live values and phase 2 must plan
+    transfers at every level.  Trip counts are all 1, so the program is
+    simulable in O(depth) steps regardless of nesting.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    rng = random.Random(seed)
+    b = FunctionBuilder(f"adv_deep_nest_s{seed}_d{depth}", params=["n"])
+    b.block("entry")
+    b.const("acc", rng.randint(-4, 4))
+    heads: List[str] = []
+    exits: List[str] = []
+    for level in range(depth):
+        head = f"head{level}"
+        exit_ = f"exit{level}"
+        heads.append(head)
+        exits.append(exit_)
+        counter = f"c{level}"
+        b.const(counter, 1)
+        b.br(head)
+        b.block(head)
+        # A value live across this level's backedge and into the exit.
+        b.addi(f"lv{level}", "acc", rng.randint(1, 3))
+    # Innermost body: fold a few of the level values back into acc.
+    one = "one"
+    b.const(one, 1)
+    for level in rng.sample(range(depth), min(4, depth)):
+        b.add("acc", "acc", f"lv{level}")
+    # Close the loops innermost-first.
+    for level in reversed(range(depth)):
+        counter = f"c{level}"
+        b.sub(counter, counter, one)
+        b.cbr(counter, heads[level], exits[level])
+        b.block(exits[level])
+        b.add("acc", "acc", f"lv{level}")
+    b.ret("acc")
+    return b.finish()
+
+
+# ----------------------------------------------------------------------
+# family 2: irreducible meshes
+# ----------------------------------------------------------------------
+def irreducible_mesh(seed: int, size: int = 12) -> Function:
+    """A ``size``-node cycle entered at two distinct points.
+
+    The entry block branches (on a data-dependent condition) into two
+    different nodes of one cycle, which makes the cycle irreducible: no
+    single header dominates it, so tile construction cannot shape it as
+    a loop tile and must fall back to an ``"irreducible"`` region.  Each
+    node decrements a shared counter and exits when it hits zero, so the
+    walk terminates after exactly ``trips`` node visits from either
+    entry.  Accumulators threaded through every node keep values live
+    around the whole mesh.
+    """
+    if size < 3:
+        raise ValueError(f"size must be >= 3, got {size}")
+    rng = random.Random(seed)
+    trips = size + rng.randint(2, 6)
+    b = FunctionBuilder(f"adv_mesh_s{seed}_n{size}", params=["n"])
+    b.block("entry")
+    b.const("c", trips)
+    b.const("one", 1)
+    b.const("acc", 0)
+    b.const("alt", rng.randint(1, 5))
+    b.const("two", 2)
+    # Data-dependent double entry into the cycle: n < 2 picks m1, else m0.
+    b.cmplt("pick", "n", "two")
+    b.cbr("pick", "m1", "m0")
+    for i in range(size):
+        nxt = f"m{(i + 1) % size}"
+        b.block(f"m{i}")
+        if i % 2 == 0:
+            b.add("acc", "acc", "alt")
+        else:
+            b.sub("alt", "acc", "one")
+        b.sub("c", "c", "one")
+        b.cbr("c", nxt, "mexit")
+    b.block("mexit")
+    b.add("acc", "acc", "alt")
+    b.ret("acc")
+    return b.finish()
+
+
+# ----------------------------------------------------------------------
+# family 3: high-degree cliques
+# ----------------------------------------------------------------------
+def high_degree_clique(seed: int, width: int = 48) -> Function:
+    """``width`` variables all live at once: a width-clique in the
+    interference graph.
+
+    All values are defined up front and every one is consumed only by a
+    final reduction chain, so between the last definition and the first
+    use the live set has exactly ``width`` members -- with k registers,
+    ``width - k`` of them must spill, and the conflict graph has
+    ``width * (width - 1) / 2`` edges.  A single-trip loop between the
+    definitions and the uses forces the live ranges across tile
+    boundaries too.
+    """
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    rng = random.Random(seed)
+    b = FunctionBuilder(f"adv_clique_s{seed}_w{width}", params=["n"])
+    b.block("entry")
+    for i in range(width):
+        b.const(f"x{i}", rng.randint(-16, 16))
+    b.const("lc", 1)
+    b.const("lone", 1)
+    b.br("lhead")
+    b.block("lhead")
+    # Touch n inside the loop so the loop tile is not empty of references.
+    b.add("x0", "x0", "n")
+    b.sub("lc", "lc", "lone")
+    b.cbr("lc", "lhead", "reduce")
+    b.block("reduce")
+    b.copy("s", "x0")
+    order = list(range(1, width))
+    rng.shuffle(order)
+    for i in order:
+        b.add("s", "s", f"x{i}")
+    b.ret("s")
+    return b.finish()
+
+
+# ----------------------------------------------------------------------
+# family 4: spill churn
+# ----------------------------------------------------------------------
+def spill_churn(seed: int, phases: int = 12, width: int = 10) -> Function:
+    """Wave after wave of redefinition inside one loop.
+
+    The loop body runs ``phases`` phases; phase *p* defines ``width``
+    fresh values from phase *p-1*'s values, so at every phase boundary
+    two full generations overlap and pressure spikes past k.  All of the
+    last phase's values are also live around the backedge (they feed
+    phase 0 of the next iteration), so boundary spill code is planned at
+    the loop entry and exit on every allocation, and recoloring sees a
+    graph that shifts phase by phase.
+    """
+    if phases < 2:
+        raise ValueError(f"phases must be >= 2, got {phases}")
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    rng = random.Random(seed)
+    trips = rng.randint(2, 4)
+    b = FunctionBuilder(f"adv_churn_s{seed}_p{phases}_w{width}", params=["n"])
+    b.block("entry")
+    for i in range(width):
+        b.const(f"g{i}", rng.randint(-8, 8))
+    b.const("cc", trips)
+    b.const("cone", 1)
+    b.br("chead")
+    b.block("chead")
+    prev = [f"g{i}" for i in range(width)]
+    for p in range(phases):
+        cur = [f"p{p}_{i}" for i in range(width)]
+        for i, dst in enumerate(cur):
+            a = prev[i]
+            c = prev[(i + 1 + rng.randrange(width - 1)) % width]
+            if rng.random() < 0.5:
+                b.add(dst, a, c)
+            else:
+                b.sub(dst, a, c)
+        prev = cur
+    # Feed the last generation back into the loop-carried names.
+    for i in range(width):
+        b.copy(f"g{i}", prev[i])
+    b.sub("cc", "cc", "cone")
+    b.cbr("cc", "chead", "cexit")
+    b.block("cexit")
+    b.copy("out", "g0")
+    for i in range(1, width):
+        b.add("out", "out", f"g{i}")
+    b.ret("out")
+    return b.finish()
+
+
+# ----------------------------------------------------------------------
+# family 5: deep MiniLang nesting (front-end attack)
+# ----------------------------------------------------------------------
+def deep_minilang_source(seed: int, depth: int = 200) -> str:
+    """MiniLang source with ``depth`` nested statements.
+
+    Alternates ``if`` and (never-executing) ``while`` nesting by seed.
+    At ``depth`` past :data:`~repro.minilang.parser.MAX_PARSE_DEPTH` the
+    parser must raise a classified ``MiniLangError``; below it, the
+    program compiles and runs normally (the whiles guard on a condition
+    that is false at runtime, so execution cost stays trivial).
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    rng = random.Random(seed)
+    opens: List[str] = []
+    closes: List[str] = []
+    for _ in range(depth):
+        if rng.random() < 0.5:
+            opens.append("if (a + 1) {")
+        else:
+            opens.append("while (a < 0 - 1) {")
+        closes.append("}")
+    body = "\n".join(opens) + "\na = a + 1;\n" + "\n".join(closes)
+    return f"func adv_nest_s{seed}_d{depth}(a) {{\n{body}\nreturn a;\n}}\n"
+
+
+# ----------------------------------------------------------------------
+# the corpus
+# ----------------------------------------------------------------------
+def adversarial_corpus(seed: int, scale: int = 1) -> List[AdversarialCase]:
+    """The full survival corpus for one seed.
+
+    ``scale`` multiplies the size knobs (nest depth, mesh size, clique
+    width, churn phases); ``scale=1`` is sized so an *unbudgeted* run
+    still finishes in seconds -- the harness proves governance, and a
+    corpus that only a budget can survive would make failures ambiguous.
+    Deterministic: same ``(seed, scale)``, same corpus, bit for bit.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    rng = random.Random(seed)
+    sub = [rng.randrange(1 << 30) for _ in range(len(FAMILIES))]
+    cases = [
+        AdversarialCase(
+            name=f"deep_nest/s{sub[0]}",
+            family="deep_nest",
+            fn=deep_loop_nest(sub[0], depth=16 * scale),
+        ),
+        AdversarialCase(
+            name=f"mesh/s{sub[1]}",
+            family="mesh",
+            fn=irreducible_mesh(sub[1], size=10 * scale),
+        ),
+        AdversarialCase(
+            name=f"clique/s{sub[2]}",
+            family="clique",
+            fn=high_degree_clique(sub[2], width=32 * scale),
+        ),
+        AdversarialCase(
+            name=f"churn/s{sub[3]}",
+            family="churn",
+            fn=spill_churn(sub[3], phases=8 * scale, width=8),
+        ),
+        # One source below the parser limit (must compile) and one past
+        # it (must be rejected with a classified MiniLangError).
+        AdversarialCase(
+            name=f"minilang_nest/s{sub[4]}/shallow",
+            family="minilang_nest",
+            source=deep_minilang_source(sub[4], depth=24),
+        ),
+        AdversarialCase(
+            name=f"minilang_nest/s{sub[4]}/deep",
+            family="minilang_nest",
+            source=deep_minilang_source(sub[4], depth=300),
+            expect_reject=True,
+        ),
+    ]
+    return cases

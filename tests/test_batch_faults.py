@@ -113,9 +113,25 @@ class TestTaxonomy:
             "pool", TRANSIENT,
         )
 
-    def test_oom_and_os_errors_are_transient(self):
-        assert classify_exception(MemoryError()) == ("oom", TRANSIENT)
+    def test_os_errors_are_transient(self):
         assert classify_exception(OSError("disk")) == ("os", TRANSIENT)
+
+    def test_resource_exhaustion_is_permanent(self):
+        # A task's memory footprint and recursion depth are
+        # deterministic functions of its input: retrying re-exhausts,
+        # so both route to the degradation ladder instead.
+        assert classify_exception(MemoryError()) == ("oom", PERMANENT)
+        assert classify_exception(RecursionError("depth")) == (
+            "recursion", PERMANENT,
+        )
+
+    def test_budget_exhaustion_is_permanent_deadline_transient(self):
+        from repro.core.budget import BudgetExceededError
+
+        fuel = BudgetExceededError("fuel", 1001, 1000, {"instrs": 1001})
+        assert classify_exception(fuel) == ("budget", PERMANENT)
+        deadline = BudgetExceededError("deadline", 2.5, 2.0)
+        assert classify_exception(deadline) == ("deadline", TRANSIENT)
 
     def test_unknown_exception_is_internal_permanent(self):
         assert classify_exception(TypeError("surprise")) == (
@@ -131,10 +147,10 @@ class TestTaxonomy:
         )
 
     def test_task_error_from_exception(self):
-        err = task_error_from_exception(MemoryError("big"), attempts=3)
-        assert err == TaskError("oom", "big", TRANSIENT, 3)
+        err = task_error_from_exception(TimeoutError("slow"), attempts=3)
+        assert err == TaskError("timeout", "slow", TRANSIENT, 3)
         assert err.transient and not err.permanent
-        assert "oom" in err.describe()
+        assert "timeout" in err.describe()
 
     def test_batch_function_error_carries_structure(self):
         err = TaskError("no_color", "v9", PERMANENT, attempts=1)

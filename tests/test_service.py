@@ -600,10 +600,69 @@ class TestBadRequests:
         """Every error class a test above observed is in the public
         table SERVICE.md documents."""
         for error_class in (
-            "bad_request", "overloaded", "draining", "shutdown",
-            "not_found", "method_not_allowed", "protocol", "internal",
+            "bad_request", "unadmittable", "overloaded", "draining",
+            "shutdown", "not_found", "method_not_allowed", "protocol",
+            "internal",
         ):
             assert error_class in SERVICE_ERROR_CLASSES
+
+
+def _oversized_source(width: int = 150) -> str:
+    """A MiniLang function whose estimate_cost is far over any small
+    admission limit (width variables all live into one reduction)."""
+    decls = " ".join(f"var v{i} = {i};" for i in range(width))
+    uses = " + ".join(f"v{i}" for i in range(width))
+    return f"func big(n) {{ {decls} return {uses}; }}"
+
+
+class TestCostAdmission:
+    def test_over_limit_function_is_413_unadmittable(self):
+        async def main():
+            config = service_config(batch_kwargs={"admission_limit": 500})
+            async with AllocationService(config) as svc:
+                async with ServiceClient("127.0.0.1", svc.port) as client:
+                    ok = await client.allocate_text(
+                        ML_ADD, name="small", args={"n": 1}
+                    )
+                    assert ok.status == 200  # small work still admitted
+                    reply = await client.allocate(
+                        [{"text": _oversized_source(), "name": "big"}]
+                    )
+                    assert reply.status == 413
+                    assert reply.data["error_class"] == "unadmittable"
+                    assert reply.data["admission_limit"] == 500
+                    (over,) = reply.data["functions"]
+                    assert over["name"] == "big" and over["cost"] > 500
+                    # All-or-nothing: one oversized function rejects the
+                    # whole request, and the small one never half-warms
+                    # the cache under a new name.
+                    mixed = await client.allocate([
+                        {"text": ML_ADD, "name": "small2"},
+                        {"text": _oversized_source(), "name": "big2"},
+                    ])
+                    assert mixed.status == 413
+                    (over2,) = mixed.data["functions"]
+                    assert over2["name"] == "big2" and over2["index"] == 1
+                    metrics = await client.metrics()
+                    assert metrics.data["service"]["unadmitted"] == 2
+
+        run(main())
+
+    def test_rejection_is_deterministic_across_resubmission(self):
+        async def main():
+            config = service_config(batch_kwargs={"admission_limit": 500})
+            async with AllocationService(config) as svc:
+                async with ServiceClient("127.0.0.1", svc.port) as client:
+                    replies = [
+                        await client.allocate(
+                            [{"text": _oversized_source(), "name": "big"}]
+                        )
+                        for _ in range(2)
+                    ]
+                    assert [r.status for r in replies] == [413, 413]
+                    assert replies[0].data == replies[1].data
+
+        run(main())
 
 
 # ----------------------------------------------------------------------
